@@ -1,0 +1,51 @@
+/// Ablation A1 (DESIGN.md): CSD vs plain binary recoding of the
+/// hard-wired coefficients.  CSD minimizes the nonzero digits of each
+/// constant multiplier, one of the two bespoke mechanisms the paper's
+/// quantization savings compound on.  This bench quantifies the recoding
+/// choice across the four classifiers and the paper's bit-width range.
+
+#include "common.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/hw/bespoke.hpp"
+
+int main() {
+  using namespace pnm;
+  using namespace pnm::bench;
+
+  std::cout << "==============================================================\n";
+  std::cout << "Ablation A1: CSD vs binary coefficient recoding\n";
+  std::cout << "==============================================================\n\n";
+
+  TextTable table({"dataset", "bits", "area csd mm^2", "area binary mm^2", "saving"});
+  for (const auto& dataset : paper_dataset_names()) {
+    FlowConfig config = figure_flow_config(dataset);
+    MinimizationFlow flow(config);
+    flow.prepare();
+    for (int bits : {4, 6, 8}) {
+      Genome genome;
+      const std::size_t n_layers = flow.float_model().layer_count();
+      genome.weight_bits.assign(n_layers, bits);
+      genome.sparsity_pct.assign(n_layers, 0);
+      genome.clusters.assign(n_layers, 0);
+      const QuantizedMlp qmodel = flow.realize_genome(genome, config.finetune_epochs);
+
+      hw::BespokeOptions with_csd;
+      hw::BespokeOptions without_csd;
+      without_csd.use_csd = false;
+      const double area_csd =
+          hw::BespokeCircuit(qmodel, with_csd).area_mm2(flow.tech());
+      const double area_bin =
+          hw::BespokeCircuit(qmodel, without_csd).area_mm2(flow.tech());
+      table.add_row({dataset, std::to_string(bits), format_fixed(area_csd, 1),
+                     format_fixed(area_bin, 1),
+                     format_fixed(100.0 * (1.0 - area_csd / area_bin), 1) + "%"});
+    }
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "expected shape: savings grow with weight bit-width (more runs of "
+               "ones to recode).  The per-coefficient hybrid never picks a worse "
+               "recoding; tiny negative entries (<1%) can appear because gate-level "
+               "CSE across *different* multipliers of the same input is invisible "
+               "to the per-coefficient cost model.\n";
+  return 0;
+}

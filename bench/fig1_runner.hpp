@@ -1,0 +1,66 @@
+#ifndef PNM_BENCH_FIG1_RUNNER_HPP
+#define PNM_BENCH_FIG1_RUNNER_HPP
+
+/// \file fig1_runner.hpp
+/// \brief Shared driver for the four Figure-1 panels.
+///
+/// Paper, Figure 1: "Area-Accuracy trade-off of the printed MLPs with
+/// quantization, pruning, and weight clustering.  Values are normalized
+/// over each baseline MLP.  Classifiers: (a) WhiteWine, (b) RedWine,
+/// (c) Pendigits, (d) Seeds."
+///
+/// Parameters reproduce §III: unstructured pruning at 20-60 % sparsity,
+/// quantization at 2-7 bit weights, clustering over a range of cluster
+/// counts; the baseline is the unminimized 8-bit bespoke MLP.
+
+#include "common.hpp"
+
+namespace pnm::bench {
+
+/// Runs one Figure-1 panel.  csv_dir (e.g. from argv[1]) additionally
+/// dumps the three series as <csv_dir>/fig1_<dataset>.csv for plotting.
+inline int run_fig1(const std::string& dataset, const std::string& panel,
+                    const std::string& csv_dir = "") {
+  std::cout << "==============================================================\n";
+  std::cout << "Figure 1(" << panel << "): standalone minimization fronts on " << dataset
+            << "\n";
+  std::cout << "==============================================================\n\n";
+
+  MinimizationFlow flow(figure_flow_config(dataset));
+  flow.prepare();
+  print_baseline(flow);
+  const auto& baseline = flow.baseline();
+
+  const auto quant = flow.sweep_quantization(2, 7);
+  const auto prune = flow.sweep_pruning({0.2, 0.3, 0.4, 0.5, 0.6});
+  const auto cluster = flow.sweep_clustering({2, 3, 4, 6, 8});
+
+  print_series("quantization (2-7 bit weights, QAT)", quant, baseline);
+  print_series("unstructured pruning (20-60% sparsity)", prune, baseline);
+  print_series("weight clustering (k per input position)", cluster, baseline);
+
+  print_front("quantization", quant, baseline);
+  print_front("pruning", prune, baseline);
+  print_front("clustering", cluster, baseline);
+
+  if (!csv_dir.empty()) {
+    std::vector<DesignPoint> all = quant;
+    all.insert(all.end(), prune.begin(), prune.end());
+    all.insert(all.end(), cluster.begin(), cluster.end());
+    write_points_csv(csv_dir + "/fig1_" + dataset + ".csv", all, baseline);
+  }
+
+  std::cout << "-- summary (paper: quant ~5x avg, prune ~2.8x, cluster ~3.5x) --\n";
+  report_gain("quantization", quant, baseline);
+  report_gain("pruning     ", prune, baseline);
+  const double cluster_gain = report_gain("clustering  ", cluster, baseline);
+  if (cluster_gain <= 1.0) {
+    std::cout << "(no clustering design met the 5% accuracy threshold on " << dataset
+              << " - the paper reports this for Pendigits and Seeds)\n";
+  }
+  return 0;
+}
+
+}  // namespace pnm::bench
+
+#endif  // PNM_BENCH_FIG1_RUNNER_HPP

@@ -1,0 +1,6 @@
+/// Figure 1(a): WhiteWine standalone minimization fronts.
+#include "fig1_runner.hpp"
+
+int main(int argc, char** argv) {
+  return pnm::bench::run_fig1("whitewine", "a", argc > 1 ? argv[1] : "");
+}

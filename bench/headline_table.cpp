@@ -1,0 +1,68 @@
+/// Headline numbers of §III (the text's quantitative claims), as a table:
+///
+///  * quantization: ~5x average area reduction at <= 5% accuracy loss;
+///  * pruning: ~2.8x average; weight clustering: ~3.5x average;
+///  * clustering meets the 5% threshold only on RedWine and WhiteWine;
+///  * combined (GA): up to 8x (the abstract's headline).
+///
+/// We report the same statistics over the four synthetic-analog datasets.
+/// Absolute factors depend on the dataset realization; the ordering and
+/// rough magnitudes are the reproduction target (DESIGN.md §3).
+
+#include "common.hpp"
+#include "pnm/data/synth.hpp"
+
+int main() {
+  using namespace pnm;
+  using namespace pnm::bench;
+
+  std::cout << "==============================================================\n";
+  std::cout << "Headline table: max area gain at <=5% accuracy loss\n";
+  std::cout << "==============================================================\n\n";
+
+  TextTable table({"dataset", "quant", "prune", "cluster", "combined(GA)",
+                   "cluster meets 5%?"});
+  double sum_q = 0.0, sum_p = 0.0, sum_c = 0.0;
+  double max_ga = 0.0;
+  std::size_t n_cluster_ok = 0;
+
+  for (const auto& dataset : paper_dataset_names()) {
+    MinimizationFlow flow(figure_flow_config(dataset));
+    flow.prepare();
+    const auto& baseline = flow.baseline();
+
+    const auto quant = flow.sweep_quantization(2, 7);
+    const auto prune = flow.sweep_pruning({0.2, 0.3, 0.4, 0.5, 0.6});
+    const auto cluster = flow.sweep_clustering({2, 3, 4, 6, 8});
+    GaConfig ga;
+    ga.population = 24;
+    ga.generations = 12;
+    const auto outcome = flow.run_combined_ga(ga, 2);
+
+    const double acc = baseline.accuracy;
+    const double area = baseline.area_mm2;
+    const double gq = best_area_gain_at_loss(quant, acc, area, 0.05);
+    const double gp = best_area_gain_at_loss(prune, acc, area, 0.05);
+    const double gc = best_area_gain_at_loss(cluster, acc, area, 0.05);
+    const double gga = best_area_gain_at_loss(outcome.front, acc, area, 0.05);
+    sum_q += gq;
+    sum_p += gp;
+    sum_c += gc;
+    max_ga = std::max(max_ga, gga);
+    const bool cluster_ok = gc > 1.0;
+    n_cluster_ok += cluster_ok ? 1 : 0;
+
+    table.add_row({dataset, format_factor(gq), format_factor(gp), format_factor(gc),
+                   format_factor(gga), cluster_ok ? "yes" : "no"});
+    std::cerr << "[" << dataset << " done]\n";
+  }
+  table.add_separator();
+  table.add_row({"average", format_factor(sum_q / 4.0), format_factor(sum_p / 4.0),
+                 format_factor(sum_c / 4.0), std::string("max ") + format_factor(max_ga),
+                 std::to_string(n_cluster_ok) + "/4"});
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "paper reference:   quant avg 5.00x   prune avg 2.80x   cluster avg "
+               "3.50x   combined up to 8.00x   cluster meets 5%: 2/4 (wines only)\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+/// Google-benchmark microbenchmarks of the substrate operations that
+/// dominate the reproduction's runtime: training steps, integer
+/// inference, netlist generation, gate-level simulation, the area proxy,
+/// and one full GA candidate evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "pnm/core/flow.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/data/scaler.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/hw/bespoke.hpp"
+#include "pnm/hw/proxy.hpp"
+#include "pnm/nn/trainer.hpp"
+
+namespace {
+
+using namespace pnm;
+
+struct Fixture {
+  Dataset data;
+  DataSplit split;
+  Mlp model;
+  QuantizedMlp qmodel;
+
+  static const Fixture& get() {
+    static const Fixture f = [] {
+      Fixture fx;
+      fx.data = make_seeds(1);
+      Rng rng(2);
+      fx.split = stratified_split(fx.data, 0.7, 0.0, 0.3, rng);
+      MinMaxScaler scaler;
+      scale_split(fx.split, scaler);
+      fx.model = Mlp({7, 4, 3}, rng);
+      TrainConfig tc;
+      tc.epochs = 20;
+      Trainer(tc).fit(fx.model, fx.split.train, rng);
+      fx.qmodel = QuantizedMlp::from_float(fx.model, QuantSpec::uniform(2, 4, 4));
+      return fx;
+    }();
+    return f;
+  }
+};
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  Mlp model = fx.model;
+  TrainConfig tc;
+  tc.epochs = 1;
+  Rng rng(3);
+  for (auto _ : state) {
+    Trainer trainer(tc);
+    trainer.fit(model, fx.split.train, rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.split.train.size()));
+}
+BENCHMARK(BM_TrainEpoch);
+
+void BM_FloatInference(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.predict(fx.split.test.x[i % fx.split.test.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FloatInference);
+
+void BM_IntegerInference(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto xq = quantize_input(fx.split.test.x[0], 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.qmodel.predict_quantized(xq));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IntegerInference);
+
+void BM_BespokeGeneration(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  for (auto _ : state) {
+    hw::BespokeCircuit circuit(fx.qmodel);
+    benchmark::DoNotOptimize(circuit.netlist().gate_count());
+  }
+}
+BENCHMARK(BM_BespokeGeneration);
+
+void BM_GateLevelSimulation(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const hw::BespokeCircuit circuit(fx.qmodel);
+  const auto xq = quantize_input(fx.split.test.x[0], 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.predict(xq));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GateLevelSimulation);
+
+void BM_AreaProxy(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto& tech = hw::TechLibrary::egt();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::estimate_area_mm2(fx.qmodel, tech));
+  }
+}
+BENCHMARK(BM_AreaProxy);
+
+void BM_ExactArea(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto& tech = hw::TechLibrary::egt();
+  for (auto _ : state) {
+    hw::BespokeCircuit circuit(fx.qmodel);
+    benchmark::DoNotOptimize(circuit.area_mm2(tech));
+  }
+}
+BENCHMARK(BM_ExactArea);
+
+void BM_GaCandidateEvaluation(benchmark::State& state) {
+  static MinimizationFlow flow = [] {
+    FlowConfig config;
+    config.dataset_name = "seeds";
+    config.train.epochs = 20;
+    MinimizationFlow f(config);
+    f.prepare();
+    return f;
+  }();
+  Genome genome;
+  genome.weight_bits = {4, 4};
+  genome.sparsity_pct = {30, 30};
+  genome.clusters = {3, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow.evaluate_genome(genome, 2, /*exact_area=*/false, /*use_test_set=*/false));
+  }
+}
+BENCHMARK(BM_GaCandidateEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/// Extension bench: sensitivity of the bespoke area/accuracy trade-off to
+/// the sensor word width (input quantization).  The paper fixes the input
+/// precision and varies only the weights; printed systems, however, pay
+/// for every ADC bit, so this sweep shows where input precision stops
+/// mattering — and that the figure shapes are stable across it.
+
+#include "common.hpp"
+#include "pnm/data/synth.hpp"
+
+int main() {
+  using namespace pnm;
+  using namespace pnm::bench;
+
+  std::cout << "==============================================================\n";
+  std::cout << "Sensitivity: input (sensor word) precision\n";
+  std::cout << "==============================================================\n\n";
+
+  TextTable table({"dataset", "input bits", "baseline acc", "baseline area mm^2",
+                   "4b-quant acc", "4b-quant gain"});
+  for (const auto& dataset : {std::string("redwine"), std::string("seeds")}) {
+    for (int input_bits : {2, 3, 4, 6, 8}) {
+      FlowConfig config = figure_flow_config(dataset);
+      config.input_bits = input_bits;
+      MinimizationFlow flow(config);
+      flow.prepare();
+      const auto& baseline = flow.baseline();
+      const auto quant = flow.sweep_quantization(4, 4);
+      table.add_row({dataset, std::to_string(input_bits),
+                     format_fixed(baseline.accuracy, 3),
+                     format_fixed(baseline.area_mm2, 1),
+                     format_fixed(quant.front().accuracy, 3),
+                     format_factor(baseline.area_mm2 / quant.front().area_mm2)});
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "expected shape: area grows ~linearly with input bits; accuracy "
+               "saturates around 4-6 bits (the printed-ML default of 4 is on the "
+               "knee); the 4-bit weight-quantization gain is stable throughout.\n";
+  return 0;
+}

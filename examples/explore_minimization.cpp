@@ -1,0 +1,85 @@
+/// \file explore_minimization.cpp
+/// \brief Design-space exploration on one of the paper's datasets — a
+///        miniature, interactive version of Figure 1.
+///
+/// Usage:  explore_minimization [whitewine|redwine|pendigits|seeds] [seed]
+///
+/// Trains the float baseline, runs the three standalone minimization
+/// sweeps, and prints the normalized accuracy/area series plus the Pareto
+/// fronts, exactly like the paper's axes.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "pnm/core/flow.hpp"
+#include "pnm/core/pareto.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/util/table.hpp"
+
+namespace {
+
+void print_sweep(const std::string& name, const std::vector<pnm::DesignPoint>& points,
+                 const pnm::DesignPoint& baseline) {
+  std::cout << "== " << name << " ==\n";
+  pnm::TextTable table({"config", "accuracy", "acc delta", "norm area", "gain"});
+  for (const auto& p : points) {
+    table.add_row({p.config, pnm::format_fixed(p.accuracy, 3),
+                   pnm::format_fixed(p.accuracy - baseline.accuracy, 3),
+                   pnm::format_fixed(p.area_mm2 / baseline.area_mm2, 3),
+                   pnm::format_factor(baseline.area_mm2 / p.area_mm2)});
+  }
+  std::cout << table.to_string() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "redwine";
+  const auto& known = pnm::paper_dataset_names();
+  if (std::find(known.begin(), known.end(), dataset) == known.end()) {
+    std::cerr << "unknown dataset '" << dataset << "'; choose one of:";
+    for (const auto& n : known) std::cerr << ' ' << n;
+    std::cerr << '\n';
+    return EXIT_FAILURE;
+  }
+
+  pnm::FlowConfig config;
+  config.dataset_name = dataset;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  config.train.epochs = 60;
+  config.finetune_epochs = 8;
+
+  std::cout << "exploring minimization on '" << dataset << "' (seed " << config.seed
+            << ")\n\n";
+  pnm::MinimizationFlow flow(config);
+  flow.prepare();
+  const auto& baseline = flow.baseline();
+  std::cout << "baseline: accuracy " << pnm::format_fixed(baseline.accuracy, 3)
+            << ", area " << pnm::format_fixed(baseline.area_mm2 / 100.0, 2) << " cm^2\n\n";
+
+  const auto quant = flow.sweep_quantization(2, 7);
+  const auto prune = flow.sweep_pruning();
+  const auto cluster = flow.sweep_clustering();
+  print_sweep("quantization (QAT, 2-7 bits)", quant, baseline);
+  print_sweep("unstructured pruning (20-60%)", prune, baseline);
+  print_sweep("weight clustering (Deep-Compression codebook)", cluster, baseline);
+
+  // Merge everything and show the overall standalone Pareto front.
+  std::vector<pnm::DesignPoint> all = quant;
+  all.insert(all.end(), prune.begin(), prune.end());
+  all.insert(all.end(), cluster.begin(), cluster.end());
+  const auto front = pnm::pareto_front(all);
+  std::cout << "== overall standalone pareto front ==\n";
+  pnm::TextTable table({"technique", "config", "accuracy", "norm area"});
+  for (const auto& p : front) {
+    table.add_row({p.technique, p.config, pnm::format_fixed(p.accuracy, 3),
+                   pnm::format_fixed(p.area_mm2 / baseline.area_mm2, 3)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nbest area gain at <=5% accuracy loss: "
+            << pnm::format_factor(pnm::best_area_gain_at_loss(
+                   all, baseline.accuracy, baseline.area_mm2, 0.05))
+            << '\n';
+  return EXIT_SUCCESS;
+}

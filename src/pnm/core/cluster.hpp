@@ -1,0 +1,86 @@
+#ifndef PNM_CORE_CLUSTER_HPP
+#define PNM_CORE_CLUSTER_HPP
+
+/// \file cluster.hpp
+/// \brief Weight clustering for multiplier sharing (paper §II-C, after
+///        Han et al.'s Deep Compression).
+///
+/// In a bespoke MLP every weight multiplies one specific input signal, so
+/// forcing the weights *of the same input position* (one column of a
+/// layer's weight matrix) to shared values lets all neurons consume the
+/// same physical product: a column with k clusters needs at most k
+/// multipliers no matter how many neurons the layer has.  Clustering is
+/// 1-D k-means per column (k-means++ seeding, Lloyd iterations), with the
+/// assignment kept so fine-tuning can keep cluster members tied together
+/// (gradient averaging via a Trainer projector, as in Deep Compression).
+///
+/// Zero weights are pinned to a dedicated zero cluster so clustering never
+/// resurrects pruned connections (composition with §II-B).
+
+#include <vector>
+
+#include "pnm/nn/mlp.hpp"
+#include "pnm/nn/trainer.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+
+/// Scope of weight sharing.
+enum class ClusterScope {
+  kPerColumn,  ///< k clusters per input position (the paper's §II-C)
+  kPerLayer,   ///< k clusters over the whole layer (Deep Compression style)
+};
+
+/// Cluster structure of one network (groups of weights tied to one value).
+class ClusterAssignment {
+ public:
+  /// One group of weight positions (layer-local flat indices) sharing a value.
+  struct Group {
+    std::vector<std::size_t> members;
+  };
+
+  ClusterAssignment() = default;
+  explicit ClusterAssignment(std::size_t n_layers) : groups_(n_layers) {}
+
+  [[nodiscard]] std::size_t layer_count() const { return groups_.size(); }
+  [[nodiscard]] const std::vector<Group>& layer_groups(std::size_t li) const {
+    return groups_.at(li);
+  }
+  std::vector<Group>& layer_groups(std::size_t li) { return groups_.at(li); }
+
+  /// Sets every member of every group to the group's current mean — both
+  /// the initial projection and the Deep-Compression fine-tuning step
+  /// (per-step re-centering == averaging the members' gradient updates).
+  void project(Mlp& model) const;
+
+  /// True if all members of each group currently hold identical values.
+  [[nodiscard]] bool satisfied_by(const Mlp& model) const;
+
+  /// Distinct nonzero weight values in the given layer's column c.
+  static std::size_t distinct_values_in_column(const Mlp& model, std::size_t li,
+                                               std::size_t c);
+
+ private:
+  std::vector<std::vector<Group>> groups_;  ///< per layer
+};
+
+/// Clusters the model's weights in place and returns the assignment.
+/// clusters_per_layer[li] == 0 disables clustering for that layer; values
+/// >= 1 bound the number of distinct nonzero values per column (kPerColumn)
+/// or per layer (kPerLayer).  Zero weights stay zero.
+ClusterAssignment cluster_weights(Mlp& model, const std::vector<int>& clusters_per_layer,
+                                  Rng& rng, ClusterScope scope = ClusterScope::kPerColumn);
+
+/// Trainer projector that keeps cluster members tied during fine-tuning.
+Trainer::Projector make_cluster_projector(ClusterAssignment assignment);
+
+/// 1-D k-means with k-means++ seeding; returns cluster index per value.
+/// Exposed for testing.  k must be >= 1; empty clusters are re-seeded on
+/// the farthest point.
+std::vector<int> kmeans_1d(const std::vector<double>& values, int k, Rng& rng,
+                           std::vector<double>* centroids_out = nullptr,
+                           int max_iterations = 50);
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_CLUSTER_HPP

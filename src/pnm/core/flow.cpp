@@ -1,0 +1,292 @@
+#include "pnm/core/flow.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "pnm/core/cluster.hpp"
+#include "pnm/core/prune.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/hw/proxy.hpp"
+#include "pnm/nn/metrics.hpp"
+#include "pnm/util/table.hpp"
+
+namespace pnm {
+namespace {
+
+/// FNV-1a, to derive deterministic per-genome fine-tuning seeds.
+std::uint64_t hash_string(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+MinimizationFlow::MinimizationFlow(FlowConfig config) : config_(std::move(config)) {}
+
+MinimizationFlow::MinimizationFlow(FlowConfig config, Dataset dataset)
+    : config_(std::move(config)), external_data_(std::move(dataset)) {}
+
+std::vector<std::size_t> MinimizationFlow::default_hidden(const std::string& dataset_name) {
+  // One hidden layer at printed scale (cf. the topologies of Mubarik et
+  // al., MICRO 2020, which keep bespoke MLPs to a handful of neurons).
+  if (dataset_name == "whitewine") return {8};
+  if (dataset_name == "redwine") return {6};
+  if (dataset_name == "pendigits") return {10};
+  if (dataset_name == "seeds") return {4};
+  return {6};
+}
+
+void MinimizationFlow::prepare() {
+  if (prepared_) return;
+  Dataset data = external_data_ ? *external_data_
+                                : make_named_dataset(config_.dataset_name, config_.seed);
+  data.validate();
+
+  Rng rng(config_.seed);
+  split_ = stratified_split(data, config_.train_frac, config_.val_frac,
+                            config_.test_frac, rng);
+  scale_split(split_, scaler_);
+
+  // Topology: inputs -> hidden -> classes.
+  std::vector<std::size_t> hidden =
+      config_.hidden.empty() ? default_hidden(config_.dataset_name) : config_.hidden;
+  std::vector<std::size_t> topology;
+  topology.push_back(data.n_features());
+  topology.insert(topology.end(), hidden.begin(), hidden.end());
+  topology.push_back(data.n_classes);
+
+  model_ = Mlp(topology, rng);
+  Trainer trainer(config_.train);
+  trainer.fit(model_, split_.train, rng);
+  float_test_accuracy_ = accuracy(model_, split_.test);
+  prepared_ = true;  // evaluate_genome requires this
+
+  // Baseline: the unminimized bespoke design at baseline precision.
+  Genome baseline_genome;
+  baseline_genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
+  baseline_genome.sparsity_pct.assign(model_.layer_count(), 0);
+  baseline_genome.clusters.assign(model_.layer_count(), 0);
+  baseline_ = evaluate_genome(baseline_genome, config_.finetune_epochs,
+                              /*exact_area=*/true, /*use_test_set=*/true);
+  baseline_.technique = "baseline";
+  baseline_.config = std::to_string(config_.baseline_weight_bits) + "b";
+}
+
+const DataSplit& MinimizationFlow::data() const {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  return split_;
+}
+
+const Mlp& MinimizationFlow::float_model() const {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  return model_;
+}
+
+double MinimizationFlow::float_test_accuracy() const {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  return float_test_accuracy_;
+}
+
+const DesignPoint& MinimizationFlow::baseline() const {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  return baseline_;
+}
+
+Mlp MinimizationFlow::minimize_float(const Genome& genome,
+                                     std::size_t finetune_epochs) const {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  const std::size_t n_layers = model_.layer_count();
+  if (genome.weight_bits.size() != n_layers || genome.sparsity_pct.size() != n_layers ||
+      genome.clusters.size() != n_layers ||
+      (!genome.acc_shift.empty() && genome.acc_shift.size() != n_layers)) {
+    throw std::invalid_argument("MinimizationFlow: genome arity mismatch");
+  }
+
+  Mlp candidate = model_;
+  Rng rng(config_.seed ^ hash_string(genome.key()));
+
+  // 1. Prune.
+  std::vector<double> sparsity(n_layers);
+  for (std::size_t li = 0; li < n_layers; ++li) {
+    sparsity[li] = static_cast<double>(genome.sparsity_pct[li]) / 100.0;
+  }
+  PruneMask mask = magnitude_prune_per_layer(candidate, sparsity);
+
+  // 2. Cluster (zeros pinned, so pruning survives).
+  ClusterAssignment clusters =
+      cluster_weights(candidate, genome.clusters, rng, config_.cluster_scope);
+
+  // 3. Fine-tune with all constraints live: STE quantization in the
+  //    forward pass, mask + cluster ties re-imposed after each step.
+  if (finetune_epochs > 0) {
+    TrainConfig ft = config_.train;
+    ft.epochs = finetune_epochs;
+    ft.lr = config_.train.lr * 0.3;  // gentler: we are repairing, not learning
+    Trainer trainer(ft);
+    QuantSpec spec;
+    spec.weight_bits = genome.weight_bits;
+    spec.input_bits = config_.input_bits;
+    // NOTE: the QAT view models weight quantization only; accumulator
+    // truncation is applied post-hoc by the integer model (like the paper
+    // applies its approximations after training).
+    trainer.set_weight_view(make_qat_view(spec));
+    trainer.set_projector([mask, clusters](Mlp& m) {
+      mask.apply(m);
+      clusters.project(m);
+    });
+    trainer.fit(candidate, split_.train, rng);
+    // The projector ran after each step, so both constraints hold here.
+  }
+  return candidate;
+}
+
+QuantizedMlp MinimizationFlow::realize_genome(const Genome& genome,
+                                              std::size_t finetune_epochs) {
+  const Mlp candidate = minimize_float(genome, finetune_epochs);
+  QuantSpec spec;
+  spec.weight_bits = genome.weight_bits;
+  spec.input_bits = config_.input_bits;
+  spec.acc_shift = genome.acc_shift;
+  return QuantizedMlp::from_float(candidate, spec);
+}
+
+DesignPoint MinimizationFlow::evaluate_genome(const Genome& genome,
+                                              std::size_t finetune_epochs,
+                                              bool exact_area, bool use_test_set) {
+  const QuantizedMlp qmodel = realize_genome(genome, finetune_epochs);
+
+  hw::BespokeOptions options = config_.bespoke;
+  if (config_.share_only_when_clustered) {
+    bool any_clustered = false;
+    for (int k : genome.clusters) any_clustered |= (k > 0);
+    options.share_products = any_clustered;
+  }
+
+  DesignPoint point;
+  point.technique = "ga";
+  point.config = genome.key();
+  point.accuracy = qmodel.accuracy(use_test_set ? split_.test : split_.val);
+  if (exact_area) {
+    const hw::BespokeCircuit circuit(qmodel, options);
+    point.area_mm2 = circuit.area_mm2(*tech_);
+    point.power_uw = circuit.power_uw(*tech_);
+    point.delay_ms = circuit.critical_path_ms(*tech_);
+  } else {
+    point.area_mm2 = hw::estimate_area_mm2(qmodel, *tech_, options);
+  }
+  return point;
+}
+
+std::vector<DesignPoint> MinimizationFlow::sweep_quantization(int lo_bits, int hi_bits) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  if (lo_bits < 2 || hi_bits < lo_bits) {
+    throw std::invalid_argument("sweep_quantization: bad bit range");
+  }
+  std::vector<DesignPoint> points;
+  for (int bits = lo_bits; bits <= hi_bits; ++bits) {
+    Genome genome;
+    genome.weight_bits.assign(model_.layer_count(), bits);
+    genome.sparsity_pct.assign(model_.layer_count(), 0);
+    genome.clusters.assign(model_.layer_count(), 0);
+    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
+                                    /*exact_area=*/true, /*use_test_set=*/true);
+    p.technique = "quant";
+    p.config = std::to_string(bits) + "b";
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<DesignPoint> MinimizationFlow::sweep_pruning(
+    const std::vector<double>& sparsities) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  std::vector<DesignPoint> points;
+  for (double s : sparsities) {
+    Genome genome;
+    genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
+    genome.sparsity_pct.assign(model_.layer_count(),
+                               static_cast<int>(std::llround(s * 100.0)));
+    genome.clusters.assign(model_.layer_count(), 0);
+    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
+                                    /*exact_area=*/true, /*use_test_set=*/true);
+    p.technique = "prune";
+    std::ostringstream cfg;
+    cfg << "s=" << format_fixed(s, 2);
+    p.config = cfg.str();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<DesignPoint> MinimizationFlow::sweep_clustering(
+    const std::vector<int>& cluster_counts) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  std::vector<DesignPoint> points;
+  for (int k : cluster_counts) {
+    if (k < 1) throw std::invalid_argument("sweep_clustering: cluster count must be >= 1");
+    Genome genome;
+    genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
+    genome.sparsity_pct.assign(model_.layer_count(), 0);
+    genome.clusters.assign(model_.layer_count(), k);
+    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
+                                    /*exact_area=*/true, /*use_test_set=*/true);
+    p.technique = "cluster";
+    p.config = "k=" + std::to_string(k);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<DesignPoint> MinimizationFlow::sweep_truncation(
+    const std::vector<int>& shifts) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  std::vector<DesignPoint> points;
+  for (int s : shifts) {
+    if (s < 0) throw std::invalid_argument("sweep_truncation: negative shift");
+    Genome genome;
+    genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
+    genome.sparsity_pct.assign(model_.layer_count(), 0);
+    genome.clusters.assign(model_.layer_count(), 0);
+    genome.acc_shift.assign(model_.layer_count(), s);
+    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
+                                    /*exact_area=*/true, /*use_test_set=*/true);
+    p.technique = "truncate";
+    p.config = "t=" + std::to_string(s);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+MinimizationFlow::GaOutcome MinimizationFlow::run_combined_ga(
+    const GaConfig& ga, std::size_t ga_finetune_epochs, bool exact_area_fitness) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  Rng rng(config_.seed + 0x9A);
+
+  const GenomeEvaluator evaluator = [this, ga_finetune_epochs,
+                                     exact_area_fitness](const Genome& genome) {
+    const DesignPoint p = evaluate_genome(genome, ga_finetune_epochs,
+                                          exact_area_fitness, /*use_test_set=*/false);
+    return GenomeFitness{p.accuracy, p.area_mm2};
+  };
+
+  GaOutcome outcome;
+  outcome.raw = nsga2_search(ga, model_.layer_count(), evaluator, rng);
+
+  // Re-evaluate the front with exact netlist areas and test accuracy.
+  for (const auto& member : outcome.raw.front) {
+    DesignPoint p = evaluate_genome(member.genome, config_.finetune_epochs,
+                                    /*exact_area=*/true, /*use_test_set=*/true);
+    p.technique = "ga";
+    outcome.front.push_back(std::move(p));
+  }
+  outcome.front = pareto_front(std::move(outcome.front));
+  return outcome;
+}
+
+}  // namespace pnm

@@ -1,0 +1,165 @@
+#ifndef PNM_CORE_FLOW_HPP
+#define PNM_CORE_FLOW_HPP
+
+/// \file flow.hpp
+/// \brief End-to-end minimization flows: the library's main entry point
+///        and the engine behind every figure of the paper.
+///
+/// A MinimizationFlow owns one classification task: it synthesizes (or
+/// accepts) the dataset, trains the float MLP, establishes the
+/// unminimized bespoke baseline (Mubarik-style, 8-bit weights), and then
+/// produces DesignPoints for
+///   * the standalone quantization / pruning / clustering sweeps (Fig. 1),
+///   * the combined hardware-aware GA search (Fig. 2).
+/// Every candidate goes through the same pipeline:
+///   prune -> cluster -> fine-tune (masked, tied, QAT/STE) -> integer
+///   model -> bespoke area (exact netlist or fast proxy) + accuracy.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pnm/core/cluster.hpp"
+#include "pnm/core/ga.hpp"
+#include "pnm/core/pareto.hpp"
+#include "pnm/core/qmlp.hpp"
+#include "pnm/data/dataset.hpp"
+#include "pnm/data/scaler.hpp"
+#include "pnm/hw/bespoke.hpp"
+#include "pnm/hw/tech.hpp"
+#include "pnm/nn/mlp.hpp"
+#include "pnm/nn/trainer.hpp"
+
+namespace pnm {
+
+/// Configuration of one end-to-end flow.
+struct FlowConfig {
+  /// One of "whitewine", "redwine", "pendigits", "seeds" — or anything if
+  /// `dataset` is supplied explicitly.
+  std::string dataset_name = "seeds";
+  std::uint64_t seed = 42;
+
+  /// Hidden-layer widths; empty selects the per-dataset printed-scale
+  /// default (see default_hidden()).
+  std::vector<std::size_t> hidden;
+
+  int input_bits = 4;            ///< sensor word width (printed ADC scale)
+  int baseline_weight_bits = 8;  ///< the unminimized baseline's precision
+
+  TrainConfig train{};              ///< baseline training
+  std::size_t finetune_epochs = 8;  ///< per-technique fine-tuning budget
+
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+  double test_frac = 0.2;
+
+  hw::BespokeOptions bespoke{};  ///< options for exact-area generation
+
+  /// Paper-faithful sharing policy (§II-C): bespoke RTL generators emit
+  /// one constant multiplier per connection, and logic synthesis does not
+  /// merge distinct arithmetic operators — *clustering* is what enables
+  /// multiplier sharing.  When true (default), circuits are generated
+  /// with cross-neuron product sharing only for designs whose genome
+  /// actually clusters at least one layer; baseline/quantization/pruning
+  /// designs use the per-connection datapath of the baseline [1].  Set to
+  /// false to force config.bespoke.share_products for every design
+  /// (an idealized synthesis with global resource sharing).
+  bool share_only_when_clustered = true;
+
+  /// Weight-sharing scope.  kPerLayer is Deep Compression's codebook (the
+  /// paper's [5]): k distinct values per layer, which bounds every input
+  /// column by k as well — the strongest multiplier sharing and the
+  /// accuracy behaviour the paper reports (clustering meets the 5%
+  /// threshold only on the wines).  kPerColumn is the gentler variant.
+  ClusterScope cluster_scope = ClusterScope::kPerLayer;
+};
+
+/// End-to-end minimization flow for one dataset.
+class MinimizationFlow {
+ public:
+  /// Uses the named synthetic dataset (DESIGN.md §4).
+  explicit MinimizationFlow(FlowConfig config);
+
+  /// Uses caller-provided data (e.g. real UCI CSVs) instead.
+  MinimizationFlow(FlowConfig config, Dataset dataset);
+
+  /// Generates/splits/scales data, trains the float model, and evaluates
+  /// the baseline design.  Must be called once before anything else.
+  void prepare();
+
+  [[nodiscard]] bool prepared() const { return prepared_; }
+  [[nodiscard]] const FlowConfig& config() const { return config_; }
+  [[nodiscard]] const DataSplit& data() const;
+  [[nodiscard]] const Mlp& float_model() const;
+  [[nodiscard]] double float_test_accuracy() const;
+  /// The unminimized bespoke design (technique "baseline").
+  [[nodiscard]] const DesignPoint& baseline() const;
+  [[nodiscard]] const hw::TechLibrary& tech() const { return *tech_; }
+
+  // ---- Figure 1: standalone sweeps --------------------------------------
+
+  /// QAT sweep over weight bit-widths [lo_bits, hi_bits] (paper: 2..7).
+  std::vector<DesignPoint> sweep_quantization(int lo_bits = 2, int hi_bits = 7);
+
+  /// Pruning sweep over sparsity fractions (paper: 0.2..0.6).
+  std::vector<DesignPoint> sweep_pruning(
+      const std::vector<double>& sparsities = {0.2, 0.3, 0.4, 0.5, 0.6});
+
+  /// Column-wise weight clustering sweep over cluster counts.
+  std::vector<DesignPoint> sweep_clustering(
+      const std::vector<int>& cluster_counts = {2, 3, 4, 6, 8});
+
+  /// Extension: precision-scaled accumulation sweep (product-LSB
+  /// truncation at baseline weight precision; see QuantSpec::acc_shift).
+  std::vector<DesignPoint> sweep_truncation(
+      const std::vector<int>& shifts = {1, 2, 3, 4, 5});
+
+  // ---- Figure 2: combined hardware-aware GA ------------------------------
+
+  struct GaOutcome {
+    GaResult raw;                    ///< genomes + proxy fitness
+    std::vector<DesignPoint> front;  ///< exact-netlist re-evaluated front
+  };
+
+  /// NSGA-II over per-layer {bits, sparsity, clusters}.  The GA inner loop
+  /// uses the analytic area proxy (or, with exact_area_fitness, the full
+  /// netlist — ~65x slower per candidate) and the validation split; the
+  /// returned front is always re-evaluated with exact netlist areas and
+  /// test accuracy.
+  GaOutcome run_combined_ga(const GaConfig& ga = {}, std::size_t ga_finetune_epochs = 2,
+                            bool exact_area_fitness = false);
+
+  // ---- Shared evaluation pipeline ---------------------------------------
+
+  /// Runs the full minimization pipeline for one genome.  use_test_set
+  /// selects the reporting split (GA fitness uses validation).  exact_area
+  /// builds the real netlist (and fills power/delay); otherwise the proxy
+  /// estimate is used.
+  DesignPoint evaluate_genome(const Genome& genome, std::size_t finetune_epochs,
+                              bool exact_area, bool use_test_set);
+
+  /// The minimized integer model for a genome (for circuit export etc.).
+  QuantizedMlp realize_genome(const Genome& genome, std::size_t finetune_epochs);
+
+  /// Printed-scale default hidden widths for the four paper datasets.
+  static std::vector<std::size_t> default_hidden(const std::string& dataset_name);
+
+ private:
+  Mlp minimize_float(const Genome& genome, std::size_t finetune_epochs) const;
+
+  FlowConfig config_;
+  std::optional<Dataset> external_data_;
+  const hw::TechLibrary* tech_ = &hw::TechLibrary::egt();
+
+  bool prepared_ = false;
+  DataSplit split_;
+  MinMaxScaler scaler_;
+  Mlp model_;
+  double float_test_accuracy_ = 0.0;
+  DesignPoint baseline_;
+};
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_FLOW_HPP

@@ -1,0 +1,75 @@
+#include "pnm/core/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnm {
+
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  const bool no_worse = a.accuracy >= b.accuracy && a.area_mm2 <= b.area_mm2;
+  const bool better = a.accuracy > b.accuracy || a.area_mm2 < b.area_mm2;
+  return no_worse && better;
+}
+
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points) {
+  std::vector<DesignPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Keep one representative per objective pair.
+    const bool duplicate =
+        std::any_of(front.begin(), front.end(), [&](const DesignPoint& p) {
+          return p.accuracy == candidate.accuracy && p.area_mm2 == candidate.area_mm2;
+        });
+    if (!duplicate) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(), [](const DesignPoint& a, const DesignPoint& b) {
+    return a.area_mm2 < b.area_mm2;
+  });
+  return front;
+}
+
+double best_area_gain_at_loss(const std::vector<DesignPoint>& points,
+                              double baseline_accuracy, double baseline_area_mm2,
+                              double max_loss) {
+  if (baseline_area_mm2 <= 0.0) {
+    throw std::invalid_argument("best_area_gain_at_loss: bad baseline area");
+  }
+  double best = 1.0;
+  for (const auto& p : points) {
+    if (p.accuracy + max_loss >= baseline_accuracy && p.area_mm2 > 0.0) {
+      best = std::max(best, baseline_area_mm2 / p.area_mm2);
+    }
+  }
+  return best;
+}
+
+double hypervolume(const std::vector<DesignPoint>& points, double ref_accuracy,
+                   double ref_area_mm2) {
+  auto front = pareto_front(points);
+  // Clip to points actually dominating the reference.
+  std::erase_if(front, [&](const DesignPoint& p) {
+    return p.accuracy <= ref_accuracy || p.area_mm2 >= ref_area_mm2;
+  });
+  // front is sorted by ascending area; accuracy is then non-decreasing? No:
+  // on a Pareto front sorted by ascending area, accuracy ascends too (a
+  // larger-area point must be more accurate or it would be dominated).
+  double volume = 0.0;
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    // Sweep from low area to high: each point contributes
+    // (acc_i - ref_acc) * (next_area - area_i), where next_area is the
+    // following point's area or the reference.
+    const double next_area =
+        (i + 1 < front.size()) ? front[i + 1].area_mm2 : ref_area_mm2;
+    volume += (front[i].accuracy - ref_accuracy) * (next_area - front[i].area_mm2);
+  }
+  return volume;
+}
+
+}  // namespace pnm

@@ -1,0 +1,52 @@
+#ifndef PNM_CORE_PARETO_HPP
+#define PNM_CORE_PARETO_HPP
+
+/// \file pareto.hpp
+/// \brief Accuracy/area design points and Pareto-front tooling for the
+///        paper's figures.
+///
+/// Every experiment produces DesignPoints (a minimized classifier plus its
+/// measured accuracy and bespoke area).  Figures 1 and 2 plot the
+/// non-dominated subset normalized to the unminimized baseline; the
+/// headline numbers are "largest area reduction subject to <= X% accuracy
+/// loss" queries on those fronts.
+
+#include <string>
+#include <vector>
+
+namespace pnm {
+
+/// One evaluated hardware design.
+struct DesignPoint {
+  std::string technique;  ///< "baseline", "quant", "prune", "cluster", "ga"
+  std::string config;     ///< human-readable parameters, e.g. "4b" or "s=0.4"
+  double accuracy = 0.0;  ///< test accuracy in [0, 1]
+  double area_mm2 = 0.0;  ///< exact bespoke netlist area
+  double power_uw = 0.0;
+  double delay_ms = 0.0;
+};
+
+/// True if a is at least as good as b in both objectives (accuracy up,
+/// area down) and strictly better in at least one.
+bool dominates(const DesignPoint& a, const DesignPoint& b);
+
+/// Non-dominated subset, sorted by ascending area.  Duplicate-objective
+/// points are kept once.
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points);
+
+/// Largest baseline_area/area over points with accuracy >=
+/// baseline_accuracy - max_loss; returns 1.0 if no point qualifies (the
+/// baseline itself always does in a well-formed sweep).
+double best_area_gain_at_loss(const std::vector<DesignPoint>& points,
+                              double baseline_accuracy, double baseline_area_mm2,
+                              double max_loss);
+
+/// 2-D hypervolume of the front w.r.t. a reference point (ref_accuracy
+/// below all points, ref_area above all points), in (accuracy x
+/// normalized-area) units; used to compare fronts in tests/benches.
+double hypervolume(const std::vector<DesignPoint>& points, double ref_accuracy,
+                   double ref_area_mm2);
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_PARETO_HPP

@@ -1,0 +1,191 @@
+#include "pnm/core/qmlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "pnm/util/bits.hpp"
+
+namespace pnm {
+
+QuantizedMlp QuantizedMlp::from_float(const Mlp& model, const QuantSpec& spec) {
+  spec.validate(model.layer_count());
+  if (model.layer_count() == 0) throw std::invalid_argument("QuantizedMlp: empty model");
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    if (!hardware_lowerable(model.layer(li).act)) {
+      throw std::invalid_argument("QuantizedMlp: activation not lowerable: " +
+                                  activation_name(model.layer(li).act));
+    }
+  }
+
+  QuantizedMlp q;
+  q.input_bits_ = spec.input_bits;
+  // Activation scale entering layer 0: inputs in [0,1] are coded on
+  // [0, 2^u - 1], so x ~= code * act_scale.
+  double act_scale = 1.0 / static_cast<double>((1 << spec.input_bits) - 1);
+
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    const auto& layer = model.layer(li);
+    QuantizedLayer ql;
+    ql.weight_bits = spec.weight_bits[li];
+    ql.acc_shift = spec.acc_shift.empty() ? 0 : spec.acc_shift[li];
+    ql.act = layer.act;
+    ql.weight_scale = quantization_scale(layer.weights, ql.weight_bits);
+    const auto codes = quantize_codes(layer.weights, ql.weight_bits, ql.weight_scale);
+
+    const std::size_t out_f = layer.out_features();
+    const std::size_t in_f = layer.in_features();
+    ql.w.assign(out_f, std::vector<int>(in_f, 0));
+    for (std::size_t r = 0; r < out_f; ++r) {
+      for (std::size_t c = 0; c < in_f; ++c) ql.w[r][c] = codes[r * in_f + c];
+    }
+
+    // Accumulator unit = weight_scale * act_scale; fold the float bias in.
+    const double acc_scale =
+        ql.weight_scale > 0.0 ? ql.weight_scale * act_scale : 0.0;
+    ql.bias.assign(out_f, 0);
+    for (std::size_t r = 0; r < out_f; ++r) {
+      ql.bias[r] = acc_scale > 0.0
+                       ? static_cast<std::int64_t>(std::llround(layer.bias[r] / acc_scale))
+                       : 0;
+    }
+
+    // Truncation rescales the layer's integer outputs by 2^-shift.
+    act_scale = (acc_scale > 0.0 ? acc_scale : act_scale) *
+                static_cast<double>(std::int64_t{1} << ql.acc_shift);
+    q.layers_.push_back(std::move(ql));
+  }
+  return q;
+}
+
+std::size_t QuantizedMlp::input_size() const {
+  return layers_.empty() ? 0 : layers_.front().in_features();
+}
+
+std::size_t QuantizedMlp::output_size() const {
+  return layers_.empty() ? 0 : layers_.back().out_features();
+}
+
+std::vector<std::int64_t> QuantizedMlp::forward(const std::vector<std::int64_t>& xq) const {
+  if (layers_.empty()) throw std::logic_error("QuantizedMlp::forward: empty model");
+  if (xq.size() != input_size()) {
+    throw std::invalid_argument("QuantizedMlp::forward: bad input size");
+  }
+  std::vector<std::int64_t> cur = xq;
+  std::vector<std::int64_t> next;
+  for (const auto& l : layers_) {
+    const int s = l.acc_shift;
+    next.assign(l.out_features(), 0);
+    for (std::size_t r = 0; r < l.out_features(); ++r) {
+      std::int64_t acc = l.bias[r] >> s;  // arithmetic shift: floor
+      const auto& row = l.w[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c] == 0) continue;
+        // Magnitude-truncate, then apply the sign (matches the bespoke
+        // datapath, which drops product LSBs before the add/sub row).
+        const std::int64_t mag =
+            (std::llabs(static_cast<long long>(row[c])) * cur[c]) >> s;
+        acc += row[c] > 0 ? mag : -mag;
+      }
+      if (l.act == Activation::kRelu && acc < 0) acc = 0;
+      next[r] = acc;
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::size_t QuantizedMlp::predict_quantized(const std::vector<std::int64_t>& xq) const {
+  const auto out = forward(xq);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i] > out[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t QuantizedMlp::predict(const std::vector<double>& x) const {
+  return predict_quantized(quantize_input(x, input_bits_));
+}
+
+double QuantizedMlp::accuracy(const Dataset& data) const {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("QuantizedMlp::accuracy: empty data");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.x[i]) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<std::vector<ValueRange>> QuantizedMlp::neuron_preact_ranges() const {
+  std::vector<std::vector<ValueRange>> ranges(layers_.size());
+  // Per-input ranges entering the current layer.
+  std::vector<ValueRange> in_ranges(input_size());
+  const std::int64_t xmax = unsigned_max(input_bits_);
+  for (auto& r : in_ranges) r = ValueRange{0, xmax};
+
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& l = layers_[li];
+    const int s = l.acc_shift;
+    ranges[li].resize(l.out_features());
+    std::vector<ValueRange> out_ranges(l.out_features());
+    for (std::size_t r = 0; r < l.out_features(); ++r) {
+      std::int64_t lo = l.bias[r] >> s;
+      std::int64_t hi = l.bias[r] >> s;
+      for (std::size_t c = 0; c < l.in_features(); ++c) {
+        const std::int64_t w = l.w[r][c];
+        if (w == 0) continue;
+        // Truncated-magnitude term range (monotone in x, so exact).
+        const std::int64_t mag = std::llabs(static_cast<long long>(w));
+        const std::int64_t t_lo = (mag * in_ranges[c].lo) >> s;
+        const std::int64_t t_hi = (mag * in_ranges[c].hi) >> s;
+        if (w > 0) {
+          lo += t_lo;
+          hi += t_hi;
+        } else {
+          lo += -t_hi;
+          hi += -t_lo;
+        }
+      }
+      ranges[li][r] = ValueRange{lo, hi};
+      if (l.act == Activation::kRelu) {
+        out_ranges[r] = ValueRange{std::max<std::int64_t>(0, lo), std::max<std::int64_t>(0, hi)};
+      } else {
+        out_ranges[r] = ranges[li][r];
+      }
+    }
+    in_ranges = std::move(out_ranges);
+  }
+  return ranges;
+}
+
+std::size_t QuantizedMlp::nonzero_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    for (const auto& row : l.w) {
+      for (int w : row) n += (w != 0) ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::vector<std::size_t> QuantizedMlp::shared_multiplier_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    std::set<std::pair<std::size_t, std::int64_t>> distinct;
+    for (const auto& row : l.w) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        const std::int64_t mag = std::llabs(static_cast<long long>(row[c]));
+        if (mag == 0 || is_pow2_or_zero(mag)) continue;  // wiring only
+        distinct.emplace(c, mag);
+      }
+    }
+    counts.push_back(distinct.size());
+  }
+  return counts;
+}
+
+}  // namespace pnm

@@ -1,0 +1,104 @@
+#ifndef PNM_CORE_QMLP_HPP
+#define PNM_CORE_QMLP_HPP
+
+/// \file qmlp.hpp
+/// \brief Integer ("golden model") inference of a quantized MLP — the exact
+///        arithmetic the bespoke printed circuit implements.
+///
+/// The key observation that makes bespoke integer circuits equal to the
+/// fake-quantized float model (DESIGN.md §5): ReLU commutes with positive
+/// scaling and argmax is invariant to a shared positive scale, so with one
+/// weight scale per layer the per-layer activation scale factors out
+/// entirely — provided the bias is rescaled into the layer's accumulator
+/// unit (bias_code = round(bias / (weight_scale * input_scale))).  This
+/// class carries the integer weights/biases and performs pure int64
+/// inference; pnm::hw lowers it gate-by-gate and tests verify bit-exact
+/// agreement between the two.
+
+#include <cstdint>
+#include <vector>
+
+#include "pnm/core/quantize.hpp"
+#include "pnm/data/dataset.hpp"
+#include "pnm/nn/mlp.hpp"
+
+namespace pnm {
+
+/// Inclusive integer interval; used for exact datapath sizing.
+struct ValueRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+/// One integer layer: y = act((bias >> s) + sum sign(w)*((|w| x) >> s)),
+/// where s = acc_shift (0 = exact MAC, y = act(Wq x + bq)).
+struct QuantizedLayer {
+  std::vector<std::vector<int>> w;  ///< [out][in] signed codes, |w| < 2^(bits-1)
+  std::vector<std::int64_t> bias;   ///< accumulator-unit bias codes (un-shifted)
+  int weight_bits = 8;
+  /// Product/bias truncation before accumulation (QuantSpec::acc_shift).
+  /// The shift applies to the product *magnitude* (then the sign), exactly
+  /// as the bespoke datapath drops product LSBs before the add/sub rows.
+  int acc_shift = 0;
+  Activation act = Activation::kIdentity;
+  double weight_scale = 0.0;  ///< codes * scale ~= float weights
+
+  [[nodiscard]] std::size_t out_features() const { return w.size(); }
+  [[nodiscard]] std::size_t in_features() const { return w.empty() ? 0 : w.front().size(); }
+};
+
+/// Integer MLP: the bit-exact software twin of the bespoke circuit.
+class QuantizedMlp {
+ public:
+  QuantizedMlp() = default;
+
+  /// Quantizes a trained float model per the spec.  Inputs are assumed
+  /// min-max scaled to [0, 1] (see MinMaxScaler); hidden activations must
+  /// be ReLU and the output layer identity, or lowering is impossible.
+  static QuantizedMlp from_float(const Mlp& model, const QuantSpec& spec);
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const QuantizedLayer& layer(std::size_t i) const { return layers_.at(i); }
+  [[nodiscard]] const std::vector<QuantizedLayer>& layers() const { return layers_; }
+  [[nodiscard]] int input_bits() const { return input_bits_; }
+  [[nodiscard]] std::size_t input_size() const;
+  [[nodiscard]] std::size_t output_size() const;
+
+  /// Integer forward pass on already-quantized inputs; returns the output
+  /// layer's accumulator values.
+  [[nodiscard]] std::vector<std::int64_t> forward(const std::vector<std::int64_t>& xq) const;
+
+  /// Predicted class from quantized inputs (argmax, lowest index on ties —
+  /// identical tie-break to the hardware comparator tree).
+  [[nodiscard]] std::size_t predict_quantized(const std::vector<std::int64_t>& xq) const;
+
+  /// Quantizes a [0,1] float sample and predicts.
+  [[nodiscard]] std::size_t predict(const std::vector<double>& x) const;
+
+  /// Test-set accuracy of the integer model.
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  /// Exact pre-activation range of every neuron, per layer, derived from
+  /// the hard-wired weights and the (per-neuron) input ranges — what the
+  /// hardware generator uses to size each adder/accumulator.
+  /// Element [li][n] is the range of layer li, neuron n, before activation.
+  [[nodiscard]] std::vector<std::vector<ValueRange>> neuron_preact_ranges() const;
+
+  /// Total / per-layer count of nonzero weight codes (pruned connections
+  /// have no multiplier in the circuit).
+  [[nodiscard]] std::size_t nonzero_weights() const;
+
+  /// Distinct (input column, |code|>1) products per layer — the number of
+  /// physical constant multipliers after cross-neuron sharing; |code| of 0
+  /// or a power of two costs no multiplier (wiring only).  This is the
+  /// quantity weight clustering minimizes (§II-C).
+  [[nodiscard]] std::vector<std::size_t> shared_multiplier_counts() const;
+
+ private:
+  std::vector<QuantizedLayer> layers_;
+  int input_bits_ = 4;
+};
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_QMLP_HPP

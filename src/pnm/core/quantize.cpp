@@ -1,0 +1,96 @@
+#include "pnm/core/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pnm/util/bits.hpp"
+
+namespace pnm {
+
+QuantSpec QuantSpec::uniform(std::size_t n_layers, int bits, int input_bits) {
+  QuantSpec spec;
+  spec.weight_bits.assign(n_layers, bits);
+  spec.input_bits = input_bits;
+  spec.validate(n_layers);
+  return spec;
+}
+
+void QuantSpec::validate(std::size_t n_layers) const {
+  if (weight_bits.size() != n_layers) {
+    throw std::invalid_argument("QuantSpec: weight_bits size != layer count");
+  }
+  for (int b : weight_bits) {
+    if (b < 2 || b > 16) throw std::invalid_argument("QuantSpec: weight bits out of [2,16]");
+  }
+  if (input_bits < 1 || input_bits > 16) {
+    throw std::invalid_argument("QuantSpec: input bits out of [1,16]");
+  }
+  if (!acc_shift.empty() && acc_shift.size() != n_layers) {
+    throw std::invalid_argument("QuantSpec: acc_shift size != layer count");
+  }
+  for (int s : acc_shift) {
+    if (s < 0 || s > 12) throw std::invalid_argument("QuantSpec: acc_shift out of [0,12]");
+  }
+}
+
+double quantization_scale(const Matrix& w, int bits) {
+  if (bits < 2 || bits > 16) throw std::invalid_argument("quantization_scale: bad bits");
+  const double amax = w.abs_max();
+  if (amax == 0.0) return 0.0;
+  const double qmax = static_cast<double>((1 << (bits - 1)) - 1);
+  return amax / qmax;
+}
+
+std::vector<int> quantize_codes(const Matrix& w, int bits, double scale) {
+  const int qmax = (1 << (bits - 1)) - 1;
+  std::vector<int> codes(w.size(), 0);
+  if (scale == 0.0) return codes;
+  const auto& raw = w.raw();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const auto q = static_cast<long>(std::llround(raw[i] / scale));
+    codes[i] = static_cast<int>(std::clamp<long>(q, -qmax, qmax));
+  }
+  return codes;
+}
+
+Matrix fake_quantize(const Matrix& w, int bits) {
+  const double scale = quantization_scale(w, bits);
+  Matrix out(w.rows(), w.cols());
+  if (scale == 0.0) return out;
+  const auto codes = quantize_codes(w, bits, scale);
+  for (std::size_t i = 0; i < codes.size(); ++i) out.raw()[i] = codes[i] * scale;
+  return out;
+}
+
+void fake_quantize_mlp(const Mlp& master, Mlp& view, const QuantSpec& spec) {
+  spec.validate(master.layer_count());
+  if (view.layer_count() != master.layer_count()) {
+    throw std::invalid_argument("fake_quantize_mlp: view/master mismatch");
+  }
+  for (std::size_t li = 0; li < master.layer_count(); ++li) {
+    view.layer(li).weights = fake_quantize(master.layer(li).weights, spec.weight_bits[li]);
+    view.layer(li).bias = master.layer(li).bias;  // biases stay float during QAT
+  }
+}
+
+Trainer::WeightView make_qat_view(QuantSpec spec) {
+  return [spec = std::move(spec)](const Mlp& master, Mlp& view) {
+    fake_quantize_mlp(master, view, spec);
+  };
+}
+
+std::vector<std::int64_t> quantize_input(const std::vector<double>& x, int input_bits) {
+  if (input_bits < 1 || input_bits > 16) {
+    throw std::invalid_argument("quantize_input: bad input bits");
+  }
+  const double qmax = static_cast<double>((1 << input_bits) - 1);
+  std::vector<std::int64_t> q(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double clamped = std::clamp(x[i], 0.0, 1.0);
+    q[i] = static_cast<std::int64_t>(std::llround(clamped * qmax));
+  }
+  return q;
+}
+
+}  // namespace pnm

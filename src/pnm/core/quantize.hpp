@@ -1,0 +1,72 @@
+#ifndef PNM_CORE_QUANTIZE_HPP
+#define PNM_CORE_QUANTIZE_HPP
+
+/// \file quantize.hpp
+/// \brief Symmetric uniform weight quantization and quantization-aware
+///        training (the paper's §II-A, QKeras role).
+///
+/// Weights are quantized per layer to signed integers of b bits with a
+/// shared positive scale:
+///     scale = max|w| / (2^(b-1) - 1)
+///     q     = clamp(round(w / scale), -(2^(b-1)-1), 2^(b-1)-1)
+/// The symmetric range (no -2^(b-1)) keeps |q| <= 2^(b-1)-1, which both
+/// QKeras' quantized_bits and bespoke-multiplier sizing assume.  Two
+/// properties matter for composing with the other techniques and are unit
+/// tested: zero maps to zero (pruning survives quantization) and equal
+/// values map to equal codes (clustering survives quantization).
+///
+/// QAT uses the straight-through estimator: the forward/backward pass sees
+/// the fake-quantized weights while updates land on float shadow weights —
+/// expressed with Trainer's weight-view hook.
+
+#include <vector>
+
+#include "pnm/nn/mlp.hpp"
+#include "pnm/nn/trainer.hpp"
+
+namespace pnm {
+
+/// Per-network quantization spec: weight bits per layer + input bits,
+/// plus (optionally) precision-scaled accumulation.
+struct QuantSpec {
+  std::vector<int> weight_bits;  ///< one entry per layer, each in [2, 16]
+  int input_bits = 4;            ///< unsigned input precision (sensor word)
+
+  /// Accumulator truncation per layer (extension; empty = exact).  Each
+  /// product magnitude and the bias code are floor-shifted right by this
+  /// many bits before the neuron's adder chain:
+  ///     term = sign(w) * ((|w| * x) >> s),   acc = (bias >> s) + sum terms
+  /// which narrows every accumulate-stage adder by s bits — an
+  /// approximate-computing knob attacking the stage that dominates
+  /// bespoke area (cf. the paper's Index Terms and Armeniakos et al.,
+  /// DATE 2022).  Entries in [0, 12].
+  std::vector<int> acc_shift;
+
+  /// Same bit-width for every layer (exact accumulation).
+  static QuantSpec uniform(std::size_t n_layers, int bits, int input_bits = 4);
+
+  void validate(std::size_t n_layers) const;
+};
+
+/// Scale for one weight matrix at the given bit-width (0 if all-zero).
+double quantization_scale(const Matrix& w, int bits);
+
+/// Integer codes of one weight matrix (row-major, same layout as Matrix).
+std::vector<int> quantize_codes(const Matrix& w, int bits, double scale);
+
+/// Fake quantization: returns codes * scale (what the QAT forward sees).
+Matrix fake_quantize(const Matrix& w, int bits);
+
+/// Applies fake quantization to every layer of `view` per the spec.
+void fake_quantize_mlp(const Mlp& master, Mlp& view, const QuantSpec& spec);
+
+/// Trainer weight-view implementing STE QAT for the given spec.
+Trainer::WeightView make_qat_view(QuantSpec spec);
+
+/// Quantizes a [0,1]-scaled sample to unsigned input codes in
+/// [0, 2^input_bits - 1] (round-to-nearest).
+std::vector<std::int64_t> quantize_input(const std::vector<double>& x, int input_bits);
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_QUANTIZE_HPP

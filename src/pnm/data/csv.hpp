@@ -1,0 +1,44 @@
+#ifndef PNM_DATA_CSV_HPP
+#define PNM_DATA_CSV_HPP
+
+/// \file csv.hpp
+/// \brief CSV import/export so the real UCI files can replace the synthetic
+///        analogs without code changes (drop-in per DESIGN.md §4).
+///
+/// Format: one sample per line, numeric feature columns followed by the
+/// label in the last column.  Labels may be arbitrary integers (e.g. wine
+/// quality 3..9); they are densely re-indexed to [0, n_classes) and the
+/// mapping is returned so reports can show the original values.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "pnm/data/dataset.hpp"
+
+namespace pnm {
+
+/// Result of a CSV load: the dataset plus original-label mapping.
+struct CsvLoadResult {
+  Dataset data;
+  /// dense class id -> original label value in the file.
+  std::vector<long> label_values;
+};
+
+/// Parses CSV from a stream. `delimiter` is typically ',' or ';' (UCI wine
+/// files use ';').  Lines starting with '#' and a single optional header
+/// line (detected by non-numeric first field) are skipped.
+/// Throws std::runtime_error on malformed rows.
+CsvLoadResult load_csv(std::istream& in, char delimiter = ',',
+                       const std::string& name = "csv");
+
+/// Convenience overload reading from a file path.
+CsvLoadResult load_csv_file(const std::string& path, char delimiter = ',');
+
+/// Writes a dataset back out (dense labels), mainly for exporting the
+/// synthetic analogs for inspection or reuse by other tools.
+void save_csv(const Dataset& data, std::ostream& out, char delimiter = ',');
+
+}  // namespace pnm
+
+#endif  // PNM_DATA_CSV_HPP

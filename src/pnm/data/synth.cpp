@@ -1,0 +1,202 @@
+#include "pnm/data/synth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pnm {
+namespace {
+
+/// Draws a unit vector roughly uniform on the sphere.
+std::vector<double> random_direction(std::size_t dim, Rng& rng) {
+  std::vector<double> v(dim);
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (auto& e : v) {
+      e = rng.normal();
+      norm2 += e * e;
+    }
+  } while (norm2 < 1e-12);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& e : v) e *= inv;
+  return v;
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SynthConfig& cfg, Rng& rng) {
+  if (cfg.n_classes < 2) throw std::invalid_argument("make_synthetic: need >= 2 classes");
+  if (cfg.n_features == 0) throw std::invalid_argument("make_synthetic: need features");
+  if (cfg.clusters_per_class == 0) {
+    throw std::invalid_argument("make_synthetic: clusters_per_class must be >= 1");
+  }
+  if (!cfg.class_weights.empty() && cfg.class_weights.size() != cfg.n_classes) {
+    throw std::invalid_argument("make_synthetic: class_weights size mismatch");
+  }
+
+  // --- class means -------------------------------------------------------
+  // Ordinal: means advance along a latent direction with per-class jitter,
+  // so class c and c+1 overlap most — mimicking wine-quality confusion.
+  // Nominal: independent random means at radius ~separation.
+  const double sigma = 1.0;  // feature noise; separation is relative to it
+  std::vector<std::vector<std::vector<double>>> means(cfg.n_classes);
+  const auto axis = random_direction(cfg.n_features, rng);
+  for (std::size_t c = 0; c < cfg.n_classes; ++c) {
+    means[c].resize(cfg.clusters_per_class);
+    for (std::size_t k = 0; k < cfg.clusters_per_class; ++k) {
+      auto& mu = means[c][k];
+      mu.assign(cfg.n_features, 0.0);
+      if (cfg.ordinal) {
+        const double pos = cfg.class_separation * static_cast<double>(c);
+        for (std::size_t f = 0; f < cfg.n_features; ++f) {
+          mu[f] = axis[f] * pos + 0.35 * cfg.class_separation * rng.normal();
+        }
+      } else {
+        const auto dir = random_direction(cfg.n_features, rng);
+        // Random center at radius separation, plus sub-cluster spread.
+        for (std::size_t f = 0; f < cfg.n_features; ++f) {
+          mu[f] = dir[f] * cfg.class_separation * std::sqrt(static_cast<double>(cfg.n_features)) +
+                  0.6 * cfg.class_separation * rng.normal();
+        }
+      }
+    }
+  }
+
+  // --- per-class sampling budget -----------------------------------------
+  std::vector<double> w = cfg.class_weights;
+  if (w.empty()) w.assign(cfg.n_classes, 1.0);
+  double w_sum = 0.0;
+  for (double e : w) {
+    if (e < 0.0) throw std::invalid_argument("make_synthetic: negative class weight");
+    w_sum += e;
+  }
+  if (w_sum <= 0.0) throw std::invalid_argument("make_synthetic: zero class weights");
+
+  std::vector<std::size_t> counts(cfg.n_classes, 0);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < cfg.n_classes; ++c) {
+    counts[c] = static_cast<std::size_t>(std::floor(cfg.n_samples * w[c] / w_sum));
+    counts[c] = std::max<std::size_t>(counts[c], 2);  // every class present
+    assigned += counts[c];
+  }
+  while (assigned < cfg.n_samples) {  // distribute the rounding remainder
+    counts[assigned % cfg.n_classes]++;
+    ++assigned;
+  }
+
+  // --- draw samples --------------------------------------------------------
+  Dataset data;
+  data.name = cfg.name;
+  data.n_classes = cfg.n_classes;
+  for (std::size_t c = 0; c < cfg.n_classes; ++c) {
+    for (std::size_t i = 0; i < counts[c]; ++i) {
+      const std::size_t k = cfg.clusters_per_class == 1
+                                ? 0
+                                : static_cast<std::size_t>(rng.uniform_int(
+                                      static_cast<std::uint64_t>(cfg.clusters_per_class)));
+      std::vector<double> row(cfg.n_features);
+      for (std::size_t f = 0; f < cfg.n_features; ++f) {
+        row[f] = means[c][k][f] + sigma * rng.normal();
+      }
+      std::size_t label = c;
+      if (cfg.label_noise > 0.0 && rng.bernoulli(cfg.label_noise)) {
+        if (cfg.ordinal) {
+          // Ordinal noise: mislabel into an adjacent quality class.
+          const int delta = rng.bernoulli(0.5) ? 1 : -1;
+          const int nl = static_cast<int>(c) + delta;
+          if (nl >= 0 && nl < static_cast<int>(cfg.n_classes)) label = static_cast<std::size_t>(nl);
+        } else {
+          label = static_cast<std::size_t>(rng.uniform_int(static_cast<std::uint64_t>(cfg.n_classes)));
+        }
+      }
+      data.x.push_back(std::move(row));
+      data.y.push_back(label);
+    }
+  }
+
+  // Shuffle so splits aren't class-ordered even without stratification.
+  auto perm = random_permutation(data.size(), rng);
+  data = subset(data, perm);
+  data.name = cfg.name;
+  data.validate();
+  return data;
+}
+
+Dataset make_whitewine(std::uint64_t seed) {
+  // 4898 samples / 11 physicochemical features / quality 3..9 (7 classes).
+  // Real histogram is ~ {20, 163, 1457, 2198, 880, 175, 5}: mid-heavy.
+  SynthConfig cfg;
+  cfg.name = "whitewine";
+  cfg.n_features = 11;
+  cfg.n_classes = 7;
+  cfg.n_samples = 4898;
+  cfg.ordinal = true;
+  cfg.class_separation = 1.15;
+  cfg.label_noise = 0.22;
+  cfg.class_weights = {20, 163, 1457, 2198, 880, 175, 5};
+  Rng rng(seed);
+  return make_synthetic(cfg, rng);
+}
+
+Dataset make_redwine(std::uint64_t seed) {
+  // 1599 samples / 11 features / quality 3..8 (6 classes).
+  // Real histogram ~ {10, 53, 681, 638, 199, 18}.
+  SynthConfig cfg;
+  cfg.name = "redwine";
+  cfg.n_features = 11;
+  cfg.n_classes = 6;
+  cfg.n_samples = 1599;
+  cfg.ordinal = true;
+  cfg.class_separation = 1.25;
+  cfg.label_noise = 0.20;
+  cfg.class_weights = {10, 53, 681, 638, 199, 18};
+  Rng rng(seed);
+  return make_synthetic(cfg, rng);
+}
+
+Dataset make_pendigits(std::uint64_t seed) {
+  // 7494 training samples / 16 resampled pen-coordinate features /
+  // 10 digits, well separated; 2 sub-clusters model writing styles.
+  SynthConfig cfg;
+  cfg.name = "pendigits";
+  cfg.n_features = 16;
+  cfg.n_classes = 10;
+  cfg.n_samples = 7494;
+  cfg.ordinal = false;
+  cfg.class_separation = 2.1;
+  cfg.clusters_per_class = 2;
+  cfg.label_noise = 0.01;
+  Rng rng(seed);
+  return make_synthetic(cfg, rng);
+}
+
+Dataset make_seeds(std::uint64_t seed) {
+  // 7 geometric kernel features / 3 wheat varieties. The original set has
+  // only 210 rows; we draw 630 so the 20% test split is ~125 samples.
+  SynthConfig cfg;
+  cfg.name = "seeds";
+  cfg.n_features = 7;
+  cfg.n_classes = 3;
+  cfg.n_samples = 630;
+  cfg.ordinal = false;
+  cfg.class_separation = 1.55;
+  cfg.label_noise = 0.03;
+  Rng rng(seed);
+  return make_synthetic(cfg, rng);
+}
+
+Dataset make_named_dataset(const std::string& name, std::uint64_t seed) {
+  if (name == "whitewine") return make_whitewine(seed);
+  if (name == "redwine") return make_redwine(seed);
+  if (name == "pendigits") return make_pendigits(seed);
+  if (name == "seeds") return make_seeds(seed);
+  throw std::invalid_argument("make_named_dataset: unknown dataset '" + name + "'");
+}
+
+const std::vector<std::string>& paper_dataset_names() {
+  static const std::vector<std::string> names = {"whitewine", "redwine", "pendigits",
+                                                 "seeds"};
+  return names;
+}
+
+}  // namespace pnm

@@ -1,0 +1,250 @@
+#include "pnm/hw/arith.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pnm/util/bits.hpp"
+
+namespace pnm::hw {
+namespace {
+
+/// Width and signedness required by an exact result range.
+struct Sizing {
+  int width;
+  bool is_signed;
+};
+
+Sizing sizing_for_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::logic_error("sizing_for_range: inverted range");
+  if (lo == 0 && hi == 0) return {0, false};
+  if (lo >= 0) return {bits_for_unsigned(static_cast<std::uint64_t>(hi)), false};
+  return {bits_for_signed_range(lo, hi), true};
+}
+
+/// Full adder: returns sum bit, updates carry in place.  Constant operands
+/// are specialized directly (half-adder / wiring forms) so that e.g. the
+/// inverted zero bits of a subtrahend cost OR gates, not dead inverters;
+/// in the generic case the a^b term is shared between sum and carry.
+NetId full_adder(Netlist& nl, NetId a, NetId b, NetId& carry) {
+  if (a == kConst0 || a == kConst1) std::swap(a, b);
+  if (b == kConst0) {
+    // sum = a ^ c, carry' = a & c (half adder).
+    const NetId sum = nl.add_gate(GateType::kXor2, a, carry);
+    carry = nl.add_gate(GateType::kAnd2, a, carry);
+    return sum;
+  }
+  if (b == kConst1) {
+    // sum = !(a ^ c), carry' = a | c.
+    const NetId sum = nl.add_gate(GateType::kXnor2, a, carry);
+    carry = nl.add_gate(GateType::kOr2, a, carry);
+    return sum;
+  }
+  const NetId axb = nl.add_gate(GateType::kXor2, a, b);
+  const NetId sum = nl.add_gate(GateType::kXor2, axb, carry);
+  const NetId t1 = nl.add_gate(GateType::kAnd2, a, b);
+  const NetId t2 = nl.add_gate(GateType::kAnd2, axb, carry);
+  carry = nl.add_gate(GateType::kOr2, t1, t2);
+  return sum;
+}
+
+/// Re-types a word to a (sound) tighter range: truncates to the exact
+/// width the range needs.  Truncating two's complement is value-preserving
+/// whenever the value fits the narrower width, so this emits no gates.
+Word refit_impl(const Word& w, std::int64_t lo, std::int64_t hi) {
+  const Sizing sz = sizing_for_range(lo, hi);
+  Word out;
+  out.is_signed = sz.is_signed;
+  out.lo = lo;
+  out.hi = hi;
+  out.bits.reserve(static_cast<std::size_t>(sz.width));
+  for (int i = 0; i < sz.width; ++i) out.bits.push_back(word_bit(w, i));
+  return out;
+}
+
+/// Shared implementation of add/sub: a + b or a - b via inverted b bits
+/// with carry-in 1.  Result truncated to the exact range width.
+Word add_sub(Netlist& nl, const Word& a, const Word& b, bool subtract) {
+  // Adding/subtracting a provable zero is pure wiring.
+  if (b.is_const_zero()) return refit_impl(a, a.lo, a.hi);
+  if (a.is_const_zero() && !subtract) return refit_impl(b, b.lo, b.hi);
+  const std::int64_t lo = subtract ? a.lo - b.hi : a.lo + b.lo;
+  const std::int64_t hi = subtract ? a.hi - b.lo : a.hi + b.hi;
+  const Sizing sz = sizing_for_range(lo, hi);
+
+  Word out;
+  out.is_signed = sz.is_signed;
+  out.lo = lo;
+  out.hi = hi;
+  if (sz.width == 0) return out;  // provably constant zero
+
+  out.bits.reserve(static_cast<std::size_t>(sz.width));
+  NetId carry = subtract ? kConst1 : kConst0;
+  for (int i = 0; i < sz.width; ++i) {
+    const NetId abit = word_bit(a, i);
+    NetId bbit = word_bit(b, i);
+    if (subtract) bbit = nl.add_gate(GateType::kInv, bbit);
+    out.bits.push_back(full_adder(nl, abit, bbit, carry));
+  }
+  return out;
+}
+
+}  // namespace
+
+Word make_constant(Netlist& nl, std::int64_t value) {
+  Word w;
+  w.lo = w.hi = value;
+  if (value == 0) return w;
+  const Sizing sz = sizing_for_range(value, value);
+  w.is_signed = sz.is_signed;
+  // Two's-complement bit pattern over sz.width bits.
+  const auto pattern = static_cast<std::uint64_t>(value);
+  for (int i = 0; i < sz.width; ++i) {
+    w.bits.push_back(nl.constant(((pattern >> i) & 1U) != 0));
+  }
+  return w;
+}
+
+Word from_unsigned_bus(const std::vector<NetId>& bus) {
+  Word w;
+  w.bits = bus;
+  w.is_signed = false;
+  w.lo = 0;
+  w.hi = bus.empty() ? 0 : unsigned_max(static_cast<int>(bus.size()));
+  return w;
+}
+
+NetId word_bit(const Word& w, int i) {
+  if (i < 0) throw std::invalid_argument("word_bit: negative index");
+  if (i < w.width()) return w.bits[static_cast<std::size_t>(i)];
+  if (w.is_signed && !w.bits.empty()) return w.bits.back();  // sign extension
+  return kConst0;                                            // zero extension
+}
+
+Word add_words(Netlist& nl, const Word& a, const Word& b) {
+  return add_sub(nl, a, b, /*subtract=*/false);
+}
+
+Word sub_words(Netlist& nl, const Word& a, const Word& b) {
+  return add_sub(nl, a, b, /*subtract=*/true);
+}
+
+Word negate_word(Netlist& nl, const Word& a) {
+  Word zero;
+  return sub_words(nl, zero, a);
+}
+
+Word shift_left(const Word& a, int shift) {
+  if (shift < 0) throw std::invalid_argument("shift_left: negative shift");
+  if (a.is_const_zero()) return a;
+  Word out = a;
+  out.bits.insert(out.bits.begin(), static_cast<std::size_t>(shift), kConst0);
+  out.lo = a.lo << shift;
+  out.hi = a.hi << shift;
+  return out;
+}
+
+Word shift_right_floor(const Word& a, int shift) {
+  if (shift < 0) throw std::invalid_argument("shift_right_floor: negative shift");
+  if (shift == 0 || a.is_const_zero()) return a;
+  Word out;
+  out.lo = a.lo >> shift;  // arithmetic shift == floor for two's complement
+  out.hi = a.hi >> shift;
+  if (out.lo == 0 && out.hi == 0) return out;  // all value bits dropped
+  out.is_signed = out.lo < 0;
+  // Keep the surviving high bits; word_bit() supplies the extension when
+  // the requested width exceeds what remains.
+  Word suffix;
+  suffix.is_signed = a.is_signed;
+  if (shift < a.width()) {
+    suffix.bits.assign(a.bits.begin() + shift, a.bits.end());
+  } else if (a.is_signed) {
+    suffix.bits.assign(1, a.bits.back());  // only the sign survives
+  }
+  const Sizing sz = sizing_for_range(out.lo, out.hi);
+  out.bits.reserve(static_cast<std::size_t>(sz.width));
+  for (int i = 0; i < sz.width; ++i) out.bits.push_back(word_bit(suffix, i));
+  return out;
+}
+
+NetId greater_than(Netlist& nl, const Word& a, const Word& b) {
+  // a > b  <=>  b - a < 0.
+  if (a.lo > b.hi) return kConst1;  // ranges prove it
+  if (a.hi <= b.lo) return kConst0;
+  const Word d = sub_words(nl, b, a);
+  // d's range straddles 0 here, so it is signed and its MSB is the sign.
+  if (!d.is_signed || d.bits.empty()) {
+    throw std::logic_error("greater_than: expected signed difference");
+  }
+  return d.bits.back();
+}
+
+Word relu_word(Netlist& nl, const Word& a) {
+  if (a.lo >= 0) {
+    // Provably non-negative: ReLU is the identity; re-type as unsigned.
+    Word out = a;
+    out.is_signed = false;
+    const Sizing sz = sizing_for_range(a.lo, a.hi);
+    out.bits.resize(static_cast<std::size_t>(sz.width), kConst0);
+    return out;
+  }
+  Word out;
+  if (a.hi <= 0) return out;  // provably non-positive: constant 0
+
+  const NetId not_sign = nl.add_gate(GateType::kInv, a.bits.back());
+  const Sizing sz = sizing_for_range(0, a.hi);
+  out.is_signed = false;
+  out.lo = 0;
+  out.hi = a.hi;
+  out.bits.reserve(static_cast<std::size_t>(sz.width));
+  for (int i = 0; i < sz.width; ++i) {
+    out.bits.push_back(nl.add_gate(GateType::kAnd2, word_bit(a, i), not_sign));
+  }
+  return out;
+}
+
+Word mux_word(Netlist& nl, NetId sel, const Word& when1, const Word& when0) {
+  if (sel == kConst1) return when1;
+  if (sel == kConst0) return when0;
+  const std::int64_t lo = std::min(when1.lo, when0.lo);
+  const std::int64_t hi = std::max(when1.hi, when0.hi);
+  const Sizing sz = sizing_for_range(lo, hi);
+
+  Word out;
+  out.is_signed = sz.is_signed;
+  out.lo = lo;
+  out.hi = hi;
+  if (sz.width == 0) return out;
+
+  const NetId not_sel = nl.add_gate(GateType::kInv, sel);
+  out.bits.reserve(static_cast<std::size_t>(sz.width));
+  for (int i = 0; i < sz.width; ++i) {
+    const NetId t1 = nl.add_gate(GateType::kAnd2, sel, word_bit(when1, i));
+    const NetId t0 = nl.add_gate(GateType::kAnd2, not_sel, word_bit(when0, i));
+    out.bits.push_back(nl.add_gate(GateType::kOr2, t1, t0));
+  }
+  return out;
+}
+
+Word refit_word(Netlist& nl, const Word& w, std::int64_t lo, std::int64_t hi) {
+  (void)nl;  // emits no gates; kept in the signature for API symmetry
+  if (lo > hi || lo < w.lo || hi > w.hi) {
+    throw std::invalid_argument("refit_word: range is not a subset of the word's");
+  }
+  return refit_impl(w, lo, hi);
+}
+
+std::int64_t word_value(const Word& w, const std::vector<std::uint8_t>& state) {
+  std::int64_t value = 0;
+  for (int i = 0; i < w.width(); ++i) {
+    if (state.at(static_cast<std::size_t>(w.bits[static_cast<std::size_t>(i)])) != 0) {
+      value |= std::int64_t{1} << i;
+    }
+  }
+  if (w.is_signed && w.width() > 0 &&
+      state.at(static_cast<std::size_t>(w.bits.back())) != 0) {
+    value -= std::int64_t{1} << w.width();
+  }
+  return value;
+}
+
+}  // namespace pnm::hw

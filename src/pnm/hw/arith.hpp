@@ -1,0 +1,91 @@
+#ifndef PNM_HW_ARITH_HPP
+#define PNM_HW_ARITH_HPP
+
+/// \file arith.hpp
+/// \brief Word-level arithmetic netlist builders with exact range-driven
+///        sizing.
+///
+/// A Word is a little-endian bundle of nets plus the *exact* integer
+/// interval its value can take.  Every operation (add, sub, mux, ReLU, ...)
+/// computes the result interval by interval arithmetic and emits only as
+/// many result bits as that interval needs — the "every adder is sized
+/// exactly for its operands" property of bespoke printed circuits that the
+/// area savings of pruning/quantization rest on.  Truncating a two's-
+/// complement word to the width its range fits in is value-preserving, so
+/// all of this is sound; tests/hw_arith_test.cpp checks every builder
+/// exhaustively in small widths.
+
+#include <cstdint>
+#include <vector>
+
+#include "pnm/hw/netlist.hpp"
+
+namespace pnm::hw {
+
+/// A sized integer signal: bits[0] is the LSB.  If is_signed, the word is
+/// two's complement and bits.back() is the sign.  An empty word is the
+/// constant 0.  [lo, hi] is a sound (and in this library exact) bound on
+/// the value over all reachable circuit states.
+struct Word {
+  std::vector<NetId> bits;
+  bool is_signed = false;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] int width() const { return static_cast<int>(bits.size()); }
+  [[nodiscard]] bool is_const_zero() const { return bits.empty(); }
+};
+
+/// Word holding a compile-time constant (all bits constant nets).
+Word make_constant(Netlist& nl, std::int64_t value);
+
+/// Wraps an unsigned input bus (e.g. a quantized sensor word) as a Word
+/// with range [0, 2^width - 1].
+Word from_unsigned_bus(const std::vector<NetId>& bus);
+
+/// Bit i of w under the word's numeric interpretation: zero-extended if
+/// unsigned, sign-extended if signed.
+NetId word_bit(const Word& w, int i);
+
+/// a + b, exactly sized to the result range.
+Word add_words(Netlist& nl, const Word& a, const Word& b);
+
+/// a - b, exactly sized (result may be signed even for unsigned inputs).
+Word sub_words(Netlist& nl, const Word& a, const Word& b);
+
+/// -a.
+Word negate_word(Netlist& nl, const Word& a);
+
+/// a * 2^shift (pure wiring: shift constant-zero LSBs in).
+Word shift_left(const Word& a, int shift);
+
+/// floor(a / 2^shift): drops the low `shift` bits (pure wiring — dropping
+/// LSBs of two's complement IS floor division).  Used by precision-scaled
+/// accumulation to narrow the adder chains.
+Word shift_right_floor(const Word& a, int shift);
+
+/// Net that is 1 iff a > b (signed compare via the sign of b - a; folds to
+/// a constant when the ranges do not overlap).
+NetId greater_than(Netlist& nl, const Word& a, const Word& b);
+
+/// max(0, a): free if a is provably non-negative, constant 0 if provably
+/// non-positive, otherwise an AND mask against the inverted sign bit.
+Word relu_word(Netlist& nl, const Word& a);
+
+/// sel ? when1 : when0, sized to the union of both ranges.
+Word mux_word(Netlist& nl, NetId sel, const Word& when1, const Word& when0);
+
+/// Re-types a word to a tighter range known sound by the caller (e.g. the
+/// exact product range of a constant multiplier, which interval arithmetic
+/// over the correlated shift-add chain over-approximates).  Emits no
+/// gates: two's-complement truncation is value-preserving when the value
+/// fits.  Throws if [lo, hi] is not a subset of the word's current range.
+Word refit_word(Netlist& nl, const Word& w, std::int64_t lo, std::int64_t hi);
+
+/// Decodes the simulated value of a word from a Netlist::simulate state
+/// vector (used by tests and BespokeCircuit::predict).
+std::int64_t word_value(const Word& w, const std::vector<std::uint8_t>& state);
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_ARITH_HPP

@@ -1,0 +1,187 @@
+#include "pnm/hw/bespoke.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <tuple>
+
+#include "pnm/hw/arith.hpp"
+#include "pnm/util/bits.hpp"
+
+namespace pnm::hw {
+
+BespokeCircuit::BespokeCircuit(const QuantizedMlp& model, BespokeOptions options)
+    : nl_(/*enable_cse=*/options.share_products), options_(options) {
+  if (model.layer_count() == 0) {
+    throw std::invalid_argument("BespokeCircuit: empty model");
+  }
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    const bool last = li + 1 == model.layer_count();
+    const Activation act = model.layer(li).act;
+    if (last ? act != Activation::kIdentity : act != Activation::kRelu) {
+      throw std::invalid_argument(
+          "BespokeCircuit: expects ReLU hidden layers and identity output");
+    }
+  }
+  input_bits_ = model.input_bits();
+  n_classes_ = model.output_size();
+  if (n_classes_ < 2) throw std::invalid_argument("BespokeCircuit: need >= 2 classes");
+
+  // Primary inputs: one unsigned sensor word per feature.
+  std::vector<Word> acts;
+  acts.reserve(model.input_size());
+  for (std::size_t j = 0; j < model.input_size(); ++j) {
+    input_buses_.push_back(nl_.add_input_bus("x" + std::to_string(j), input_bits_));
+    acts.push_back(from_unsigned_bus(input_buses_.back()));
+  }
+
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    acts = build_layer(model.layer(li), acts);
+  }
+  build_argmax(acts);
+
+  // Attribute every gate to its construction stage, then sweep the gates
+  // that exact-range truncation left without observers (a logic
+  // synthesizer's dead-code elimination).
+  std::vector<Stage> stages(nl_.gate_count(), Stage::kProduct);
+  {
+    std::size_t mark = 0;
+    Stage current = Stage::kProduct;
+    for (std::size_t gi = 0; gi < stages.size(); ++gi) {
+      while (mark < stage_marks_.size() && stage_marks_[mark].second <= gi) {
+        current = stage_marks_[mark].first;
+        ++mark;
+      }
+      stages[gi] = current;
+    }
+  }
+  const auto keep = nl_.sweep_dead_gates();
+  stage_of_gate_.reserve(nl_.gate_count());
+  for (std::size_t gi = 0; gi < keep.size(); ++gi) {
+    if (keep[gi]) stage_of_gate_.push_back(stages[gi]);
+  }
+}
+
+std::vector<Word> BespokeCircuit::build_layer(const QuantizedLayer& layer,
+                                              const std::vector<Word>& in_acts) {
+  if (layer.in_features() != in_acts.size()) {
+    throw std::invalid_argument("BespokeCircuit: layer/activation arity mismatch");
+  }
+  const MultOptions mult_options{options_.use_csd};
+
+  // ---- product stage: one shift-add network per distinct (input, |w|) ----
+  begin_stage(Stage::kProduct);
+  // Shared-product table; when sharing is off every connection gets its
+  // own entry keyed additionally by the neuron row.
+  std::map<std::tuple<std::size_t, std::size_t, std::int64_t>, Word> products;
+  auto product_key = [this](std::size_t row, std::size_t col, std::int64_t mag) {
+    return options_.share_products ? std::make_tuple(std::size_t{0}, col, mag)
+                                   : std::make_tuple(row, col, mag);
+  };
+  for (std::size_t r = 0; r < layer.out_features(); ++r) {
+    for (std::size_t c = 0; c < layer.in_features(); ++c) {
+      const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
+      if (mag == 0) continue;
+      const auto key = product_key(r, c, mag);
+      if (products.contains(key)) continue;
+      products.emplace(key, const_mult(nl_, in_acts[c], mag, mult_options));
+      if (const_mult_adder_count(mag, mult_options) > 0) ++multiplier_count_;
+    }
+  }
+
+  // ---- accumulate stage: per-neuron exactly-sized add/sub chain ----------
+  // With precision-scaled accumulation (acc_shift > 0) the product LSBs
+  // are dropped first — pure wiring that narrows every adder row.
+  begin_stage(Stage::kAccumulate);
+  const int shift = layer.acc_shift;
+  std::vector<Word> preacts;
+  preacts.reserve(layer.out_features());
+  for (std::size_t r = 0; r < layer.out_features(); ++r) {
+    Word acc = make_constant(nl_, layer.bias[r] >> shift);
+    for (std::size_t c = 0; c < layer.in_features(); ++c) {
+      const int w = layer.w[r][c];
+      if (w == 0) continue;
+      const std::int64_t mag = std::llabs(static_cast<long long>(w));
+      const Word product =
+          shift_right_floor(products.at(product_key(r, c, mag)), shift);
+      acc = (w > 0) ? add_words(nl_, acc, product) : sub_words(nl_, acc, product);
+    }
+    preacts.push_back(std::move(acc));
+  }
+
+  // ---- activation stage ---------------------------------------------------
+  if (layer.act == Activation::kRelu) {
+    begin_stage(Stage::kActivation);
+    for (auto& w : preacts) w = relu_word(nl_, w);
+  }
+  return preacts;
+}
+
+void BespokeCircuit::build_argmax(const std::vector<Word>& logits) {
+  begin_stage(Stage::kArgmax);
+  Word best_val = logits.at(0);
+  Word best_idx = make_constant(nl_, 0);
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    // Strict '>' keeps the lowest index on ties, matching pnm::argmax and
+    // QuantizedMlp::predict_quantized.
+    const NetId gt = greater_than(nl_, logits[i], best_val);
+    best_val = mux_word(nl_, gt, logits[i], best_val);
+    best_idx = mux_word(nl_, gt, make_constant(nl_, static_cast<std::int64_t>(i)),
+                        best_idx);
+  }
+  const int idx_width = bits_for_unsigned(static_cast<std::uint64_t>(n_classes_ - 1));
+  class_bits_.clear();
+  for (int b = 0; b < idx_width; ++b) {
+    const NetId bit = word_bit(best_idx, b);
+    class_bits_.push_back(bit);
+    nl_.mark_output(bit, "class[" + std::to_string(b) + "]");
+  }
+}
+
+void BespokeCircuit::begin_stage(Stage stage) {
+  stage_marks_.emplace_back(stage, nl_.gate_count());
+}
+
+StageAreas BespokeCircuit::stage_areas(const TechLibrary& tech) const {
+  StageAreas areas;
+  const auto& gates = nl_.gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const double a = tech.cell(gates[gi].type).area_mm2;
+    switch (stage_of_gate_.at(gi)) {
+      case Stage::kProduct: areas.product_mm2 += a; break;
+      case Stage::kAccumulate: areas.accumulate_mm2 += a; break;
+      case Stage::kActivation: areas.activation_mm2 += a; break;
+      case Stage::kArgmax: areas.argmax_mm2 += a; break;
+    }
+  }
+  return areas;
+}
+
+std::size_t BespokeCircuit::predict(const std::vector<std::int64_t>& xq) const {
+  if (xq.size() != input_buses_.size()) {
+    throw std::invalid_argument("BespokeCircuit::predict: bad input size");
+  }
+  std::vector<std::uint8_t> input_values;
+  input_values.reserve(input_buses_.size() * static_cast<std::size_t>(input_bits_));
+  const std::int64_t xmax = pnm::unsigned_max(input_bits_);
+  for (std::size_t j = 0; j < xq.size(); ++j) {
+    if (xq[j] < 0 || xq[j] > xmax) {
+      throw std::invalid_argument("BespokeCircuit::predict: input code out of range");
+    }
+    for (int b = 0; b < input_bits_; ++b) {
+      input_values.push_back(static_cast<std::uint8_t>((xq[j] >> b) & 1));
+    }
+  }
+  const auto state = nl_.simulate(input_values);
+  std::size_t cls = 0;
+  for (std::size_t i = 0; i < class_bits_.size(); ++i) {
+    if (state.at(static_cast<std::size_t>(class_bits_[i])) != 0) {
+      cls |= std::size_t{1} << i;
+    }
+  }
+  if (cls >= n_classes_) {
+    throw std::logic_error("BespokeCircuit::predict: decoded class out of range");
+  }
+  return cls;
+}
+
+}  // namespace pnm::hw

@@ -1,0 +1,112 @@
+#ifndef PNM_HW_BESPOKE_HPP
+#define PNM_HW_BESPOKE_HPP
+
+/// \file bespoke.hpp
+/// \brief Lowers a quantized MLP to a bespoke printed gate-level circuit.
+///
+/// This reproduces the bespoke-classifier methodology of Mubarik et al.
+/// (MICRO 2020), the baseline generator of the paper: all coefficients are
+/// hard-wired, every datapath is sized exactly for its true value range,
+/// and identical products feed multiple neurons through one multiplier.
+/// The resulting circuit computes
+///     class = argmax( W2 * relu(W1 * x + b1) + b2 )
+/// in pure integer arithmetic, bit-exact with QuantizedMlp (tested).
+///
+/// Structure per layer:
+///  1. product stage   — one shift-add network per distinct
+///                       (input column, |weight|) pair (sharing!);
+///  2. accumulate stage — per neuron, a chain of exactly-sized add/sub
+///                       rows folding in the hard-wired bias;
+///  3. activation stage — ReLU sign-mask (hidden layers only);
+/// and finally an argmax comparator/mux tree emitting the class index.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pnm/core/qmlp.hpp"
+#include "pnm/hw/constmult.hpp"
+#include "pnm/hw/netlist.hpp"
+
+namespace pnm::hw {
+
+/// Generation knobs; defaults reproduce the paper's bespoke flow.
+struct BespokeOptions {
+  /// Reuse one multiplier per distinct (input, |weight|) pair across all
+  /// neurons of a layer — the mechanism weight clustering exploits
+  /// (§II-C).  Off = naive per-connection datapath (ablation A2; also
+  /// disables netlist-level structural hashing).
+  bool share_products = true;
+  /// CSD vs plain binary coefficient recoding (ablation A1).
+  bool use_csd = true;
+};
+
+/// Construction phases, for the area breakdown report.
+enum class Stage : std::uint8_t { kProduct = 0, kAccumulate, kActivation, kArgmax };
+inline constexpr int kStageCount = 4;
+
+/// Area split by construction phase.
+struct StageAreas {
+  double product_mm2 = 0.0;
+  double accumulate_mm2 = 0.0;
+  double activation_mm2 = 0.0;
+  double argmax_mm2 = 0.0;
+
+  [[nodiscard]] double total() const {
+    return product_mm2 + accumulate_mm2 + activation_mm2 + argmax_mm2;
+  }
+};
+
+/// A generated bespoke classifier circuit.
+class BespokeCircuit {
+ public:
+  /// Generates the circuit for the given integer model.
+  explicit BespokeCircuit(const QuantizedMlp& model, BespokeOptions options = {});
+
+  [[nodiscard]] const Netlist& netlist() const { return nl_; }
+  [[nodiscard]] const BespokeOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t n_classes() const { return n_classes_; }
+  [[nodiscard]] int input_bits() const { return input_bits_; }
+
+  /// Physical multipliers emitted (shift-add networks with >= 1 adder).
+  [[nodiscard]] std::size_t multiplier_count() const { return multiplier_count_; }
+
+  /// Gate-level simulation: quantized input codes -> predicted class.
+  [[nodiscard]] std::size_t predict(const std::vector<std::int64_t>& xq) const;
+
+  // Analysis shortcuts (delegate to the netlist).
+  [[nodiscard]] double area_mm2(const TechLibrary& tech) const { return nl_.area_mm2(tech); }
+  [[nodiscard]] double power_uw(const TechLibrary& tech) const { return nl_.power_uw(tech); }
+  [[nodiscard]] double critical_path_ms(const TechLibrary& tech) const {
+    return nl_.critical_path_ms(tech);
+  }
+
+  /// Area attribution to the four construction phases.
+  [[nodiscard]] StageAreas stage_areas(const TechLibrary& tech) const;
+
+ private:
+  void begin_stage(Stage stage);
+  /// Emits one layer (product, accumulate, activation stages) and returns
+  /// the post-activation words feeding the next layer.
+  std::vector<Word> build_layer(const QuantizedLayer& layer,
+                                const std::vector<Word>& in_acts);
+  /// Emits the argmax comparator/mux tree and marks the class outputs.
+  void build_argmax(const std::vector<Word>& logits);
+
+  Netlist nl_;
+  BespokeOptions options_;
+  std::vector<std::vector<NetId>> input_buses_;  ///< per feature, LSB first
+  std::vector<NetId> class_bits_;                ///< output index, LSB first
+  std::size_t n_classes_ = 0;
+  int input_bits_ = 0;
+  std::size_t multiplier_count_ = 0;
+  /// (stage, first gate index) marks, in emission order (build time only).
+  std::vector<std::pair<Stage, std::size_t>> stage_marks_;
+  /// Stage of each surviving gate, after dead-gate sweeping.
+  std::vector<Stage> stage_of_gate_;
+};
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_BESPOKE_HPP

@@ -1,0 +1,93 @@
+#include "pnm/hw/constmult.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "pnm/hw/csd.hpp"
+
+namespace pnm::hw {
+namespace {
+
+/// Nonzero digits of a signed-digit string as (shift, positive?) pairs,
+/// ordered so a positive term (if any) comes first: starting the running
+/// sum from a positive operand avoids an explicit negation row.
+std::vector<std::pair<int, bool>> digit_terms(const std::vector<SignedDigit>& digits) {
+  std::vector<std::pair<int, bool>> terms;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (digits[i] != 0) terms.emplace_back(static_cast<int>(i), digits[i] > 0);
+  }
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].second) {
+      std::rotate(terms.begin(), terms.begin() + static_cast<std::ptrdiff_t>(i),
+                  terms.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      break;
+    }
+  }
+  return terms;
+}
+
+/// Rows of add/sub hardware a term list costs, and how many of them are
+/// subtractions (a subtraction row also pays an inverter per bit).
+struct TermCost {
+  int rows;
+  int subs;
+};
+
+TermCost cost_of(const std::vector<std::pair<int, bool>>& terms) {
+  if (terms.empty()) return {0, 0};
+  int subs = 0;
+  for (const auto& [shift, positive] : terms) subs += positive ? 0 : 1;
+  const int rows = static_cast<int>(terms.size()) - 1 + (terms.front().second ? 0 : 1);
+  return {rows, subs};
+}
+
+/// Cheapest signed-digit recoding of the coefficient.  CSD minimizes the
+/// nonzero-digit count but pays inverters for its subtraction rows, so for
+/// some coefficients (e.g. 3 = 2+1 vs 4-1) plain binary is cheaper; a real
+/// multiplierless generator picks per coefficient, and so do we when
+/// use_csd is set.  use_csd = false forces pure binary (the ablation
+/// baseline of bench/ablation_csd).
+std::vector<std::pair<int, bool>> recode_terms(std::int64_t coeff, bool use_csd) {
+  auto binary = digit_terms(to_binary_digits(coeff));
+  if (!use_csd) return binary;
+  auto csd = digit_terms(to_csd(coeff));
+  const TermCost cb = cost_of(binary);
+  const TermCost cc = cost_of(csd);
+  if (cc.rows != cb.rows) return cc.rows < cb.rows ? csd : binary;
+  return cc.subs < cb.subs ? csd : binary;  // tie on rows: fewer subtractors
+}
+
+}  // namespace
+
+Word const_mult(Netlist& nl, const Word& x, std::int64_t coeff,
+                const MultOptions& options) {
+  if (x.lo < 0) {
+    throw std::invalid_argument("const_mult: input word must be unsigned "
+                                "(printed MLP activations are non-negative)");
+  }
+  Word acc;  // constant zero
+  if (coeff == 0 || x.is_const_zero()) return acc;
+
+  for (const auto& [shift, positive] : recode_terms(coeff, options.use_csd)) {
+    const Word term = shift_left(x, shift);
+    acc = positive ? add_words(nl, acc, term) : sub_words(nl, acc, term);
+  }
+  // Interval arithmetic over the chain over-approximates (the shifted
+  // terms are all the same x); the true product range is exact because
+  // coeff*x is monotone in x.  Refit so downstream adders size exactly.
+  const std::int64_t p0 = coeff * x.lo;
+  const std::int64_t p1 = coeff * x.hi;
+  return refit_word(nl, acc, std::min(p0, p1), std::max(p0, p1));
+}
+
+int const_mult_adder_count(std::int64_t coeff, const MultOptions& options) {
+  if (coeff == 0) return 0;
+  const auto terms = recode_terms(coeff, options.use_csd);
+  int adders = static_cast<int>(terms.size()) - 1;
+  if (!terms.empty() && !terms.front().second) ++adders;  // leading negation row
+  return adders;
+}
+
+}  // namespace pnm::hw

@@ -1,0 +1,44 @@
+#ifndef PNM_HW_CONSTMULT_HPP
+#define PNM_HW_CONSTMULT_HPP
+
+/// \file constmult.hpp
+/// \brief Bespoke constant-coefficient multiplier generator.
+///
+/// In a bespoke printed MLP the weights are hard-wired (paper §I), so a
+/// "multiplier" is really a shift-add network over the input word: one
+/// shifted operand per nonzero digit of the coefficient's signed-digit
+/// recoding.  The cost is therefore a direct function of the coefficient
+/// *value* — the physical reason quantization to few bits (fewer digits),
+/// pruning to zero (no hardware at all), and clustering to shared values
+/// (one network, many consumers) all shrink the circuit.
+
+#include <cstdint>
+
+#include "pnm/hw/arith.hpp"
+#include "pnm/hw/netlist.hpp"
+
+namespace pnm::hw {
+
+/// Options for multiplier generation (ablation knobs).
+struct MultOptions {
+  /// Signed-digit recoding: per coefficient, the cheaper of CSD and plain
+  /// binary is used (CSD minimizes add/sub rows but its subtraction rows
+  /// pay an inverter per bit, so e.g. 3 = 2+1 beats 4-1).  false forces
+  /// pure binary recoding everywhere (ablation A1's baseline).
+  bool use_csd = true;
+};
+
+/// Emits coeff * x into the netlist and returns the exactly-sized product
+/// word.  coeff == 0 returns the constant-zero word; powers of two are
+/// pure wiring; everything else costs nonzero_digits-1 adders (plus one
+/// negation row when the leading digit is negative).
+Word const_mult(Netlist& nl, const Word& x, std::int64_t coeff,
+                const MultOptions& options = {});
+
+/// Number of add/sub rows const_mult would emit for this coefficient —
+/// the unit of the analytic area proxy (hw/proxy.hpp).
+int const_mult_adder_count(std::int64_t coeff, const MultOptions& options = {});
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_CONSTMULT_HPP

@@ -1,0 +1,66 @@
+#include "pnm/hw/csd.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pnm::hw {
+
+std::vector<SignedDigit> to_csd(std::int64_t v) {
+  std::vector<SignedDigit> digits;
+  if (v == 0) return digits;
+  const bool negative = v < 0;
+  std::int64_t u = negative ? -v : v;
+
+  // Standard CSD recoding: while odd, emit digit d = 2 - (u mod 4), i.e.
+  // +1 for ...01 and -1 for ...11 (the -1 starts a carry that turns a run
+  // of ones into +1 0...0 -1); subtract the digit and shift.
+  while (u != 0) {
+    SignedDigit d = 0;
+    if ((u & 1) != 0) {
+      d = static_cast<SignedDigit>(2 - static_cast<int>(u & 3));
+      u -= d;
+    }
+    digits.push_back(d);
+    u >>= 1;
+  }
+  if (negative) {
+    for (auto& d : digits) d = static_cast<SignedDigit>(-d);
+  }
+  return digits;
+}
+
+std::vector<SignedDigit> to_binary_digits(std::int64_t v) {
+  std::vector<SignedDigit> digits;
+  if (v == 0) return digits;
+  const SignedDigit sign = v < 0 ? SignedDigit{-1} : SignedDigit{1};
+  auto u = static_cast<std::uint64_t>(v < 0 ? -v : v);
+  while (u != 0) {
+    digits.push_back((u & 1U) ? sign : SignedDigit{0});
+    u >>= 1;
+  }
+  return digits;
+}
+
+std::int64_t digits_value(const std::vector<SignedDigit>& digits) {
+  if (digits.size() > 62) throw std::invalid_argument("digits_value: too many digits");
+  std::int64_t value = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    value = value * 2 + digits[i];
+  }
+  return value;
+}
+
+int nonzero_digit_count(const std::vector<SignedDigit>& digits) {
+  int n = 0;
+  for (SignedDigit d : digits) n += (d != 0) ? 1 : 0;
+  return n;
+}
+
+bool is_canonical(const std::vector<SignedDigit>& digits) {
+  for (std::size_t i = 0; i + 1 < digits.size(); ++i) {
+    if (digits[i] != 0 && digits[i + 1] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pnm::hw

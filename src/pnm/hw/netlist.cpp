@@ -1,0 +1,261 @@
+#include "pnm/hw/netlist.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace pnm::hw {
+namespace {
+
+bool is_const(NetId n) { return n == kConst0 || n == kConst1; }
+
+/// The complementary cell (AND<->NAND etc.), used for cross-family CSE.
+GateType complement_of(GateType type) {
+  switch (type) {
+    case GateType::kAnd2: return GateType::kNand2;
+    case GateType::kNand2: return GateType::kAnd2;
+    case GateType::kOr2: return GateType::kNor2;
+    case GateType::kNor2: return GateType::kOr2;
+    case GateType::kXor2: return GateType::kXnor2;
+    case GateType::kXnor2: return GateType::kXor2;
+    case GateType::kInv: return GateType::kBuf;
+    case GateType::kBuf: return GateType::kInv;
+  }
+  throw std::logic_error("complement_of: unknown gate type");
+}
+
+}  // namespace
+
+Netlist::Netlist(bool enable_cse) : enable_cse_(enable_cse) {
+  next_net_ = 2;  // nets 0 and 1 are the constants
+  inverse_of_[kConst0] = kConst1;
+  inverse_of_[kConst1] = kConst0;
+}
+
+NetId Netlist::fresh_net() { return next_net_++; }
+
+NetId Netlist::add_input(std::string name) {
+  const NetId net = fresh_net();
+  inputs_.push_back(Port{std::move(name), net});
+  return net;
+}
+
+std::vector<NetId> Netlist::add_input_bus(const std::string& name, int width) {
+  if (width < 0) throw std::invalid_argument("add_input_bus: negative width");
+  std::vector<NetId> bus(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus[static_cast<std::size_t>(i)] = add_input(name + "[" + std::to_string(i) + "]");
+  }
+  return bus;
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  if (net < 0 || net >= next_net_) throw std::invalid_argument("mark_output: bad net");
+  outputs_.push_back(Port{std::move(name), net});
+}
+
+NetId Netlist::make_inverter(NetId a) {
+  if (a == kConst0) return kConst1;
+  if (a == kConst1) return kConst0;
+  if (const auto it = inverse_of_.find(a); it != inverse_of_.end()) return it->second;
+  const GateKey key{GateType::kInv, a, kInvalidNet};
+  if (const auto it = cse_.find(key); it != cse_.end()) return it->second;
+  const NetId out = fresh_net();
+  gates_.push_back(Gate{GateType::kInv, a, kInvalidNet, out});
+  cse_.emplace(key, out);
+  inverse_of_[a] = out;
+  inverse_of_[out] = a;
+  return out;
+}
+
+NetId Netlist::add_gate(GateType type, NetId a, NetId b) {
+  if (a < 0 || a >= next_net_) throw std::invalid_argument("add_gate: bad net a");
+  if (is_unary(type)) {
+    if (b != kInvalidNet) throw std::invalid_argument("add_gate: unary cell given 2 inputs");
+    if (type == GateType::kBuf) return a;  // buffers are pure renaming here
+    return make_inverter(a);
+  }
+  if (b < 0 || b >= next_net_) throw std::invalid_argument("add_gate: bad net b");
+
+  // Canonical operand order (all binary cells here are commutative).
+  if (a > b) std::swap(a, b);
+
+  // Constant folding.  After the swap a holds the smaller id, so any
+  // constant operand is in `a`.
+  if (is_const(a)) {
+    const bool av = (a == kConst1);
+    switch (type) {
+      case GateType::kAnd2: return av ? b : kConst0;
+      case GateType::kOr2: return av ? kConst1 : b;
+      case GateType::kNand2: return av ? make_inverter(b) : kConst1;
+      case GateType::kNor2: return av ? kConst0 : make_inverter(b);
+      case GateType::kXor2: return av ? make_inverter(b) : b;
+      case GateType::kXnor2: return av ? b : make_inverter(b);
+      default: break;
+    }
+  }
+
+  // Idempotence / self-annihilation.
+  if (a == b) {
+    switch (type) {
+      case GateType::kAnd2:
+      case GateType::kOr2: return a;
+      case GateType::kXor2: return kConst0;
+      case GateType::kXnor2: return kConst1;
+      case GateType::kNand2:
+      case GateType::kNor2: return make_inverter(a);
+      default: break;
+    }
+  }
+
+  // Complementary operands (x op !x).
+  if (const auto it = inverse_of_.find(a); it != inverse_of_.end() && it->second == b) {
+    switch (type) {
+      case GateType::kAnd2:
+      case GateType::kNor2: return kConst0;
+      case GateType::kOr2:
+      case GateType::kNand2: return kConst1;
+      case GateType::kXor2: return kConst1;
+      case GateType::kXnor2: return kConst0;
+      default: break;
+    }
+  }
+
+  // Structural hashing: exact match first, then the complementary cell
+  // (an existing AND(a,b) makes NAND(a,b) a cheap inverter, etc.).
+  const GateKey key{type, a, b};
+  if (enable_cse_) {
+    if (const auto it = cse_.find(key); it != cse_.end()) return it->second;
+    const GateKey comp_key{complement_of(type), a, b};
+    if (const auto it = cse_.find(comp_key); it != cse_.end()) {
+      return make_inverter(it->second);
+    }
+  }
+
+  const NetId out = fresh_net();
+  gates_.push_back(Gate{type, a, b, out});
+  if (enable_cse_) cse_.emplace(key, out);
+  return out;
+}
+
+NetId Netlist::add_gate_raw(GateType type, NetId a, NetId b) {
+  if (a < 0 || a >= next_net_) throw std::invalid_argument("add_gate_raw: bad net a");
+  if (is_unary(type)) {
+    if (b != kInvalidNet) throw std::invalid_argument("add_gate_raw: unary with 2 inputs");
+  } else if (b < 0 || b >= next_net_) {
+    throw std::invalid_argument("add_gate_raw: bad net b");
+  }
+  const NetId out = fresh_net();
+  gates_.push_back(Gate{type, a, is_unary(type) ? kInvalidNet : b, out});
+  return out;
+}
+
+std::vector<std::uint8_t> Netlist::sweep_dead_gates() {
+  std::vector<std::uint8_t> keep(gates_.size(), 1);
+  if (outputs_.empty()) return keep;
+
+  std::vector<std::uint8_t> live(net_count(), 0);
+  for (const auto& port : outputs_) live[static_cast<std::size_t>(port.net)] = 1;
+  // Gates are topologically ordered, so one reverse pass propagates
+  // liveness from outputs to the transitive fan-in.
+  for (std::size_t gi = gates_.size(); gi-- > 0;) {
+    const Gate& g = gates_[gi];
+    if (!live[static_cast<std::size_t>(g.out)]) {
+      keep[gi] = 0;
+      continue;
+    }
+    live[static_cast<std::size_t>(g.a)] = 1;
+    if (g.b != kInvalidNet) live[static_cast<std::size_t>(g.b)] = 1;
+  }
+
+  std::vector<Gate> compacted;
+  compacted.reserve(gates_.size());
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    if (keep[gi]) compacted.push_back(gates_[gi]);
+  }
+  gates_ = std::move(compacted);
+
+  // The hash tables may reference removed drivers; drop them (further
+  // building after a sweep simply loses some reuse, never correctness).
+  cse_.clear();
+  inverse_of_.clear();
+  inverse_of_[kConst0] = kConst1;
+  inverse_of_[kConst1] = kConst0;
+  return keep;
+}
+
+std::array<std::size_t, kGateTypeCount> Netlist::gate_histogram() const {
+  std::array<std::size_t, kGateTypeCount> hist{};
+  for (const auto& g : gates_) hist[static_cast<std::size_t>(g.type)]++;
+  return hist;
+}
+
+double Netlist::area_mm2(const TechLibrary& tech) const {
+  double area = 0.0;
+  for (const auto& g : gates_) area += tech.cell(g.type).area_mm2;
+  return area;
+}
+
+double Netlist::power_uw(const TechLibrary& tech) const {
+  double power = 0.0;
+  for (const auto& g : gates_) power += tech.cell(g.type).power_uw;
+  return power;
+}
+
+double Netlist::critical_path_ms(const TechLibrary& tech) const {
+  std::vector<double> arrival(net_count(), 0.0);
+  double worst = 0.0;
+  for (const auto& g : gates_) {
+    double in_arr = arrival[static_cast<std::size_t>(g.a)];
+    if (g.b != kInvalidNet) {
+      in_arr = std::max(in_arr, arrival[static_cast<std::size_t>(g.b)]);
+    }
+    const double out_arr = in_arr + tech.cell(g.type).delay_ms;
+    arrival[static_cast<std::size_t>(g.out)] = out_arr;
+    worst = std::max(worst, out_arr);
+  }
+  return worst;
+}
+
+std::vector<std::uint8_t> Netlist::simulate(
+    const std::vector<std::uint8_t>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("simulate: wrong number of input values");
+  }
+  std::vector<std::uint8_t> state(net_count(), 0);
+  state[kConst1] = 1;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    state[static_cast<std::size_t>(inputs_[i].net)] = input_values[i] ? 1 : 0;
+  }
+  for (const auto& g : gates_) {
+    const std::uint8_t av = state[static_cast<std::size_t>(g.a)];
+    const std::uint8_t bv =
+        g.b == kInvalidNet ? 0 : state[static_cast<std::size_t>(g.b)];
+    std::uint8_t out = 0;
+    switch (g.type) {
+      case GateType::kInv: out = av ? 0 : 1; break;
+      case GateType::kBuf: out = av; break;
+      case GateType::kAnd2: out = (av & bv); break;
+      case GateType::kOr2: out = (av | bv); break;
+      case GateType::kNand2: out = (av & bv) ? 0 : 1; break;
+      case GateType::kNor2: out = (av | bv) ? 0 : 1; break;
+      case GateType::kXor2: out = (av ^ bv); break;
+      case GateType::kXnor2: out = (av ^ bv) ? 0 : 1; break;
+    }
+    state[static_cast<std::size_t>(g.out)] = out;
+  }
+  return state;
+}
+
+std::vector<std::uint8_t> Netlist::evaluate_outputs(
+    const std::vector<std::uint8_t>& input_values) const {
+  const auto state = simulate(input_values);
+  std::vector<std::uint8_t> out;
+  out.reserve(outputs_.size());
+  for (const auto& port : outputs_) {
+    out.push_back(state[static_cast<std::size_t>(port.net)]);
+  }
+  return out;
+}
+
+}  // namespace pnm::hw

@@ -1,0 +1,152 @@
+#ifndef PNM_HW_NETLIST_HPP
+#define PNM_HW_NETLIST_HPP
+
+/// \file netlist.hpp
+/// \brief Combinational gate-level netlist with on-the-fly logic
+///        optimization, analysis and simulation.
+///
+/// This is the "synthesis back-end" of the reproduction: the bespoke MLP
+/// generator emits gates through add_gate(), which performs the local
+/// optimizations a logic synthesizer would — constant folding, operand
+/// canonicalization, idempotence/annihilation rules, double-inverter
+/// elimination, and structural hashing (common-subexpression reuse).
+/// These rules are what make hard-wired zero and power-of-two coefficients
+/// (the quantizer and pruner's output) nearly free in area, which is the
+/// physical mechanism behind the paper's area savings.
+///
+/// The netlist is a DAG by construction: every gate input must already
+/// exist, so gates are stored in topological order and simulation /
+/// longest-path analysis are single forward passes.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pnm/hw/tech.hpp"
+
+namespace pnm::hw {
+
+/// Index of a single-bit net. Net 0 is constant 0, net 1 constant 1.
+using NetId = std::int32_t;
+inline constexpr NetId kConst0 = 0;
+inline constexpr NetId kConst1 = 1;
+inline constexpr NetId kInvalidNet = -1;
+
+/// One gate instance; `b` is kInvalidNet for unary cells.
+struct Gate {
+  GateType type;
+  NetId a = kInvalidNet;
+  NetId b = kInvalidNet;
+  NetId out = kInvalidNet;
+};
+
+/// A named primary input or output bit.
+struct Port {
+  std::string name;
+  NetId net = kInvalidNet;
+};
+
+class Netlist {
+ public:
+  /// enable_cse = false turns off structural hashing (gate reuse) while
+  /// keeping constant folding — used by the product-sharing ablation
+  /// (bench/ablation_sharing) to model a naive per-connection datapath.
+  explicit Netlist(bool enable_cse = true);
+
+  // -- construction ---------------------------------------------------------
+
+  /// Net carrying constant 0 or 1.
+  [[nodiscard]] NetId constant(bool value) const { return value ? kConst1 : kConst0; }
+
+  /// Declares a primary input bit and returns its net.
+  NetId add_input(std::string name);
+
+  /// Declares `width` input bits named name[0..width-1] (LSB first).
+  std::vector<NetId> add_input_bus(const std::string& name, int width);
+
+  /// Marks an existing net as a primary output.
+  void mark_output(NetId net, std::string name);
+
+  /// Creates a gate (or reuses/folds). Returns the output net.  All local
+  /// optimization happens here; see file comment.  Pass b = kInvalidNet
+  /// for INV/BUF.
+  NetId add_gate(GateType type, NetId a, NetId b = kInvalidNet);
+
+  /// Creates a gate with NO optimization (unit tests of the raw fabric and
+  /// deliberate buffering).
+  NetId add_gate_raw(GateType type, NetId a, NetId b = kInvalidNet);
+
+  /// Dead-code elimination: removes every gate whose output cannot reach a
+  /// marked primary output (e.g. the high-order sum bits truncated away by
+  /// exact-range refitting).  Returns a keep flag per *old* gate index so
+  /// callers can remap side tables.  No-op (all kept) when no outputs are
+  /// marked.  Invalidates the structural-hashing state, so call it only
+  /// once construction is complete.
+  std::vector<std::uint8_t> sweep_dead_gates();
+
+  // -- inspection -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] std::size_t net_count() const { return static_cast<std::size_t>(next_net_); }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<Port>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Port>& outputs() const { return outputs_; }
+
+  /// Number of gates of each cell type (indexed by GateType).
+  [[nodiscard]] std::array<std::size_t, kGateTypeCount> gate_histogram() const;
+
+  // -- analysis ---------------------------------------------------------------
+
+  /// Total cell area.
+  [[nodiscard]] double area_mm2(const TechLibrary& tech) const;
+
+  /// Total static power.
+  [[nodiscard]] double power_uw(const TechLibrary& tech) const;
+
+  /// Longest input-to-output combinational path delay.
+  [[nodiscard]] double critical_path_ms(const TechLibrary& tech) const;
+
+  // -- simulation -------------------------------------------------------------
+
+  /// Evaluates the whole netlist for the given primary-input values
+  /// (in add_input declaration order).  Returns a value per net, indexable
+  /// by NetId.  Two-valued simulation; nets never written default to 0.
+  [[nodiscard]] std::vector<std::uint8_t> simulate(
+      const std::vector<std::uint8_t>& input_values) const;
+
+  /// Convenience: simulate and read back the declared outputs in order.
+  [[nodiscard]] std::vector<std::uint8_t> evaluate_outputs(
+      const std::vector<std::uint8_t>& input_values) const;
+
+ private:
+  NetId fresh_net();
+  NetId make_inverter(NetId a);
+
+  struct GateKey {
+    GateType type;
+    NetId a;
+    NetId b;
+    bool operator==(const GateKey&) const = default;
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.type);
+      h = h * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(k.a + 2);
+      h = h * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(k.b + 2);
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  bool enable_cse_ = true;
+  NetId next_net_ = 0;
+  std::vector<Gate> gates_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  std::unordered_map<GateKey, NetId, GateKeyHash> cse_;
+  std::unordered_map<NetId, NetId> inverse_of_;  ///< net -> its inversion, both ways
+};
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_NETLIST_HPP

@@ -1,0 +1,62 @@
+#include "pnm/hw/report.hpp"
+
+#include <sstream>
+
+#include "pnm/util/table.hpp"
+
+namespace pnm::hw {
+
+HwReport analyze(const Netlist& nl, const TechLibrary& tech) {
+  HwReport report;
+  report.tech_name = tech.name();
+  report.gate_total = nl.gate_count();
+  report.gate_histogram = nl.gate_histogram();
+  report.area_mm2 = nl.area_mm2(tech);
+  report.power_uw = nl.power_uw(tech);
+  report.critical_path_ms = nl.critical_path_ms(tech);
+  report.max_frequency_hz =
+      report.critical_path_ms > 0.0 ? 1000.0 / report.critical_path_ms : 0.0;
+  // uW * ms = nJ; report in uJ.
+  report.energy_per_inference_uj = report.power_uw * report.critical_path_ms * 1e-6;
+  return report;
+}
+
+std::string to_string(const HwReport& report) {
+  std::ostringstream out;
+  out << "technology       : " << report.tech_name << '\n';
+  out << "gates            : " << report.gate_total;
+  bool first = true;
+  out << " (";
+  for (int t = 0; t < kGateTypeCount; ++t) {
+    if (report.gate_histogram[static_cast<std::size_t>(t)] == 0) continue;
+    if (!first) out << ", ";
+    out << gate_type_name(static_cast<GateType>(t)) << ":"
+        << report.gate_histogram[static_cast<std::size_t>(t)];
+    first = false;
+  }
+  out << ")\n";
+  out << "area             : " << format_fixed(report.area_mm2, 2) << " mm^2 ("
+      << format_fixed(report.area_mm2 / 100.0, 3) << " cm^2)\n";
+  out << "static power     : " << format_fixed(report.power_uw / 1000.0, 2) << " mW\n";
+  out << "critical path    : " << format_fixed(report.critical_path_ms, 1) << " ms\n";
+  out << "max clock        : " << format_fixed(report.max_frequency_hz, 2) << " Hz\n";
+  out << "energy/inference : " << format_fixed(report.energy_per_inference_uj, 2)
+      << " uJ\n";
+  return out.str();
+}
+
+std::string to_string(const StageAreas& areas) {
+  std::ostringstream out;
+  const double total = areas.total();
+  auto line = [&](const char* label, double v) {
+    out << label << format_fixed(v, 2) << " mm^2 ("
+        << format_fixed(total > 0.0 ? 100.0 * v / total : 0.0, 1) << "%)\n";
+  };
+  line("multipliers      : ", areas.product_mm2);
+  line("adder trees      : ", areas.accumulate_mm2);
+  line("activations      : ", areas.activation_mm2);
+  line("argmax           : ", areas.argmax_mm2);
+  return out.str();
+}
+
+}  // namespace pnm::hw

@@ -1,0 +1,44 @@
+#ifndef PNM_HW_REPORT_HPP
+#define PNM_HW_REPORT_HPP
+
+/// \file report.hpp
+/// \brief Synthesis-style analysis reports (area / power / timing), the
+///        PrimeTime role of the paper's flow.
+
+#include <array>
+#include <string>
+
+#include "pnm/hw/bespoke.hpp"
+#include "pnm/hw/netlist.hpp"
+#include "pnm/hw/tech.hpp"
+
+namespace pnm::hw {
+
+/// One circuit's physical summary.
+struct HwReport {
+  std::string tech_name;
+  std::size_t gate_total = 0;
+  std::array<std::size_t, kGateTypeCount> gate_histogram{};
+  double area_mm2 = 0.0;
+  double power_uw = 0.0;
+  double critical_path_ms = 0.0;
+  /// Max clock implied by the critical path (printed circuits run at Hz).
+  double max_frequency_hz = 0.0;
+  /// Static energy burned per classification at the max clock
+  /// (power * critical path), in microjoules — the figure of merit for
+  /// battery-powered printed applications.
+  double energy_per_inference_uj = 0.0;
+};
+
+/// Analyzes a netlist against a technology library.
+HwReport analyze(const Netlist& nl, const TechLibrary& tech);
+
+/// Renders a human-readable report block (used by examples/quickstart).
+std::string to_string(const HwReport& report);
+
+/// Renders the per-stage area split of a bespoke circuit.
+std::string to_string(const StageAreas& areas);
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_REPORT_HPP

@@ -1,0 +1,72 @@
+#include "pnm/hw/tech.hpp"
+
+#include <stdexcept>
+
+namespace pnm::hw {
+
+bool is_unary(GateType type) { return type == GateType::kInv || type == GateType::kBuf; }
+
+const char* gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInv: return "INV";
+    case GateType::kBuf: return "BUF";
+    case GateType::kAnd2: return "AND2";
+    case GateType::kOr2: return "OR2";
+    case GateType::kNand2: return "NAND2";
+    case GateType::kNor2: return "NOR2";
+    case GateType::kXor2: return "XOR2";
+    case GateType::kXnor2: return "XNOR2";
+  }
+  throw std::logic_error("gate_type_name: unknown gate type");
+}
+
+TechLibrary::TechLibrary(std::string name, std::array<CellInfo, kGateTypeCount> cells)
+    : name_(std::move(name)), cells_(cells) {}
+
+const CellInfo& TechLibrary::cell(GateType type) const {
+  return cells_.at(static_cast<std::size_t>(type));
+}
+
+double TechLibrary::full_adder_area_mm2() const {
+  return 2.0 * cell(GateType::kXor2).area_mm2 + 2.0 * cell(GateType::kAnd2).area_mm2 +
+         cell(GateType::kOr2).area_mm2;
+}
+
+const TechLibrary& TechLibrary::egt() {
+  // Representative EGT printed cells.  Order: INV, BUF, AND2, OR2, NAND2,
+  // NOR2, XOR2, XNOR2.  Area ratios follow typical transistor counts of
+  // the EGT library (n-type-only logic makes NAND/NOR barely cheaper than
+  // AND/OR, XOR ~2x an AND); delays are ms-scale (printed circuits clock
+  // at a few Hz to tens of Hz); power is static-dominated.
+  static const TechLibrary lib(
+      "EGT",
+      std::array<CellInfo, kGateTypeCount>{{
+          /* INV   */ {0.017, 1.3, 0.9},
+          /* BUF   */ {0.022, 1.6, 1.1},
+          /* AND2  */ {0.038, 2.9, 1.7},
+          /* OR2   */ {0.038, 2.9, 1.7},
+          /* NAND2 */ {0.030, 2.3, 1.3},
+          /* NOR2  */ {0.030, 2.3, 1.3},
+          /* XOR2  */ {0.078, 5.7, 2.6},
+          /* XNOR2 */ {0.078, 5.7, 2.6},
+      }});
+  return lib;
+}
+
+const TechLibrary& TechLibrary::egt_lowcost() {
+  static const TechLibrary lib(
+      "EGT-lowcost",
+      std::array<CellInfo, kGateTypeCount>{{
+          /* INV   */ {0.012, 1.0, 0.8},
+          /* BUF   */ {0.016, 1.2, 1.0},
+          /* AND2  */ {0.027, 2.2, 1.5},
+          /* OR2   */ {0.027, 2.2, 1.5},
+          /* NAND2 */ {0.021, 1.7, 1.1},
+          /* NOR2  */ {0.021, 1.7, 1.1},
+          /* XOR2  */ {0.047, 3.8, 2.2},
+          /* XNOR2 */ {0.047, 3.8, 2.2},
+      }});
+  return lib;
+}
+
+}  // namespace pnm::hw

@@ -1,0 +1,76 @@
+#ifndef PNM_HW_TECH_HPP
+#define PNM_HW_TECH_HPP
+
+/// \file tech.hpp
+/// \brief Printed-electronics standard-cell technology model.
+///
+/// Stands in for the Synopsys DC + PrimeTime + EGT-PDK stack of the paper
+/// (DESIGN.md §4).  Every netlist gate is an instance of one of these cell
+/// types; area is the sum of cell areas, static power the sum of cell
+/// powers (printed electrolyte-gated circuits at Hz clock rates are
+/// dominated by static dissipation), and delay the longest
+/// topological path of cell delays.  Absolute values approximate published
+/// Electrolyte-Gated-Transistor (EGT) libraries (Bleier et al., ISCA 2020;
+/// Mubarik et al., MICRO 2020) — printed gates are ~10^6 larger and ~10^6
+/// slower than silicon; the figures in the paper are *normalized ratios*,
+/// which depend only on relative cell costs.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pnm::hw {
+
+/// Combinational primitive cells available in the printed library.
+enum class GateType : std::uint8_t {
+  kInv = 0,
+  kBuf,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+};
+inline constexpr int kGateTypeCount = 8;
+
+/// True for single-input cells (INV/BUF).
+bool is_unary(GateType type);
+
+/// Short cell name ("INV", "NAND2", ...).
+const char* gate_type_name(GateType type);
+
+/// Per-cell physical characteristics.
+struct CellInfo {
+  double area_mm2 = 0.0;   ///< printed footprint
+  double power_uw = 0.0;   ///< static power draw
+  double delay_ms = 0.0;   ///< pin-to-pin propagation delay
+};
+
+/// An immutable printed standard-cell library.
+class TechLibrary {
+ public:
+  TechLibrary(std::string name, std::array<CellInfo, kGateTypeCount> cells);
+
+  /// The default EGT-style printed library (see file comment).
+  static const TechLibrary& egt();
+
+  /// A hypothetical lower-cost printed library (smaller XOR), used by
+  /// sensitivity experiments; relative figure shapes should survive it.
+  static const TechLibrary& egt_lowcost();
+
+  [[nodiscard]] const CellInfo& cell(GateType type) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Cost of a full adder in this library (2 XOR + 2 AND + 1 OR), the unit
+  /// the analytic area proxy is expressed in.
+  [[nodiscard]] double full_adder_area_mm2() const;
+
+ private:
+  std::string name_;
+  std::array<CellInfo, kGateTypeCount> cells_;
+};
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_TECH_HPP

@@ -1,0 +1,43 @@
+#ifndef PNM_HW_VERILOG_HPP
+#define PNM_HW_VERILOG_HPP
+
+/// \file verilog.hpp
+/// \brief Structural Verilog export of generated netlists, so designs can
+///        be taken into a real EDA flow (the paper's Synopsys DC step) or
+///        simulated with standard tools.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pnm/hw/bespoke.hpp"
+#include "pnm/hw/netlist.hpp"
+
+namespace pnm::hw {
+
+/// Emits a synthesizable structural Verilog module: primary inputs/outputs
+/// as ports, each gate as a continuous assignment over wire nets.
+/// Identifier characters outside [A-Za-z0-9_] in port names are mangled.
+void write_verilog(const Netlist& nl, std::ostream& out,
+                   const std::string& module_name = "pnm_bespoke");
+
+/// One testbench stimulus: quantized input codes plus the class the DUT
+/// must answer (obtained from QuantizedMlp::predict_quantized).
+struct TestVector {
+  std::vector<std::int64_t> inputs;
+  std::size_t expected_class = 0;
+};
+
+/// Emits a self-checking Verilog testbench for a bespoke classifier:
+/// drives each vector, compares the class[] outputs against the expected
+/// label, reports mismatches via $display, and finishes with a PASS/FAIL
+/// summary.  Pair it with write_verilog of the same circuit to validate
+/// the exported RTL in any commercial/open simulator.
+void write_verilog_testbench(const BespokeCircuit& circuit,
+                             const std::vector<TestVector>& vectors, std::ostream& out,
+                             const std::string& dut_module_name = "pnm_bespoke");
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_VERILOG_HPP

@@ -1,0 +1,88 @@
+#include "pnm/nn/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pnm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols) {
+    throw std::invalid_argument("Matrix: data size does not match shape");
+  }
+}
+
+void Matrix::fill(double v) {
+  for (auto& e : data_) e = v;
+}
+
+void Matrix::matvec(const std::vector<double>& x, std::vector<double>& y) const {
+  if (x.size() != cols_) throw std::invalid_argument("matvec: bad x size");
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void Matrix::matvec_transposed(const std::vector<double>& x, std::vector<double>& y) const {
+  if (x.size() != rows_) throw std::invalid_argument("matvec_transposed: bad x size");
+  y.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void Matrix::axpy(double alpha, const Matrix& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("axpy: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::add_outer(double alpha, const std::vector<double>& u,
+                       const std::vector<double>& v) {
+  if (u.size() != rows_ || v.size() != cols_) {
+    throw std::invalid_argument("add_outer: shape mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    const double au = alpha * u[r];
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += au * v[c];
+  }
+}
+
+double Matrix::abs_max() const {
+  double m = 0.0;
+  for (double e : data_) m = std::max(m, std::fabs(e));
+  return m;
+}
+
+std::size_t Matrix::zero_count() const {
+  std::size_t n = 0;
+  for (double e : data_) n += (e == 0.0) ? 1 : 0;
+  return n;
+}
+
+Matrix he_normal(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double std = std::sqrt(2.0 / static_cast<double>(cols));
+  for (auto& e : m.raw()) e = rng.normal(0.0, std);
+  return m;
+}
+
+Matrix xavier_uniform(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& e : m.raw()) e = rng.uniform(-limit, limit);
+  return m;
+}
+
+}  // namespace pnm

@@ -1,0 +1,152 @@
+#include "pnm/nn/mlp.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pnm {
+
+Mlp::Mlp(const std::vector<std::size_t>& topology, Rng& rng, Activation hidden_act) {
+  if (topology.size() < 2) {
+    throw std::invalid_argument("Mlp: topology needs at least input and output sizes");
+  }
+  for (std::size_t s : topology) {
+    if (s == 0) throw std::invalid_argument("Mlp: zero-sized layer");
+  }
+  layers_.reserve(topology.size() - 1);
+  for (std::size_t i = 0; i + 1 < topology.size(); ++i) {
+    DenseLayer layer;
+    layer.weights = he_normal(topology[i + 1], topology[i], rng);
+    layer.bias.assign(topology[i + 1], 0.0);
+    const bool is_output = (i + 2 == topology.size());
+    layer.act = is_output ? Activation::kIdentity : hidden_act;
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Mlp::Mlp(std::vector<DenseLayer> layers) : layers_(std::move(layers)) {
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    if (layers_[i].out_features() != layers_[i + 1].in_features()) {
+      throw std::invalid_argument("Mlp: inconsistent layer shapes");
+    }
+  }
+  for (const auto& l : layers_) {
+    if (l.bias.size() != l.out_features()) {
+      throw std::invalid_argument("Mlp: bias size mismatch");
+    }
+  }
+}
+
+std::size_t Mlp::input_size() const {
+  if (layers_.empty()) return 0;
+  return layers_.front().in_features();
+}
+
+std::size_t Mlp::output_size() const {
+  if (layers_.empty()) return 0;
+  return layers_.back().out_features();
+}
+
+std::vector<std::size_t> Mlp::topology() const {
+  std::vector<std::size_t> t;
+  if (layers_.empty()) return t;
+  t.push_back(layers_.front().in_features());
+  for (const auto& l : layers_) t.push_back(l.out_features());
+  return t;
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  std::vector<double> cur = x;
+  std::vector<double> next;
+  for (const auto& l : layers_) {
+    l.weights.matvec(cur, next);
+    for (std::size_t r = 0; r < next.size(); ++r) next[r] += l.bias[r];
+    apply_activation(l.act, next);
+    cur.swap(next);
+  }
+  return cur;
+}
+
+void Mlp::forward_cached(const std::vector<double>& x,
+                         std::vector<std::vector<double>>& activations) const {
+  activations.assign(layers_.size() + 1, {});
+  activations[0] = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const auto& l = layers_[i];
+    l.weights.matvec(activations[i], activations[i + 1]);
+    auto& out = activations[i + 1];
+    for (std::size_t r = 0; r < out.size(); ++r) out[r] += l.bias[r];
+    apply_activation(l.act, out);
+  }
+}
+
+std::size_t Mlp::predict(const std::vector<double>& x) const { return argmax(forward(x)); }
+
+std::size_t Mlp::weight_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.weights.size();
+  return n;
+}
+
+std::size_t Mlp::zero_weight_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.weights.zero_count();
+  return n;
+}
+
+void Mlp::save(std::ostream& out) const {
+  out << "pnm-mlp 1\n" << layers_.size() << '\n';
+  out.precision(17);
+  for (const auto& l : layers_) {
+    out << l.out_features() << ' ' << l.in_features() << ' ' << activation_name(l.act)
+        << '\n';
+    for (std::size_t r = 0; r < l.out_features(); ++r) {
+      for (std::size_t c = 0; c < l.in_features(); ++c) {
+        out << l.weights(r, c) << (c + 1 < l.in_features() ? ' ' : '\n');
+      }
+    }
+    for (std::size_t r = 0; r < l.bias.size(); ++r) {
+      out << l.bias[r] << (r + 1 < l.bias.size() ? ' ' : '\n');
+    }
+  }
+}
+
+Mlp Mlp::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "pnm-mlp" || version != 1) {
+    throw std::runtime_error("Mlp::load: bad header");
+  }
+  std::size_t n_layers = 0;
+  in >> n_layers;
+  std::vector<DenseLayer> layers;
+  layers.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    std::size_t out_f = 0, in_f = 0;
+    std::string act;
+    in >> out_f >> in_f >> act;
+    DenseLayer l;
+    l.weights = Matrix(out_f, in_f);
+    l.act = activation_from_name(act);
+    for (std::size_t r = 0; r < out_f; ++r) {
+      for (std::size_t c = 0; c < in_f; ++c) in >> l.weights(r, c);
+    }
+    l.bias.assign(out_f, 0.0);
+    for (auto& b : l.bias) in >> b;
+    layers.push_back(std::move(l));
+  }
+  if (!in) throw std::runtime_error("Mlp::load: truncated stream");
+  return Mlp(std::move(layers));
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("argmax: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace pnm

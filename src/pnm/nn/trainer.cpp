@@ -1,0 +1,197 @@
+#include "pnm/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnm {
+
+Gradients Gradients::zeros_like(const Mlp& model) {
+  Gradients g;
+  g.w.reserve(model.layer_count());
+  g.b.reserve(model.layer_count());
+  for (const auto& l : model.layers()) {
+    g.w.emplace_back(l.out_features(), l.in_features());
+    g.b.emplace_back(l.out_features(), 0.0);
+  }
+  return g;
+}
+
+void Gradients::set_zero() {
+  for (auto& m : w) m.fill(0.0);
+  for (auto& v : b) std::fill(v.begin(), v.end(), 0.0);
+}
+
+void Gradients::scale(double s) {
+  for (auto& m : w) {
+    for (auto& e : m.raw()) e *= s;
+  }
+  for (auto& v : b) {
+    for (auto& e : v) e *= s;
+  }
+}
+
+double softmax_cross_entropy(const std::vector<double>& logits, std::size_t label,
+                             std::vector<double>* grad) {
+  if (label >= logits.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: label out of range");
+  }
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  for (double z : logits) denom += std::exp(z - max_logit);
+  const double log_denom = std::log(denom);
+  const double loss = -(logits[label] - max_logit - log_denom);
+  if (grad != nullptr) {
+    grad->resize(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      (*grad)[i] = std::exp(logits[i] - max_logit - log_denom);
+    }
+    (*grad)[label] -= 1.0;
+  }
+  return loss;
+}
+
+double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
+                       Gradients& grads) {
+  std::vector<std::vector<double>> acts;
+  model.forward_cached(x, acts);
+
+  std::vector<double> delta;
+  const double loss = softmax_cross_entropy(acts.back(), label, &delta);
+  // The output layer is identity in this library; if it is not, fold the
+  // activation derivative into delta.
+  apply_activation_grad(model.layers().back().act, acts.back(), delta);
+
+  for (std::size_t li = model.layer_count(); li-- > 0;) {
+    const auto& layer = model.layer(li);
+    // dL/dW += delta * acts[li]^T ; dL/db += delta.
+    grads.w[li].add_outer(1.0, delta, acts[li]);
+    for (std::size_t r = 0; r < delta.size(); ++r) grads.b[li][r] += delta[r];
+    if (li == 0) break;
+    std::vector<double> prev_delta;
+    layer.weights.matvec_transposed(delta, prev_delta);
+    apply_activation_grad(model.layer(li - 1).act, acts[li], prev_delta);
+    // NOTE: acts[li] is the *post-activation* output of layer li-1.
+    delta.swap(prev_delta);
+  }
+  return loss;
+}
+
+Trainer::Trainer(TrainConfig config) : config_(config) {
+  if (config_.epochs == 0 || config_.batch_size == 0) {
+    throw std::invalid_argument("Trainer: epochs and batch_size must be positive");
+  }
+  if (config_.lr <= 0.0) throw std::invalid_argument("Trainer: lr must be positive");
+}
+
+TrainResult Trainer::fit(Mlp& model, const Dataset& train, Rng& rng) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("Trainer::fit: empty dataset");
+  if (train.n_features() != model.input_size() || train.n_classes > model.output_size()) {
+    throw std::invalid_argument("Trainer::fit: dataset/model shape mismatch");
+  }
+
+  Gradients grads = Gradients::zeros_like(model);
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Mlp view_model = model;  // scratch copy for STE weight views
+  TrainResult result;
+  result.epoch_loss.reserve(config_.epochs);
+  double lr = config_.lr;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.shuffle) rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      grads.set_zero();
+
+      const Mlp* fwd = &model;
+      if (view_) {
+        view_model = model;
+        view_(model, view_model);
+        fwd = &view_model;
+      }
+      for (std::size_t i = start; i < end; ++i) {
+        epoch_loss += backprop_sample(*fwd, train.x[order[i]], train.y[order[i]], grads);
+      }
+      grads.scale(1.0 / static_cast<double>(end - start));
+      apply_update(model, grads, lr);
+      if (projector_) projector_(model);
+    }
+    result.epoch_loss.push_back(epoch_loss / static_cast<double>(train.size()));
+    lr *= config_.lr_decay;
+  }
+  return result;
+}
+
+void Trainer::apply_update(Mlp& model, const Gradients& grads, double lr) {
+  // Lazily size the optimizer state.
+  if (vel_w_.size() != model.layer_count()) {
+    vel_w_.clear();
+    m_w_.clear();
+    v_w_.clear();
+    vel_b_.clear();
+    m_b_.clear();
+    v_b_.clear();
+    for (const auto& l : model.layers()) {
+      vel_w_.emplace_back(l.out_features(), l.in_features());
+      m_w_.emplace_back(l.out_features(), l.in_features());
+      v_w_.emplace_back(l.out_features(), l.in_features());
+      vel_b_.emplace_back(l.out_features(), 0.0);
+      m_b_.emplace_back(l.out_features(), 0.0);
+      v_b_.emplace_back(l.out_features(), 0.0);
+    }
+    step_ = 0;
+  }
+  ++step_;
+
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    auto& layer = model.layer(li);
+    auto& w = layer.weights.raw();
+    const auto& gw = grads.w[li].raw();
+    auto& b = layer.bias;
+    const auto& gb = grads.b[li];
+
+    if (config_.optimizer == Optimizer::kSgd) {
+      auto& vw = vel_w_[li].raw();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        const double g = gw[i] + config_.weight_decay * w[i];
+        vw[i] = config_.momentum * vw[i] - lr * g;
+        w[i] += vw[i];
+      }
+      auto& vb = vel_b_[li];
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        vb[i] = config_.momentum * vb[i] - lr * gb[i];
+        b[i] += vb[i];
+      }
+    } else {
+      const double b1 = config_.adam_beta1;
+      const double b2 = config_.adam_beta2;
+      const double bc1 = 1.0 - std::pow(b1, static_cast<double>(step_));
+      const double bc2 = 1.0 - std::pow(b2, static_cast<double>(step_));
+      auto& mw = m_w_[li].raw();
+      auto& vw = v_w_[li].raw();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        const double g = gw[i] + config_.weight_decay * w[i];
+        mw[i] = b1 * mw[i] + (1.0 - b1) * g;
+        vw[i] = b2 * vw[i] + (1.0 - b2) * g * g;
+        const double mhat = mw[i] / bc1;
+        const double vhat = vw[i] / bc2;
+        w[i] -= lr * mhat / (std::sqrt(vhat) + config_.adam_eps);
+      }
+      auto& mb = m_b_[li];
+      auto& vb = v_b_[li];
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        mb[i] = b1 * mb[i] + (1.0 - b1) * gb[i];
+        vb[i] = b2 * vb[i] + (1.0 - b2) * gb[i] * gb[i];
+        const double mhat = mb[i] / bc1;
+        const double vhat = vb[i] / bc2;
+        b[i] -= lr * mhat / (std::sqrt(vhat) + config_.adam_eps);
+      }
+    }
+  }
+}
+
+}  // namespace pnm

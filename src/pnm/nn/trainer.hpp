@@ -1,0 +1,103 @@
+#ifndef PNM_NN_TRAINER_HPP
+#define PNM_NN_TRAINER_HPP
+
+/// \file trainer.hpp
+/// \brief Mini-batch training for pnm::Mlp with the two hooks every
+///        minimization technique in the paper needs:
+///
+///  * a *weight view* — a forward-time substitution of the weights used
+///    for forward/backward while gradients are applied to the float master
+///    copy.  With a quantizer view this is exactly straight-through-
+///    estimator quantization-aware training (the QKeras role in the paper);
+///  * a *projector* — run after every optimizer step to re-impose a
+///    constraint on the master weights: pruning masks re-zero pruned
+///    connections, clustering re-averages each cluster to a shared value.
+///
+/// Loss is softmax cross-entropy over the output logits.
+
+#include <functional>
+#include <vector>
+
+#include "pnm/data/dataset.hpp"
+#include "pnm/nn/mlp.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+
+/// Gradients of the loss w.r.t. one network's parameters.
+struct Gradients {
+  std::vector<Matrix> w;                 ///< same shapes as the layers' weights
+  std::vector<std::vector<double>> b;    ///< same shapes as the biases
+
+  /// Allocates zero gradients shaped like the model.
+  static Gradients zeros_like(const Mlp& model);
+  void set_zero();
+  void scale(double s);
+};
+
+/// Softmax cross-entropy loss for one sample; if grad is non-null it
+/// receives dL/dlogits (softmax - onehot).  Numerically stabilized.
+double softmax_cross_entropy(const std::vector<double>& logits, std::size_t label,
+                             std::vector<double>* grad);
+
+/// Accumulates dL/dparams for one sample into grads (+=). Returns the loss.
+double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
+                       Gradients& grads);
+
+enum class Optimizer { kSgd, kAdam };
+
+struct TrainConfig {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  double lr = 3e-3;
+  double lr_decay = 1.0;        ///< multiplicative per-epoch decay
+  double momentum = 0.9;        ///< SGD only
+  double weight_decay = 0.0;    ///< decoupled L2 on weights (not biases)
+  Optimizer optimizer = Optimizer::kAdam;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  bool shuffle = true;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_loss;  ///< mean training loss per epoch
+  [[nodiscard]] double final_loss() const {
+    return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+  }
+};
+
+/// Runs mini-batch training on `model` in place.
+class Trainer {
+ public:
+  /// Substitutes the weights used in the forward/backward pass (STE). The
+  /// callee receives the master model and a scratch copy to modify.
+  using WeightView = std::function<void(const Mlp& master, Mlp& view)>;
+  /// Constraint re-imposed on the master model after each optimizer step.
+  using Projector = std::function<void(Mlp& master)>;
+
+  explicit Trainer(TrainConfig config);
+
+  void set_weight_view(WeightView view) { view_ = std::move(view); }
+  void set_projector(Projector projector) { projector_ = std::move(projector); }
+
+  /// Trains and returns the per-epoch loss trace. Deterministic given rng.
+  TrainResult fit(Mlp& model, const Dataset& train, Rng& rng);
+
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+
+ private:
+  void apply_update(Mlp& model, const Gradients& grads, double lr);
+
+  TrainConfig config_;
+  WeightView view_;
+  Projector projector_;
+  // Optimizer state (lazily sized to the model on first update).
+  std::vector<Matrix> vel_w_, m_w_, v_w_;
+  std::vector<std::vector<double>> vel_b_, m_b_, v_b_;
+  long step_ = 0;
+};
+
+}  // namespace pnm
+
+#endif  // PNM_NN_TRAINER_HPP

@@ -1,0 +1,60 @@
+#include "pnm/util/bits.hpp"
+
+#include <stdexcept>
+
+namespace pnm {
+
+int bits_for_unsigned(std::uint64_t v) {
+  int n = 0;
+  while (v != 0) {
+    ++n;
+    v >>= 1;
+  }
+  return n;
+}
+
+int bits_for_signed_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("bits_for_signed_range: lo > hi");
+  if (lo == 0 && hi == 0) return 0;
+  if (lo >= 0) {
+    // Non-negative range: magnitude bits only (caller treats as unsigned).
+    return bits_for_unsigned(static_cast<std::uint64_t>(hi));
+  }
+  // Need a two's-complement width w with signed_min(w) <= lo, hi <= signed_max(w).
+  int w = 1;
+  while (signed_min(w) > lo || signed_max(w) < hi) ++w;
+  return w;
+}
+
+std::int64_t unsigned_max(int width) {
+  if (width < 0 || width > 62) throw std::invalid_argument("unsigned_max: bad width");
+  return (std::int64_t{1} << width) - 1;
+}
+
+std::int64_t signed_min(int width) {
+  if (width < 1 || width > 62) throw std::invalid_argument("signed_min: bad width");
+  return -(std::int64_t{1} << (width - 1));
+}
+
+std::int64_t signed_max(int width) {
+  if (width < 1 || width > 62) throw std::invalid_argument("signed_max: bad width");
+  return (std::int64_t{1} << (width - 1)) - 1;
+}
+
+bool is_pow2_or_zero(std::int64_t v) {
+  if (v < 0) v = -v;
+  return (v & (v - 1)) == 0;
+}
+
+int binary_nonzero_digits(std::int64_t v) {
+  if (v < 0) v = -v;
+  int n = 0;
+  auto u = static_cast<std::uint64_t>(v);
+  while (u != 0) {
+    n += static_cast<int>(u & 1U);
+    u >>= 1;
+  }
+  return n;
+}
+
+}  // namespace pnm

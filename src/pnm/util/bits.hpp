@@ -1,0 +1,44 @@
+#ifndef PNM_UTIL_BITS_HPP
+#define PNM_UTIL_BITS_HPP
+
+/// \file bits.hpp
+/// \brief Integer range / bit-width helpers shared by the quantizer and the
+///        bespoke hardware generator.
+///
+/// Bespoke printed circuits derive every datapath width from the *exact*
+/// worst-case integer range of the signal it carries (weights are
+/// hard-wired, so ranges are known at generation time).  These helpers keep
+/// that arithmetic in one place.
+
+#include <cstdint>
+
+namespace pnm {
+
+/// Number of bits needed to represent the unsigned value v (0 needs 0 bits,
+/// by convention of an empty bus that is constant zero).
+int bits_for_unsigned(std::uint64_t v);
+
+/// Number of bits of a two's-complement bus able to hold every integer in
+/// [lo, hi] (inclusive).  Requires lo <= hi.  A range of {0} yields 0 bits.
+/// If the range is entirely non-negative the result still includes a sign
+/// bit only when lo < 0; non-negative ranges get ceil(log2(hi+1)) bits and
+/// the caller decides whether to treat the bus as unsigned.
+int bits_for_signed_range(std::int64_t lo, std::int64_t hi);
+
+/// Largest value representable by an unsigned bus of width w.
+std::int64_t unsigned_max(int width);
+
+/// Extremes of a two's-complement bus of width w: [-2^(w-1), 2^(w-1)-1].
+std::int64_t signed_min(int width);
+std::int64_t signed_max(int width);
+
+/// True if v is zero or a power of two (a "free" bespoke coefficient:
+/// multiplication is pure wiring).
+bool is_pow2_or_zero(std::int64_t v);
+
+/// Population count of nonzero binary digits of |v|.
+int binary_nonzero_digits(std::int64_t v);
+
+}  // namespace pnm
+
+#endif  // PNM_UTIL_BITS_HPP

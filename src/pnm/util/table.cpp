@@ -1,0 +1,61 @@
+#include "pnm/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pnm {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      out << s;
+      if (c + 1 < width.size()) out << std::string(width[c] - s.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_factor(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+}  // namespace pnm

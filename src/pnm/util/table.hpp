@@ -1,0 +1,51 @@
+#ifndef PNM_UTIL_TABLE_HPP
+#define PNM_UTIL_TABLE_HPP
+
+/// \file table.hpp
+/// \brief Minimal aligned-column text tables used by the benchmark harness
+///        to print the paper's figures/tables as readable console series.
+
+#include <string>
+#include <vector>
+
+namespace pnm {
+
+/// Collects rows of strings and renders them with aligned columns.
+///
+/// Usage:
+///   TextTable t({"technique", "area ratio", "accuracy"});
+///   t.add_row({"quant-4b", "0.21", "0.912"});
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; the row may have fewer cells than the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table, two spaces between columns, '-' separators.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string format_fixed(double v, int decimals);
+
+/// Formats a ratio as e.g. "5.02x".
+std::string format_factor(double v);
+
+}  // namespace pnm
+
+#endif  // PNM_UTIL_TABLE_HPP

@@ -1,0 +1,211 @@
+/// Integration tests for MinimizationFlow: the full pipeline from dataset
+/// to evaluated bespoke designs.
+
+#include "pnm/core/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnm/data/synth.hpp"
+
+namespace pnm {
+namespace {
+
+FlowConfig fast_config(const std::string& dataset) {
+  FlowConfig config;
+  config.dataset_name = dataset;
+  config.seed = 42;
+  config.train.epochs = 25;
+  config.finetune_epochs = 4;
+  return config;
+}
+
+/// A shared, lazily-prepared flow so the suite trains Seeds only once.
+MinimizationFlow& seeds_flow() {
+  static MinimizationFlow flow = [] {
+    MinimizationFlow f(fast_config("seeds"));
+    f.prepare();
+    return f;
+  }();
+  return flow;
+}
+
+TEST(Flow, AccessorsRequirePrepare) {
+  MinimizationFlow flow(fast_config("seeds"));
+  EXPECT_FALSE(flow.prepared());
+  EXPECT_THROW(flow.data(), std::logic_error);
+  EXPECT_THROW(flow.float_model(), std::logic_error);
+  EXPECT_THROW(flow.baseline(), std::logic_error);
+  EXPECT_THROW(flow.sweep_quantization(), std::logic_error);
+}
+
+TEST(Flow, PrepareTrainsAReasonableBaseline) {
+  auto& flow = seeds_flow();
+  EXPECT_TRUE(flow.prepared());
+  EXPECT_GT(flow.float_test_accuracy(), 0.8);
+  const auto& baseline = flow.baseline();
+  EXPECT_EQ(baseline.technique, "baseline");
+  EXPECT_EQ(baseline.config, "8b");
+  EXPECT_GT(baseline.accuracy, 0.8);
+  EXPECT_GT(baseline.area_mm2, 10.0);
+  EXPECT_GT(baseline.power_uw, 0.0);
+  EXPECT_GT(baseline.delay_ms, 0.0);
+}
+
+TEST(Flow, DefaultTopologyUsesDatasetShape) {
+  auto& flow = seeds_flow();
+  const auto topo = flow.float_model().topology();
+  ASSERT_EQ(topo.size(), 3U);
+  EXPECT_EQ(topo[0], 7U);  // seeds features
+  EXPECT_EQ(topo[2], 3U);  // seeds classes
+  EXPECT_EQ(MinimizationFlow::default_hidden("whitewine"), (std::vector<std::size_t>{8}));
+  EXPECT_EQ(MinimizationFlow::default_hidden("unknown"), (std::vector<std::size_t>{6}));
+}
+
+TEST(Flow, QuantizationSweepProducesOrderedAreas) {
+  auto& flow = seeds_flow();
+  const auto points = flow.sweep_quantization(2, 7);
+  ASSERT_EQ(points.size(), 6U);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].technique, "quant");
+    EXPECT_GT(points[i].area_mm2, 0.0);
+    if (i > 0) EXPECT_GT(points[i].area_mm2, points[i - 1].area_mm2);  // more bits
+  }
+  // Low bit-widths save area vs the baseline.
+  EXPECT_LT(points.front().area_mm2, 0.6 * flow.baseline().area_mm2);
+}
+
+TEST(Flow, PruningSweepShrinksArea) {
+  auto& flow = seeds_flow();
+  const auto points = flow.sweep_pruning({0.2, 0.6});
+  ASSERT_EQ(points.size(), 2U);
+  EXPECT_EQ(points[0].technique, "prune");
+  EXPECT_GT(points[0].area_mm2, points[1].area_mm2);  // 60% < 20% area
+  EXPECT_LT(points[1].area_mm2, flow.baseline().area_mm2);
+}
+
+TEST(Flow, ClusteringSweepShrinksArea) {
+  auto& flow = seeds_flow();
+  const auto points = flow.sweep_clustering({2, 4});
+  ASSERT_EQ(points.size(), 2U);
+  EXPECT_EQ(points[0].technique, "cluster");
+  // Aggressive clustering (k=2) must save area; k=4 on a 4-neuron hidden
+  // layer is nearly a no-op and may land within noise of the baseline.
+  EXPECT_LT(points[0].area_mm2, flow.baseline().area_mm2);
+  EXPECT_LT(points[1].area_mm2, 1.1 * flow.baseline().area_mm2);
+  // Fewer clusters never cost materially more (ties are noise: on a
+  // 4-neuron hidden layer k=4 is nearly unclustered already).
+  EXPECT_LT(points[0].area_mm2, 1.05 * points[1].area_mm2);
+}
+
+TEST(Flow, EvaluateGenomeRejectsArityMismatch) {
+  auto& flow = seeds_flow();
+  Genome bad;
+  bad.weight_bits = {4};
+  bad.sparsity_pct = {0};
+  bad.clusters = {0};  // model has 2 layers
+  EXPECT_THROW(flow.evaluate_genome(bad, 1, false, false), std::invalid_argument);
+}
+
+TEST(Flow, RealizeGenomeRespectsAllThreeConstraints) {
+  auto& flow = seeds_flow();
+  Genome genome;
+  genome.weight_bits = {3, 3};
+  genome.sparsity_pct = {40, 40};
+  genome.clusters = {2, 2};
+  const QuantizedMlp q = flow.realize_genome(genome, 3);
+  // Quantization: codes within 3-bit symmetric range.
+  for (const auto& layer : q.layers()) {
+    for (const auto& row : layer.w) {
+      for (int w : row) EXPECT_LE(std::abs(w), 3);
+    }
+  }
+  // Pruning: at least ~40% zeros network-wide.
+  std::size_t total = 0;
+  for (const auto& layer : q.layers()) total += layer.out_features() * layer.in_features();
+  const double zero_frac =
+      1.0 - static_cast<double>(q.nonzero_weights()) / static_cast<double>(total);
+  EXPECT_GE(zero_frac, 0.35);
+  // Clustering: <= 2 distinct nonzero codes per column.
+  for (const auto& layer : q.layers()) {
+    for (std::size_t c = 0; c < layer.in_features(); ++c) {
+      std::set<int> distinct;
+      for (std::size_t r = 0; r < layer.out_features(); ++r) {
+        if (layer.w[r][c] != 0) distinct.insert(layer.w[r][c]);
+      }
+      EXPECT_LE(distinct.size(), 2U);
+    }
+  }
+}
+
+TEST(Flow, ProxyAndExactEvaluationAgreeOnOrdering) {
+  auto& flow = seeds_flow();
+  Genome small;
+  small.weight_bits = {2, 2};
+  small.sparsity_pct = {50, 50};
+  small.clusters = {2, 2};
+  Genome large;
+  large.weight_bits = {8, 8};
+  large.sparsity_pct = {0, 0};
+  large.clusters = {0, 0};
+  const auto small_exact = flow.evaluate_genome(small, 2, true, false);
+  const auto small_proxy = flow.evaluate_genome(small, 2, false, false);
+  const auto large_exact = flow.evaluate_genome(large, 2, true, false);
+  const auto large_proxy = flow.evaluate_genome(large, 2, false, false);
+  EXPECT_LT(small_exact.area_mm2, large_exact.area_mm2);
+  EXPECT_LT(small_proxy.area_mm2, large_proxy.area_mm2);
+}
+
+TEST(Flow, DeterministicAcrossInstances) {
+  MinimizationFlow flow1(fast_config("seeds"));
+  MinimizationFlow flow2(fast_config("seeds"));
+  flow1.prepare();
+  flow2.prepare();
+  EXPECT_EQ(flow1.baseline().accuracy, flow2.baseline().accuracy);
+  EXPECT_EQ(flow1.baseline().area_mm2, flow2.baseline().area_mm2);
+}
+
+TEST(Flow, AcceptsExternalDataset) {
+  SynthConfig cfg;
+  cfg.name = "custom";
+  cfg.n_features = 5;
+  cfg.n_classes = 3;
+  cfg.n_samples = 400;
+  cfg.class_separation = 2.5;
+  Rng rng(7);
+  Dataset data = make_synthetic(cfg, rng);
+  FlowConfig config = fast_config("custom-task");
+  config.hidden = {5};
+  MinimizationFlow flow(config, data);
+  flow.prepare();
+  EXPECT_EQ(flow.float_model().input_size(), 5U);
+  EXPECT_GT(flow.float_test_accuracy(), 0.7);
+}
+
+TEST(Flow, SmallGaRunImprovesOnStandalonePoints) {
+  auto& flow = seeds_flow();
+  GaConfig ga;
+  ga.population = 12;
+  ga.generations = 6;
+  const auto outcome = flow.run_combined_ga(ga, /*ga_finetune_epochs=*/2);
+  ASSERT_FALSE(outcome.front.empty());
+  EXPECT_GT(outcome.raw.evaluations, 10U);
+  // Front points are valid designs.
+  for (const auto& p : outcome.front) {
+    EXPECT_EQ(p.technique, "ga");
+    EXPECT_GT(p.area_mm2, 0.0);
+    EXPECT_GE(p.accuracy, 0.0);
+    EXPECT_LE(p.accuracy, 1.0);
+  }
+  // At least one GA design reaches near-baseline accuracy at lower area.
+  const auto& baseline = flow.baseline();
+  bool good = false;
+  for (const auto& p : outcome.front) {
+    if (p.accuracy >= baseline.accuracy - 0.05 && p.area_mm2 < 0.8 * baseline.area_mm2) {
+      good = true;
+    }
+  }
+  EXPECT_TRUE(good);
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,124 @@
+/// Tests for Pareto-front tooling.
+
+#include "pnm/core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnm {
+namespace {
+
+DesignPoint dp(double accuracy, double area) {
+  DesignPoint p;
+  p.accuracy = accuracy;
+  p.area_mm2 = area;
+  return p;
+}
+
+TEST(Dominates, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates(dp(0.9, 10), dp(0.8, 20)));   // better in both
+  EXPECT_TRUE(dominates(dp(0.9, 10), dp(0.9, 20)));   // equal acc, less area
+  EXPECT_TRUE(dominates(dp(0.9, 10), dp(0.8, 10)));   // equal area, more acc
+  EXPECT_FALSE(dominates(dp(0.9, 10), dp(0.9, 10)));  // identical
+  EXPECT_FALSE(dominates(dp(0.9, 20), dp(0.8, 10)));  // trade-off
+  EXPECT_FALSE(dominates(dp(0.8, 10), dp(0.9, 20)));
+}
+
+TEST(ParetoFront, KeepsOnlyNonDominated) {
+  const auto front = pareto_front({
+      dp(0.9, 10),
+      dp(0.8, 20),   // dominated by (0.9, 10)
+      dp(0.95, 30),  // non-dominated (more accurate)
+      dp(0.5, 5),    // non-dominated (smaller)
+      dp(0.4, 6),    // dominated by (0.5, 5)
+  });
+  ASSERT_EQ(front.size(), 3U);
+  EXPECT_EQ(front[0].area_mm2, 5.0);
+  EXPECT_EQ(front[1].area_mm2, 10.0);
+  EXPECT_EQ(front[2].area_mm2, 30.0);
+}
+
+TEST(ParetoFront, SortedByAreaAndAccuracyAscends) {
+  const auto front = pareto_front(
+      {dp(0.7, 12), dp(0.9, 30), dp(0.6, 8), dp(0.8, 20), dp(0.95, 50)});
+  for (std::size_t i = 0; i + 1 < front.size(); ++i) {
+    EXPECT_LT(front[i].area_mm2, front[i + 1].area_mm2);
+    EXPECT_LT(front[i].accuracy, front[i + 1].accuracy);
+  }
+}
+
+TEST(ParetoFront, DeduplicatesIdenticalObjectives) {
+  const auto front = pareto_front({dp(0.9, 10), dp(0.9, 10), dp(0.9, 10)});
+  EXPECT_EQ(front.size(), 1U);
+}
+
+TEST(ParetoFront, IdempotentOnItsOwnOutput) {
+  const std::vector<DesignPoint> points = {dp(0.9, 10), dp(0.8, 5), dp(0.7, 20),
+                                           dp(0.95, 40)};
+  const auto once = pareto_front(points);
+  const auto twice = pareto_front(once);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].accuracy, twice[i].accuracy);
+    EXPECT_EQ(once[i].area_mm2, twice[i].area_mm2);
+  }
+}
+
+TEST(ParetoFront, EmptyInputGivesEmptyFront) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(BestAreaGain, PicksLargestGainWithinLossBudget) {
+  const std::vector<DesignPoint> points = {
+      dp(0.90, 100),  // baseline-equal accuracy
+      dp(0.87, 25),   // within 5% loss: gain 4x
+      dp(0.86, 12),   // within 5% loss: gain 8.33x
+      dp(0.80, 5),    // too lossy
+  };
+  const double gain = best_area_gain_at_loss(points, 0.90, 100.0, 0.05);
+  EXPECT_NEAR(gain, 100.0 / 12.0, 1e-9);
+}
+
+TEST(BestAreaGain, NoQualifyingPointGivesUnity) {
+  const std::vector<DesignPoint> points = {dp(0.5, 10)};
+  EXPECT_EQ(best_area_gain_at_loss(points, 0.9, 100.0, 0.05), 1.0);
+}
+
+TEST(BestAreaGain, ExactBoundaryQualifies) {
+  const std::vector<DesignPoint> points = {dp(0.85, 10)};
+  EXPECT_NEAR(best_area_gain_at_loss(points, 0.90, 100.0, 0.05), 10.0, 1e-9);
+}
+
+TEST(BestAreaGain, RejectsBadBaselineArea) {
+  EXPECT_THROW(best_area_gain_at_loss({}, 0.9, 0.0, 0.05), std::invalid_argument);
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  const double hv = hypervolume({dp(0.8, 10)}, 0.5, 50.0);
+  EXPECT_NEAR(hv, (0.8 - 0.5) * (50.0 - 10.0), 1e-12);
+}
+
+TEST(Hypervolume, UnionOfTwoPoints) {
+  const double hv = hypervolume({dp(0.7, 10), dp(0.9, 30)}, 0.5, 50.0);
+  // (0.7-0.5)*(30-10) + (0.9-0.5)*(50-30) = 4 + 8 = 12.
+  EXPECT_NEAR(hv, 12.0, 1e-12);
+}
+
+TEST(Hypervolume, DominatedPointsAddNothing) {
+  const double hv1 = hypervolume({dp(0.9, 10)}, 0.0, 100.0);
+  const double hv2 = hypervolume({dp(0.9, 10), dp(0.8, 20), dp(0.5, 90)}, 0.0, 100.0);
+  EXPECT_NEAR(hv1, hv2, 1e-12);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceAreIgnored) {
+  const double hv = hypervolume({dp(0.4, 10), dp(0.9, 200)}, 0.5, 100.0);
+  EXPECT_EQ(hv, 0.0);
+}
+
+TEST(Hypervolume, BetterFrontHasLargerVolume) {
+  const double weak = hypervolume({dp(0.7, 40)}, 0.0, 100.0);
+  const double strong = hypervolume({dp(0.8, 20)}, 0.0, 100.0);
+  EXPECT_GT(strong, weak);
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,93 @@
+/// Tests for CSV import/export (the drop-in path for real UCI files).
+
+#include "pnm/data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pnm {
+namespace {
+
+TEST(Csv, ParsesCommaSeparatedRows) {
+  std::istringstream in("1.0,2.0,0\n3.0,4.0,1\n");
+  const auto result = load_csv(in);
+  EXPECT_EQ(result.data.size(), 2U);
+  EXPECT_EQ(result.data.n_features(), 2U);
+  EXPECT_EQ(result.data.n_classes, 2U);
+  EXPECT_EQ(result.data.x[1][0], 3.0);
+  EXPECT_EQ(result.data.y[1], 1U);
+}
+
+TEST(Csv, ParsesSemicolonUciWineFormat) {
+  std::istringstream in(
+      "fixed acidity;volatile acidity;quality\n"
+      "7.4;0.70;5\n"
+      "7.8;0.88;6\n"
+      "6.0;0.20;5\n");
+  const auto result = load_csv(in, ';');
+  EXPECT_EQ(result.data.size(), 3U);
+  EXPECT_EQ(result.data.n_features(), 2U);
+  // Labels 5 and 6 are densely re-indexed to 0 and 1, mapping recorded.
+  EXPECT_EQ(result.data.n_classes, 2U);
+  ASSERT_EQ(result.label_values.size(), 2U);
+  EXPECT_EQ(result.label_values[0], 5);
+  EXPECT_EQ(result.label_values[1], 6);
+  EXPECT_EQ(result.data.y[0], 0U);
+  EXPECT_EQ(result.data.y[1], 1U);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# a comment\n\n1.0,0\n\n2.0,1\n");
+  const auto result = load_csv(in);
+  EXPECT_EQ(result.data.size(), 2U);
+}
+
+TEST(Csv, LabelsReindexedAscending) {
+  std::istringstream in("0,9\n1,3\n2,9\n3,7\n");
+  const auto result = load_csv(in);
+  EXPECT_EQ(result.data.n_classes, 3U);
+  EXPECT_EQ(result.label_values, (std::vector<long>{3, 7, 9}));
+  EXPECT_EQ(result.data.y[0], 2U);  // 9
+  EXPECT_EQ(result.data.y[1], 0U);  // 3
+  EXPECT_EQ(result.data.y[3], 1U);  // 7
+}
+
+TEST(Csv, RejectsInconsistentColumns) {
+  std::istringstream in("1,2,0\n1,1\n");
+  EXPECT_THROW(load_csv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonNumericFeature) {
+  std::istringstream in("1,2,0\nx,2,1\n");
+  EXPECT_THROW(load_csv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsSingleColumnRows) {
+  std::istringstream in("42\n");
+  EXPECT_THROW(load_csv(in), std::runtime_error);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(load_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST(Csv, SaveLoadRoundTrip) {
+  Dataset d;
+  d.name = "round";
+  d.n_classes = 3;
+  d.x = {{0.5, -1.25}, {2.0, 3.5}, {7.0, 0.0}};
+  d.y = {2, 0, 1};
+  std::stringstream buffer;
+  save_csv(d, buffer);
+  const auto result = load_csv(buffer);
+  ASSERT_EQ(result.data.size(), d.size());
+  EXPECT_EQ(result.data.n_classes, 3U);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(result.data.x[i], d.x[i]);
+    EXPECT_EQ(result.data.y[i], d.y[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,185 @@
+/// Tests for Dataset validation, splits, and the min-max scaler.
+
+#include "pnm/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pnm/data/scaler.hpp"
+#include "pnm/data/synth.hpp"
+
+namespace pnm {
+namespace {
+
+Dataset labeled_dataset(std::size_t n_per_class, std::size_t n_classes) {
+  Dataset d;
+  d.name = "grid";
+  d.n_classes = n_classes;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      d.x.push_back({static_cast<double>(c), static_cast<double>(i)});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+TEST(Dataset, ValidateAcceptsConsistentData) {
+  const Dataset d = labeled_dataset(5, 3);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.size(), 15U);
+  EXPECT_EQ(d.n_features(), 2U);
+}
+
+TEST(Dataset, ValidateRejectsRaggedRows) {
+  Dataset d = labeled_dataset(2, 2);
+  d.x[1] = {1.0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsBadLabels) {
+  Dataset d = labeled_dataset(2, 2);
+  d.y[0] = 7;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsCountMismatch) {
+  Dataset d = labeled_dataset(2, 2);
+  d.y.pop_back();
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ClassHistogram) {
+  const Dataset d = labeled_dataset(4, 3);
+  const auto hist = d.class_histogram();
+  ASSERT_EQ(hist.size(), 3U);
+  for (std::size_t c : hist) EXPECT_EQ(c, 4U);
+}
+
+TEST(StratifiedSplit, PartsAreDisjointAndComplete) {
+  const Dataset d = labeled_dataset(20, 3);
+  Rng rng(1);
+  const auto split = stratified_split(d, 0.6, 0.2, 0.2, rng);
+  EXPECT_EQ(split.train.size() + split.val.size() + split.test.size(), d.size());
+  // Reconstruct multiset of (x, y) pairs; all original samples appear once.
+  auto key = [](const std::vector<double>& x, std::size_t y) {
+    return std::to_string(x[0]) + "/" + std::to_string(x[1]) + "#" + std::to_string(y);
+  };
+  std::multiset<std::string> seen;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (std::size_t i = 0; i < part->size(); ++i) seen.insert(key(part->x[i], part->y[i]));
+  }
+  std::multiset<std::string> expected;
+  for (std::size_t i = 0; i < d.size(); ++i) expected.insert(key(d.x[i], d.y[i]));
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  const Dataset d = labeled_dataset(50, 4);
+  Rng rng(2);
+  const auto split = stratified_split(d, 0.5, 0.25, 0.25, rng);
+  const auto hist = split.train.class_histogram();
+  for (std::size_t c : hist) EXPECT_EQ(c, 25U);
+  const auto vh = split.val.class_histogram();
+  for (std::size_t c : vh) EXPECT_NEAR(static_cast<double>(c), 12.5, 1.0);
+}
+
+TEST(StratifiedSplit, EveryClassReachesEveryPartEvenWhenRare) {
+  Dataset d = labeled_dataset(40, 2);
+  // Add a rare third class with 5 samples.
+  d.n_classes = 3;
+  for (int i = 0; i < 5; ++i) {
+    d.x.push_back({9.0, static_cast<double>(i)});
+    d.y.push_back(2);
+  }
+  Rng rng(3);
+  const auto split = stratified_split(d, 0.6, 0.2, 0.2, rng);
+  EXPECT_GT(split.train.class_histogram()[2], 0U);
+  EXPECT_GT(split.test.class_histogram()[2], 0U);
+}
+
+TEST(StratifiedSplit, RejectsBadFractions) {
+  const Dataset d = labeled_dataset(10, 2);
+  Rng rng(4);
+  EXPECT_THROW(stratified_split(d, 0.0, 0.5, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 0.7, 0.3, 0.3, rng), std::invalid_argument);
+}
+
+TEST(Subset, PreservesOrderAndContent) {
+  const Dataset d = labeled_dataset(5, 2);
+  const Dataset s = subset(d, {3, 1, 9});
+  ASSERT_EQ(s.size(), 3U);
+  EXPECT_EQ(s.x[0], d.x[3]);
+  EXPECT_EQ(s.x[1], d.x[1]);
+  EXPECT_EQ(s.y[2], d.y[9]);
+}
+
+TEST(MinMaxScaler, MapsTrainRangeToUnitInterval) {
+  Dataset d;
+  d.n_classes = 2;
+  d.x = {{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}};
+  d.y = {0, 1, 0};
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  const Dataset scaled = scaler.transform(d);
+  EXPECT_EQ(scaled.x[0][0], 0.0);
+  EXPECT_EQ(scaled.x[2][0], 1.0);
+  EXPECT_EQ(scaled.x[1][1], 0.5);
+}
+
+TEST(MinMaxScaler, ClampsOutOfRangeTestSamples) {
+  Dataset d;
+  d.n_classes = 1;
+  d.x = {{0.0}, {10.0}};
+  d.y = {0, 0};
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  std::vector<double> low = {-5.0};
+  std::vector<double> high = {25.0};
+  scaler.transform(low);
+  scaler.transform(high);
+  EXPECT_EQ(low[0], 0.0);
+  EXPECT_EQ(high[0], 1.0);
+}
+
+TEST(MinMaxScaler, ConstantFeatureMapsToZero) {
+  Dataset d;
+  d.n_classes = 1;
+  d.x = {{7.0}, {7.0}};
+  d.y = {0, 0};
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  std::vector<double> x = {7.0};
+  scaler.transform(x);
+  EXPECT_EQ(x[0], 0.0);
+}
+
+TEST(MinMaxScaler, TransformBeforeFitThrows) {
+  MinMaxScaler scaler;
+  std::vector<double> x = {1.0};
+  EXPECT_THROW(scaler.transform(x), std::logic_error);
+}
+
+TEST(MinMaxScaler, ScaleSplitFitsOnTrainOnly) {
+  Dataset d = labeled_dataset(30, 2);
+  Rng rng(5);
+  DataSplit split = stratified_split(d, 0.5, 0.25, 0.25, rng);
+  MinMaxScaler scaler;
+  scale_split(split, scaler);
+  for (const auto& row : split.train.x) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  for (const auto& row : split.test.x) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,184 @@
+/// Tests for the synthetic UCI-analog generators (DESIGN.md §4): schema
+/// fidelity, determinism, imbalance, and learnability ordering.
+
+#include "pnm/data/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pnm/data/scaler.hpp"
+#include "pnm/nn/metrics.hpp"
+#include "pnm/nn/trainer.hpp"
+
+namespace pnm {
+namespace {
+
+TEST(Synth, WhitewineSchemaMatchesUci) {
+  const Dataset d = make_whitewine();
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.n_features(), 11U);
+  EXPECT_EQ(d.n_classes, 7U);
+  EXPECT_EQ(d.size(), 4898U);
+}
+
+TEST(Synth, RedwineSchemaMatchesUci) {
+  const Dataset d = make_redwine();
+  EXPECT_EQ(d.n_features(), 11U);
+  EXPECT_EQ(d.n_classes, 6U);
+  EXPECT_EQ(d.size(), 1599U);
+}
+
+TEST(Synth, PendigitsSchemaMatchesUci) {
+  const Dataset d = make_pendigits();
+  EXPECT_EQ(d.n_features(), 16U);
+  EXPECT_EQ(d.n_classes, 10U);
+  EXPECT_EQ(d.size(), 7494U);
+}
+
+TEST(Synth, SeedsSchemaMatchesUci) {
+  const Dataset d = make_seeds();
+  EXPECT_EQ(d.n_features(), 7U);
+  EXPECT_EQ(d.n_classes, 3U);
+  EXPECT_EQ(d.size(), 630U);
+}
+
+TEST(Synth, GeneratorsAreDeterministic) {
+  const Dataset a = make_seeds(999);
+  const Dataset b = make_seeds(999);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  const Dataset a = make_seeds(1);
+  const Dataset b = make_seeds(2);
+  EXPECT_NE(a.x, b.x);
+}
+
+TEST(Synth, WinesAreImbalancedMidHeavy) {
+  const Dataset d = make_whitewine();
+  const auto hist = d.class_histogram();
+  // Mid-quality classes dominate, extremes are rare (like the real set).
+  const std::size_t mid = *std::max_element(hist.begin(), hist.end());
+  EXPECT_GE(mid, hist.front() * 20);
+  EXPECT_GE(mid, hist.back() * 20);
+  for (std::size_t c : hist) EXPECT_GT(c, 0U);  // every class present
+}
+
+TEST(Synth, EveryClassPresentInAllSets) {
+  for (const auto& name : paper_dataset_names()) {
+    const Dataset d = make_named_dataset(name, 7);
+    for (std::size_t c : d.class_histogram()) {
+      EXPECT_GT(c, 0U) << name;
+    }
+  }
+}
+
+TEST(Synth, NamedDatasetRejectsUnknown) {
+  EXPECT_THROW(make_named_dataset("mnist", 1), std::invalid_argument);
+}
+
+TEST(Synth, PaperDatasetListHasFigureOrder) {
+  const auto& names = paper_dataset_names();
+  ASSERT_EQ(names.size(), 4U);
+  EXPECT_EQ(names[0], "whitewine");
+  EXPECT_EQ(names[1], "redwine");
+  EXPECT_EQ(names[2], "pendigits");
+  EXPECT_EQ(names[3], "seeds");
+}
+
+TEST(Synth, ConfigValidation) {
+  Rng rng(1);
+  SynthConfig cfg;
+  cfg.n_classes = 1;
+  EXPECT_THROW(make_synthetic(cfg, rng), std::invalid_argument);
+  cfg = SynthConfig{};
+  cfg.class_weights = {1.0};  // wrong arity
+  EXPECT_THROW(make_synthetic(cfg, rng), std::invalid_argument);
+  cfg = SynthConfig{};
+  cfg.clusters_per_class = 0;
+  EXPECT_THROW(make_synthetic(cfg, rng), std::invalid_argument);
+}
+
+TEST(Synth, SeparationControlsDifficulty) {
+  // The same topology trains much better on well-separated data.
+  auto train_acc = [](double separation, std::uint64_t seed) {
+    SynthConfig cfg;
+    cfg.n_features = 6;
+    cfg.n_classes = 4;
+    cfg.n_samples = 600;
+    cfg.class_separation = separation;
+    Rng gen(seed);
+    Dataset d = make_synthetic(cfg, gen);
+    Rng rng(seed + 1);
+    DataSplit split = stratified_split(d, 0.7, 0.0, 0.3, rng);
+    MinMaxScaler scaler;
+    scale_split(split, scaler);
+    Mlp net({6, 6, 4}, rng);
+    TrainConfig tc;
+    tc.epochs = 40;
+    Trainer(tc).fit(net, split.train, rng);
+    return accuracy(net, split.test);
+  };
+  EXPECT_GT(train_acc(3.5, 10), train_acc(0.4, 10) + 0.15);
+}
+
+/// The learnability ordering the paper's accuracy levels rely on:
+/// pendigits/seeds easy, wines hard (ordinal overlap).
+TEST(Synth, TaskHardnessOrderingMatchesPaper) {
+  auto test_acc = [](const Dataset& data, std::vector<std::size_t> hidden) {
+    Rng rng(99);
+    DataSplit split = stratified_split(data, 0.6, 0.2, 0.2, rng);
+    MinMaxScaler scaler;
+    scale_split(split, scaler);
+    std::vector<std::size_t> topo{data.n_features()};
+    topo.insert(topo.end(), hidden.begin(), hidden.end());
+    topo.push_back(data.n_classes);
+    Mlp net(topo, rng);
+    TrainConfig tc;
+    tc.epochs = 40;
+    Trainer(tc).fit(net, split.train, rng);
+    return accuracy(net, split.test);
+  };
+  const double wine = test_acc(make_whitewine(), {8});
+  const double digits = test_acc(make_pendigits(), {10});
+  const double seeds = test_acc(make_seeds(), {4});
+  EXPECT_GT(digits, 0.85);
+  EXPECT_GT(seeds, 0.85);
+  EXPECT_LT(wine, 0.75);  // wine quality is genuinely hard
+  EXPECT_GT(wine, 0.40);  // but far above chance (1/7)
+}
+
+TEST(Synth, OrdinalConfusionIsAdjacent) {
+  // For ordinal data, a trained model's mistakes should mostly hit
+  // neighbouring quality classes.
+  const Dataset d = make_redwine();
+  Rng rng(5);
+  DataSplit split = stratified_split(d, 0.7, 0.0, 0.3, rng);
+  MinMaxScaler scaler;
+  scale_split(split, scaler);
+  Mlp net({11, 6, 6}, rng);
+  TrainConfig tc;
+  tc.epochs = 40;
+  Trainer(tc).fit(net, split.train, rng);
+  const auto cm = confusion_matrix(
+      [&net](const std::vector<double>& x) { return net.predict(x); }, split.test);
+  std::size_t adjacent = 0, far = 0;
+  for (std::size_t t = 0; t < cm.size(); ++t) {
+    for (std::size_t p = 0; p < cm.size(); ++p) {
+      if (t == p) continue;
+      const std::size_t dist = t > p ? t - p : p - t;
+      if (dist == 1) {
+        adjacent += cm[t][p];
+      } else {
+        far += cm[t][p];
+      }
+    }
+  }
+  EXPECT_GT(adjacent, far);
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,367 @@
+/// Tests for the word-level arithmetic builders: exhaustive in small
+/// widths, checking both functional correctness (via gate simulation) and
+/// the exact range-driven sizing.
+
+#include "pnm/hw/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "pnm/util/bits.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm::hw {
+namespace {
+
+/// Builds an unsigned input word of `width` bits and returns it with the
+/// bit values that encode `value` for simulation.
+struct SimHarness {
+  Netlist nl;
+  std::vector<Word> words;
+  std::vector<std::uint8_t> inputs;
+
+  Word input_word(int width, std::int64_t value) {
+    const auto bus = nl.add_input_bus("i" + std::to_string(words.size()), width);
+    for (int b = 0; b < width; ++b) {
+      inputs.push_back(static_cast<std::uint8_t>((value >> b) & 1));
+    }
+    Word w = from_unsigned_bus(bus);
+    words.push_back(w);
+    return w;
+  }
+
+  std::int64_t value_of(const Word& w) {
+    const auto state = nl.simulate(inputs);
+    return word_value(w, state);
+  }
+};
+
+TEST(Word, ConstantsEncodeExactly) {
+  Netlist nl;
+  for (std::int64_t v : {0LL, 1LL, 2LL, 5LL, -1LL, -7LL, 127LL, -128LL, 1000LL}) {
+    const Word w = make_constant(nl, v);
+    EXPECT_EQ(w.lo, v);
+    EXPECT_EQ(w.hi, v);
+    const auto state = nl.simulate({});
+    EXPECT_EQ(word_value(w, state), v) << "v=" << v;
+  }
+  EXPECT_EQ(nl.gate_count(), 0U);  // constants are pure wiring
+}
+
+TEST(Word, ConstantWidthIsMinimal) {
+  Netlist nl;
+  EXPECT_EQ(make_constant(nl, 0).width(), 0);
+  EXPECT_EQ(make_constant(nl, 1).width(), 1);
+  EXPECT_EQ(make_constant(nl, 7).width(), 3);
+  EXPECT_EQ(make_constant(nl, 8).width(), 4);
+  EXPECT_EQ(make_constant(nl, -1).width(), 1);
+  EXPECT_EQ(make_constant(nl, -2).width(), 2);
+}
+
+TEST(Word, UnsignedBusRange) {
+  Netlist nl;
+  const auto bus = nl.add_input_bus("x", 4);
+  const Word w = from_unsigned_bus(bus);
+  EXPECT_FALSE(w.is_signed);
+  EXPECT_EQ(w.lo, 0);
+  EXPECT_EQ(w.hi, 15);
+}
+
+TEST(Word, WordBitExtension) {
+  Netlist nl;
+  const Word w = make_constant(nl, -2);  // bits 0,1 (two's complement "10")
+  EXPECT_EQ(word_bit(w, 0), kConst0);
+  EXPECT_EQ(word_bit(w, 1), kConst1);
+  EXPECT_EQ(word_bit(w, 5), kConst1);  // sign extension
+  const Word u = make_constant(nl, 2);
+  EXPECT_EQ(word_bit(u, 5), kConst0);  // zero extension
+  EXPECT_THROW(word_bit(u, -1), std::invalid_argument);
+}
+
+TEST(Arith, AddTwoUnsignedExhaustive) {
+  for (std::int64_t a = 0; a < 16; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      SimHarness h;
+      const Word wa = h.input_word(4, a);
+      const Word wb = h.input_word(3, b);
+      const Word sum = add_words(h.nl, wa, wb);
+      EXPECT_EQ(h.value_of(sum), a + b) << a << "+" << b;
+      EXPECT_EQ(sum.lo, 0);
+      EXPECT_EQ(sum.hi, 15 + 7);
+      EXPECT_EQ(sum.width(), bits_for_unsigned(22));
+    }
+  }
+}
+
+TEST(Arith, SubExhaustiveGoesSigned) {
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      SimHarness h;
+      const Word wa = h.input_word(3, a);
+      const Word wb = h.input_word(3, b);
+      const Word diff = sub_words(h.nl, wa, wb);
+      EXPECT_EQ(h.value_of(diff), a - b) << a << "-" << b;
+      EXPECT_EQ(diff.lo, -7);
+      EXPECT_EQ(diff.hi, 7);
+      EXPECT_TRUE(diff.is_signed);
+    }
+  }
+}
+
+TEST(Arith, NegateExhaustive) {
+  for (std::int64_t a = 0; a < 16; ++a) {
+    SimHarness h;
+    const Word wa = h.input_word(4, a);
+    const Word neg = negate_word(h.nl, wa);
+    EXPECT_EQ(h.value_of(neg), -a);
+    EXPECT_EQ(neg.lo, -15);
+    EXPECT_EQ(neg.hi, 0);
+  }
+}
+
+TEST(Arith, AddWithConstantFoldsToWiring) {
+  // x + 0 must cost zero gates thanks to the folding engine.
+  SimHarness h;
+  const Word x = h.input_word(4, 11);
+  const Word zero = make_constant(h.nl, 0);
+  const Word sum = add_words(h.nl, x, zero);
+  EXPECT_EQ(h.nl.gate_count(), 0U);
+  EXPECT_EQ(h.value_of(sum), 11);
+}
+
+TEST(Arith, SubtractingZeroIsFree) {
+  SimHarness h;
+  const Word x = h.input_word(4, 9);
+  const Word zero = make_constant(h.nl, 0);
+  const Word diff = sub_words(h.nl, x, zero);
+  EXPECT_EQ(h.nl.gate_count(), 0U);  // a - 0 folds entirely
+  EXPECT_EQ(h.value_of(diff), 9);
+}
+
+TEST(Arith, AddConstantCheaperThanAddVariable) {
+  SimHarness h1;
+  const Word x1 = h1.input_word(4, 5);
+  add_words(h1.nl, x1, make_constant(h1.nl, 3));
+  SimHarness h2;
+  const Word x2 = h2.input_word(4, 5);
+  const Word y2 = h2.input_word(4, 3);
+  add_words(h2.nl, x2, y2);
+  EXPECT_LT(h1.nl.gate_count(), h2.nl.gate_count());
+}
+
+TEST(Arith, AddSignedOperandsExhaustive) {
+  // Signed operands produced by subtraction, then re-added.
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (std::int64_t c = 0; c < 4; ++c) {
+        SimHarness h;
+        const Word wa = h.input_word(3, a);
+        const Word wb = h.input_word(3, b);
+        const Word wc = h.input_word(2, c);
+        const Word diff = sub_words(h.nl, wa, wb);  // signed
+        const Word sum = add_words(h.nl, diff, wc);
+        EXPECT_EQ(h.value_of(sum), a - b + c);
+      }
+    }
+  }
+}
+
+TEST(Arith, ShiftLeftIsExactWiring) {
+  SimHarness h;
+  const Word x = h.input_word(3, 5);
+  const Word shifted = shift_left(x, 2);
+  EXPECT_EQ(h.nl.gate_count(), 0U);
+  EXPECT_EQ(h.value_of(shifted), 20);
+  EXPECT_EQ(shifted.lo, 0);
+  EXPECT_EQ(shifted.hi, 28);
+  EXPECT_THROW(shift_left(x, -1), std::invalid_argument);
+}
+
+TEST(Arith, ShiftRightFloorExhaustiveUnsigned) {
+  for (std::int64_t a = 0; a < 32; ++a) {
+    for (int s = 0; s <= 6; ++s) {
+      SimHarness h;
+      const Word x = h.input_word(5, a);
+      const Word y = shift_right_floor(x, s);
+      EXPECT_EQ(h.nl.gate_count(), 0U);  // pure wiring
+      EXPECT_EQ(h.value_of(y), a >> s) << a << ">>" << s;
+      EXPECT_EQ(y.lo, 0);
+      EXPECT_EQ(y.hi, 31 >> s);
+    }
+  }
+}
+
+TEST(Arith, ShiftRightFloorExhaustiveSigned) {
+  // Signed words via subtraction; floor semantics on negatives.
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (int s = 0; s <= 4; ++s) {
+        SimHarness h;
+        const Word wa = h.input_word(3, a);
+        const Word wb = h.input_word(3, b);
+        const Word diff = sub_words(h.nl, wa, wb);  // [-7, 7]
+        const Word y = shift_right_floor(diff, s);
+        const std::int64_t expect =
+            static_cast<std::int64_t>(std::floor(static_cast<double>(a - b) /
+                                                 static_cast<double>(1LL << s)));
+        EXPECT_EQ(h.value_of(y), expect) << a << "-" << b << ">>" << s;
+      }
+    }
+  }
+}
+
+TEST(Arith, ShiftRightFloorEdgeCases) {
+  Netlist nl;
+  Word zero;
+  EXPECT_TRUE(shift_right_floor(zero, 3).is_const_zero());
+  const Word c = make_constant(nl, -1);
+  const Word shifted = shift_right_floor(c, 10);  // floor(-1/1024) = -1
+  EXPECT_EQ(shifted.lo, -1);
+  EXPECT_EQ(shifted.hi, -1);
+  EXPECT_THROW(shift_right_floor(c, -1), std::invalid_argument);
+}
+
+TEST(Arith, GreaterThanExhaustive) {
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      SimHarness h;
+      const Word wa = h.input_word(3, a);
+      const Word wb = h.input_word(3, b);
+      const NetId gt = greater_than(h.nl, wa, wb);
+      const auto state = h.nl.simulate(h.inputs);
+      EXPECT_EQ(state[static_cast<std::size_t>(gt)], a > b ? 1 : 0) << a << ">" << b;
+    }
+  }
+}
+
+TEST(Arith, GreaterThanFoldsOnDisjointRanges) {
+  Netlist nl;
+  const auto bus_small = nl.add_input_bus("s", 2);  // [0,3]
+  Word small = from_unsigned_bus(bus_small);
+  const Word big = make_constant(nl, 9);
+  EXPECT_EQ(greater_than(nl, big, small), kConst1);
+  EXPECT_EQ(greater_than(nl, small, big), kConst0);
+  EXPECT_EQ(nl.gate_count(), 0U);
+}
+
+TEST(Arith, GreaterThanOnSignedWordsExhaustive) {
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (std::int64_t c = 0; c < 8; ++c) {
+        SimHarness h;
+        const Word wa = h.input_word(3, a);
+        const Word wb = h.input_word(3, b);
+        const Word wc = h.input_word(3, c);
+        const Word diff = sub_words(h.nl, wa, wb);  // in [-7, 7]
+        const NetId gt = greater_than(h.nl, diff, wc);
+        const auto state = h.nl.simulate(h.inputs);
+        EXPECT_EQ(state[static_cast<std::size_t>(gt)], (a - b) > c ? 1 : 0);
+      }
+    }
+  }
+}
+
+TEST(Arith, ReluExhaustiveOnSignedWord) {
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 8; ++b) {
+      SimHarness h;
+      const Word wa = h.input_word(3, a);
+      const Word wb = h.input_word(3, b);
+      const Word diff = sub_words(h.nl, wa, wb);
+      const Word relu = relu_word(h.nl, diff);
+      EXPECT_FALSE(relu.is_signed);
+      EXPECT_EQ(h.value_of(relu), a > b ? a - b : 0);
+    }
+  }
+}
+
+TEST(Arith, ReluOnNonNegativeWordIsFree) {
+  SimHarness h;
+  const Word x = h.input_word(4, 13);
+  const std::size_t before = h.nl.gate_count();
+  const Word relu = relu_word(h.nl, x);
+  EXPECT_EQ(h.nl.gate_count(), before);
+  EXPECT_EQ(h.value_of(relu), 13);
+}
+
+TEST(Arith, ReluOnNonPositiveWordIsConstantZero) {
+  SimHarness h;
+  const Word x = h.input_word(3, 5);
+  const Word neg = negate_word(h.nl, x);  // range [-7, 0]
+  const Word relu = relu_word(h.nl, neg);
+  EXPECT_TRUE(relu.is_const_zero());
+  EXPECT_EQ(h.value_of(relu), 0);
+}
+
+TEST(Arith, MuxExhaustive) {
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (std::int64_t b = 0; b < 4; ++b) {
+      for (int sel = 0; sel <= 1; ++sel) {
+        SimHarness h;
+        const Word wa = h.input_word(3, a);
+        const Word wb = h.input_word(2, b);
+        const NetId s = h.nl.add_input("sel");
+        h.inputs.push_back(static_cast<std::uint8_t>(sel));
+        const Word out = mux_word(h.nl, s, wa, wb);
+        EXPECT_EQ(h.value_of(out), sel ? a : b);
+        EXPECT_EQ(out.lo, 0);
+        EXPECT_EQ(out.hi, 7);
+      }
+    }
+  }
+}
+
+TEST(Arith, MuxWithConstantSelectorIsFree) {
+  SimHarness h;
+  const Word wa = h.input_word(3, 6);
+  const Word wb = h.input_word(3, 2);
+  const Word pick_a = mux_word(h.nl, kConst1, wa, wb);
+  const Word pick_b = mux_word(h.nl, kConst0, wa, wb);
+  EXPECT_EQ(h.nl.gate_count(), 0U);
+  EXPECT_EQ(h.value_of(pick_a), 6);
+  EXPECT_EQ(h.value_of(pick_b), 2);
+}
+
+TEST(Arith, MuxOfMixedSignWords) {
+  for (std::int64_t a = 0; a < 8; ++a) {
+    for (int sel = 0; sel <= 1; ++sel) {
+      SimHarness h;
+      const Word wa = h.input_word(3, a);
+      const Word neg = negate_word(h.nl, wa);    // [-7, 0]
+      const Word wb = make_constant(h.nl, 3);
+      const NetId s = h.nl.add_input("sel");
+      h.inputs.push_back(static_cast<std::uint8_t>(sel));
+      const Word out = mux_word(h.nl, s, neg, wb);
+      EXPECT_EQ(h.value_of(out), sel ? -a : 3);
+      EXPECT_TRUE(out.is_signed);
+    }
+  }
+}
+
+/// Parameterized width sweep: n-bit adder correctness on random vectors.
+class AdderWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidthSweep, RandomVectorsAddCorrectly) {
+  const int width = GetParam();
+  pnm::Rng rng(static_cast<std::uint64_t>(width) * 77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(1) << width));
+    const auto b = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(1) << width));
+    SimHarness h;
+    const Word wa = h.input_word(width, a);
+    const Word wb = h.input_word(width, b);
+    const Word sum = add_words(h.nl, wa, wb);
+    const Word diff = sub_words(h.nl, wa, wb);
+    EXPECT_EQ(h.value_of(sum), a + b);
+    EXPECT_EQ(h.value_of(diff), a - b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidthSweep, ::testing::Values(1, 2, 4, 8, 12, 16));
+
+}  // namespace
+}  // namespace pnm::hw

@@ -1,0 +1,172 @@
+/// Tests for the bespoke constant-coefficient multiplier: exhaustive
+/// functional correctness over the paper's weight-code range and the cost
+/// properties (zero/power-of-two free, CSD cheaper than binary).
+
+#include "pnm/hw/constmult.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnm/util/bits.hpp"
+
+namespace pnm::hw {
+namespace {
+
+struct Harness {
+  Netlist nl;
+  std::vector<std::uint8_t> inputs;
+
+  Word input_word(int width, std::int64_t value) {
+    const auto bus = nl.add_input_bus("x", width);
+    for (int b = 0; b < width; ++b) {
+      inputs.push_back(static_cast<std::uint8_t>((value >> b) & 1));
+    }
+    return from_unsigned_bus(bus);
+  }
+
+  std::int64_t value_of(const Word& w) {
+    return word_value(w, nl.simulate(inputs));
+  }
+};
+
+TEST(ConstMult, ZeroCoefficientIsNoHardware) {
+  Harness h;
+  const Word x = h.input_word(4, 9);
+  const Word p = const_mult(h.nl, x, 0);
+  EXPECT_TRUE(p.is_const_zero());
+  EXPECT_EQ(h.nl.gate_count(), 0U);
+  EXPECT_EQ(h.value_of(p), 0);
+}
+
+TEST(ConstMult, PowerOfTwoIsPureWiring) {
+  for (std::int64_t coeff : {1LL, 2LL, 4LL, 8LL, 16LL}) {
+    Harness h;
+    const Word x = h.input_word(4, 11);
+    const Word p = const_mult(h.nl, x, coeff);
+    EXPECT_EQ(h.nl.gate_count(), 0U) << "coeff=" << coeff;
+    EXPECT_EQ(h.value_of(p), 11 * coeff);
+  }
+}
+
+TEST(ConstMult, NegativePowerOfTwoCostsOneNegation) {
+  Harness h;
+  const Word x = h.input_word(4, 11);
+  const Word p = const_mult(h.nl, x, -4);
+  EXPECT_GT(h.nl.gate_count(), 0U);
+  EXPECT_EQ(h.value_of(p), -44);
+  EXPECT_EQ(const_mult_adder_count(-4), 1);
+}
+
+TEST(ConstMult, RejectsSignedInput) {
+  Netlist nl;
+  Word fake;
+  fake.bits = {kConst0};
+  fake.is_signed = true;
+  fake.lo = -1;
+  fake.hi = 0;
+  EXPECT_THROW(const_mult(nl, fake, 3), std::invalid_argument);
+}
+
+TEST(ConstMult, ExhaustiveOverEightBitWeightCodes) {
+  // Every signed 8-bit weight code times every corner/random 4-bit input.
+  const std::vector<std::int64_t> xs = {0, 1, 7, 8, 15};
+  for (std::int64_t coeff = -127; coeff <= 127; ++coeff) {
+    for (std::int64_t xv : xs) {
+      Harness h;
+      const Word x = h.input_word(4, xv);
+      const Word p = const_mult(h.nl, x, coeff);
+      ASSERT_EQ(h.value_of(p), coeff * xv) << coeff << "*" << xv;
+      // Range metadata is exact.
+      EXPECT_EQ(p.lo, std::min<std::int64_t>(0, coeff * 15));
+      EXPECT_EQ(p.hi, std::max<std::int64_t>(0, coeff * 15));
+    }
+  }
+}
+
+TEST(ConstMult, BinaryRecodingAlsoCorrect) {
+  const MultOptions binary{/*use_csd=*/false};
+  for (std::int64_t coeff = -63; coeff <= 63; ++coeff) {
+    Harness h;
+    const Word x = h.input_word(3, 5);
+    const Word p = const_mult(h.nl, x, coeff, binary);
+    ASSERT_EQ(h.value_of(p), coeff * 5) << coeff;
+  }
+}
+
+TEST(ConstMult, CsdNeverCostsMoreAddersThanBinary) {
+  for (std::int64_t coeff = -255; coeff <= 255; ++coeff) {
+    EXPECT_LE(const_mult_adder_count(coeff, MultOptions{true}),
+              const_mult_adder_count(coeff, MultOptions{false}))
+        << "coeff=" << coeff;
+  }
+}
+
+TEST(ConstMult, CsdStrictlyCheaperOnRunsOfOnes) {
+  // 0b111 = 7: binary 2 adders, CSD (8-1) 1 adder.
+  EXPECT_EQ(const_mult_adder_count(7, MultOptions{false}), 2);
+  EXPECT_EQ(const_mult_adder_count(7, MultOptions{true}), 1);
+  // 0b101111 = 47 = 48-1 = 32+16-1: CSD 2 adders, binary 4.
+  EXPECT_EQ(const_mult_adder_count(47, MultOptions{false}), 4);
+  EXPECT_EQ(const_mult_adder_count(47, MultOptions{true}), 2);
+}
+
+TEST(ConstMult, AdderCountMatchesDigitStructure) {
+  EXPECT_EQ(const_mult_adder_count(0), 0);
+  EXPECT_EQ(const_mult_adder_count(1), 0);
+  EXPECT_EQ(const_mult_adder_count(-1), 1);   // pure negation row
+  EXPECT_EQ(const_mult_adder_count(3), 1);    // 4 - 1
+  EXPECT_EQ(const_mult_adder_count(5), 1);    // 4 + 1
+  EXPECT_EQ(const_mult_adder_count(-5), 2);   // -(4+1): two sub rows
+}
+
+TEST(ConstMult, GateAreaGrowsWithDigitCount) {
+  const auto& tech = TechLibrary::egt();
+  // 5 (two digits) vs 85 = 0b1010101 (four digits): more digits, more area.
+  Harness h5;
+  const Word x5 = h5.input_word(4, 3);
+  const_mult(h5.nl, x5, 5);
+  Harness h85;
+  const Word x85 = h85.input_word(4, 3);
+  const_mult(h85.nl, x85, 85);
+  EXPECT_LT(h5.nl.area_mm2(tech), h85.nl.area_mm2(tech));
+}
+
+TEST(ConstMult, SmallerWeightCodesAreCheaperOnAverage) {
+  // The §II-A mechanism: average multiplier cost rises with bit-width.
+  const auto& tech = TechLibrary::egt();
+  auto mean_area = [&tech](int bits) {
+    const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+    double total = 0.0;
+    for (std::int64_t w = 1; w <= qmax; ++w) {
+      Netlist nl;
+      const auto bus = nl.add_input_bus("x", 4);
+      const_mult(nl, from_unsigned_bus(bus), w);
+      total += nl.area_mm2(tech);
+    }
+    return total / static_cast<double>(qmax);
+  };
+  const double a3 = mean_area(3);
+  const double a5 = mean_area(5);
+  const double a8 = mean_area(8);
+  EXPECT_LT(a3, a5);
+  EXPECT_LT(a5, a8);
+}
+
+/// Exhaustive x sweep for a sample of tricky coefficients.
+class CoeffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoeffSweep, AllFourBitInputsMultiplyCorrectly) {
+  const std::int64_t coeff = GetParam();
+  for (std::int64_t xv = 0; xv < 16; ++xv) {
+    Harness h;
+    const Word x = h.input_word(4, xv);
+    const Word p = const_mult(h.nl, x, coeff);
+    ASSERT_EQ(h.value_of(p), coeff * xv) << coeff << "*" << xv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrickyCoefficients, CoeffSweep,
+                         ::testing::Values(-128, -127, -86, -63, -33, -17, -3, -1, 1, 3,
+                                           7, 11, 23, 43, 85, 86, 99, 127));
+
+}  // namespace
+}  // namespace pnm::hw

@@ -1,0 +1,125 @@
+/// Tests for CSD recoding: exhaustive correctness, canonicity, and the
+/// minimality property the multiplier area savings rest on.
+
+#include "pnm/hw/csd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnm/util/bits.hpp"
+
+namespace pnm::hw {
+namespace {
+
+TEST(Csd, ZeroIsEmpty) {
+  EXPECT_TRUE(to_csd(0).empty());
+  EXPECT_TRUE(to_binary_digits(0).empty());
+  EXPECT_EQ(digits_value({}), 0);
+}
+
+TEST(Csd, KnownRecodings) {
+  // 7 = 8 - 1 -> digits (LSB first) -1 0 0 +1.
+  const auto seven = to_csd(7);
+  ASSERT_EQ(seven.size(), 4U);
+  EXPECT_EQ(seven[0], -1);
+  EXPECT_EQ(seven[1], 0);
+  EXPECT_EQ(seven[2], 0);
+  EXPECT_EQ(seven[3], 1);
+  // 5 = 4 + 1 stays two positive digits.
+  const auto five = to_csd(5);
+  ASSERT_EQ(five.size(), 3U);
+  EXPECT_EQ(five[0], 1);
+  EXPECT_EQ(five[1], 0);
+  EXPECT_EQ(five[2], 1);
+}
+
+TEST(Csd, NegativeValuesFlipDigitSigns) {
+  const auto pos = to_csd(7);
+  const auto neg = to_csd(-7);
+  ASSERT_EQ(pos.size(), neg.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(pos[i], -neg[i]);
+  }
+}
+
+TEST(Csd, ExhaustiveRoundTripAndCanonicity) {
+  for (std::int64_t v = -4096; v <= 4096; ++v) {
+    const auto digits = to_csd(v);
+    EXPECT_EQ(digits_value(digits), v) << "v=" << v;
+    EXPECT_TRUE(is_canonical(digits)) << "v=" << v;
+  }
+}
+
+TEST(Csd, NeverMoreNonzerosThanBinary) {
+  for (std::int64_t v = -4096; v <= 4096; ++v) {
+    EXPECT_LE(nonzero_digit_count(to_csd(v)), nonzero_digit_count(to_binary_digits(v)))
+        << "v=" << v;
+  }
+}
+
+TEST(Csd, StrictlyFewerNonzerosOnRunsOfOnes) {
+  // 0b111111 = 63: binary 6 nonzeros, CSD 2 (64 - 1).
+  EXPECT_EQ(nonzero_digit_count(to_binary_digits(63)), 6);
+  EXPECT_EQ(nonzero_digit_count(to_csd(63)), 2);
+}
+
+TEST(Csd, AtMostOneDigitLongerThanBinary) {
+  for (std::int64_t v = 1; v <= 4096; ++v) {
+    EXPECT_LE(to_csd(v).size(), to_binary_digits(v).size() + 1) << "v=" << v;
+  }
+}
+
+TEST(BinaryDigits, MatchPopcount) {
+  for (std::int64_t v = -1024; v <= 1024; ++v) {
+    const auto digits = to_binary_digits(v);
+    EXPECT_EQ(digits_value(digits), v);
+    EXPECT_EQ(nonzero_digit_count(digits), pnm::binary_nonzero_digits(v));
+  }
+}
+
+TEST(DigitsValue, RejectsOverlongStrings) {
+  std::vector<SignedDigit> too_long(63, SignedDigit{1});
+  EXPECT_THROW(digits_value(too_long), std::invalid_argument);
+}
+
+TEST(IsCanonical, DetectsAdjacentNonzeros) {
+  EXPECT_TRUE(is_canonical({1, 0, 1}));
+  EXPECT_TRUE(is_canonical({}));
+  EXPECT_TRUE(is_canonical({-1, 0, 0, 1}));
+  EXPECT_FALSE(is_canonical({1, 1}));
+  EXPECT_FALSE(is_canonical({0, 1, -1, 0}));
+}
+
+/// Average nonzero-digit statistics: CSD of b-bit values averages ~b/3
+/// nonzeros vs ~b/2 for binary — the per-multiplier saving quantization
+/// compounds on (paper §II-A).
+TEST(Csd, AverageDigitCountBeatsBinaryOnPaperBitWidths) {
+  for (int bits = 4; bits <= 8; ++bits) {
+    const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+    double csd_total = 0.0, bin_total = 0.0;
+    for (std::int64_t v = 1; v <= qmax; ++v) {
+      csd_total += nonzero_digit_count(to_csd(v));
+      bin_total += nonzero_digit_count(to_binary_digits(v));
+    }
+    // The advantage grows with bit-width (asymptotically b/3 vs b/2).
+    EXPECT_LT(csd_total, bin_total) << "bits=" << bits;
+    if (bits == 8) EXPECT_LT(csd_total, bin_total * 0.82);
+  }
+}
+
+/// Parameterized sweep over bit-widths: every representable weight code
+/// round-trips through both recodings.
+class RecodingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecodingSweep, AllWeightCodesRoundTrip) {
+  const int bits = GetParam();
+  const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+  for (std::int64_t v = -qmax; v <= qmax; ++v) {
+    EXPECT_EQ(digits_value(to_csd(v)), v);
+    EXPECT_EQ(digits_value(to_binary_digits(v)), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBitWidths, RecodingSweep, ::testing::Range(2, 9));
+
+}  // namespace
+}  // namespace pnm::hw

@@ -1,0 +1,159 @@
+/// Tests for the netlist dead-gate sweep and the Verilog testbench
+/// generator.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pnm/core/qmlp.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/hw/bespoke.hpp"
+#include "pnm/hw/verilog.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm::hw {
+namespace {
+
+TEST(DeadGateSweep, RemovesUnobservedLogic) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId live = nl.add_gate_raw(GateType::kAnd2, a, b);
+  nl.add_gate_raw(GateType::kXor2, a, b);  // dead
+  const NetId live2 = nl.add_gate_raw(GateType::kInv, live);
+  nl.add_gate_raw(GateType::kOr2, a, b);  // dead
+  nl.mark_output(live2, "y");
+
+  const auto keep = nl.sweep_dead_gates();
+  ASSERT_EQ(keep.size(), 4U);
+  EXPECT_EQ(keep[0], 1);
+  EXPECT_EQ(keep[1], 0);
+  EXPECT_EQ(keep[2], 1);
+  EXPECT_EQ(keep[3], 0);
+  EXPECT_EQ(nl.gate_count(), 2U);
+  // Still simulates correctly.
+  const auto out = nl.evaluate_outputs({1, 1});
+  EXPECT_EQ(out[0], 0);  // !(1 & 1)
+}
+
+TEST(DeadGateSweep, TransitiveFaninStaysAlive) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  NetId cur = a;
+  for (int i = 0; i < 5; ++i) cur = nl.add_gate_raw(GateType::kInv, cur);
+  nl.mark_output(cur, "y");
+  const auto keep = nl.sweep_dead_gates();
+  for (std::uint8_t k : keep) EXPECT_EQ(k, 1);
+  EXPECT_EQ(nl.gate_count(), 5U);
+}
+
+TEST(DeadGateSweep, NoOutputsMeansNoSweep) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_gate_raw(GateType::kInv, a);
+  const auto keep = nl.sweep_dead_gates();
+  EXPECT_EQ(keep.size(), 1U);
+  EXPECT_EQ(keep[0], 1);
+  EXPECT_EQ(nl.gate_count(), 1U);
+}
+
+TEST(DeadGateSweep, BuildingAfterSweepStaysCorrect) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_gate(GateType::kAnd2, a, b);
+  nl.mark_output(y, "y");
+  nl.add_gate_raw(GateType::kXor2, a, b);  // dead
+  nl.sweep_dead_gates();
+  // CSE state was reset; creating more logic must still be functional.
+  const NetId z = nl.add_gate(GateType::kOr2, a, b);
+  nl.mark_output(z, "z");
+  const auto out = nl.evaluate_outputs({1, 0});
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+}
+
+/// Bespoke circuits sweep automatically; the stage attribution and the
+/// simulation must survive it.
+TEST(DeadGateSweep, BespokeCircuitIsSweptAndConsistent) {
+  pnm::Rng rng(1);
+  pnm::Mlp net({5, 4, 3}, rng);
+  const auto q =
+      pnm::QuantizedMlp::from_float(net, pnm::QuantSpec::uniform(2, 5, 4));
+  const BespokeCircuit circuit(q);
+  // Stage areas must still sum to the total after the sweep.
+  const auto& tech = TechLibrary::egt();
+  EXPECT_NEAR(circuit.stage_areas(tech).total(), circuit.area_mm2(tech), 1e-9);
+  // And predictions still match the golden model.
+  pnm::Rng vec_rng(2);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<std::int64_t> xq(5);
+    for (auto& v : xq) v = static_cast<std::int64_t>(vec_rng.uniform_int(std::uint64_t{16}));
+    EXPECT_EQ(circuit.predict(xq), q.predict_quantized(xq));
+  }
+}
+
+TEST(Testbench, EmitsSelfCheckingBench) {
+  pnm::Rng rng(3);
+  pnm::Mlp net({3, 3, 2}, rng);
+  const auto q =
+      pnm::QuantizedMlp::from_float(net, pnm::QuantSpec::uniform(2, 4, 2));
+  const BespokeCircuit circuit(q);
+
+  std::vector<TestVector> vectors;
+  for (std::int64_t a = 0; a < 2; ++a) {
+    TestVector v;
+    v.inputs = {a, 1, 2};
+    v.expected_class = q.predict_quantized(v.inputs);
+    vectors.push_back(v);
+  }
+  std::ostringstream out;
+  write_verilog_testbench(circuit, vectors, out, "dut_mod");
+  const std::string tb = out.str();
+  EXPECT_NE(tb.find("module dut_mod_tb"), std::string::npos);
+  EXPECT_NE(tb.find("dut_mod dut ("), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  EXPECT_NE(tb.find("PASS: all 2 vectors"), std::string::npos);
+  EXPECT_NE(tb.find("errors = errors + 1"), std::string::npos);
+  // One expected-value check per vector.
+  std::size_t checks = 0;
+  std::size_t pos = 0;
+  while ((pos = tb.find("!==", pos)) != std::string::npos) {
+    ++checks;
+    pos += 3;
+  }
+  EXPECT_EQ(checks, vectors.size());
+}
+
+TEST(Testbench, RejectsArityMismatch) {
+  pnm::Rng rng(4);
+  pnm::Mlp net({3, 3, 2}, rng);
+  const auto q =
+      pnm::QuantizedMlp::from_float(net, pnm::QuantSpec::uniform(2, 4, 2));
+  const BespokeCircuit circuit(q);
+  std::ostringstream out;
+  TestVector bad;
+  bad.inputs = {1, 2};  // needs 3 features
+  EXPECT_THROW(write_verilog_testbench(circuit, {bad}, out), std::invalid_argument);
+}
+
+TEST(Testbench, InputBitsMatchVectorEncoding) {
+  pnm::Rng rng(5);
+  pnm::Mlp net({2, 3, 2}, rng);
+  const auto q =
+      pnm::QuantizedMlp::from_float(net, pnm::QuantSpec::uniform(2, 4, 3));
+  const BespokeCircuit circuit(q);
+  TestVector v;
+  v.inputs = {5, 2};  // 0b101 and 0b010
+  v.expected_class = q.predict_quantized(v.inputs);
+  std::ostringstream out;
+  write_verilog_testbench(circuit, {v}, out);
+  const std::string tb = out.str();
+  EXPECT_NE(tb.find("x0_0_ = 1'b1"), std::string::npos);
+  EXPECT_NE(tb.find("x0_1_ = 1'b0"), std::string::npos);
+  EXPECT_NE(tb.find("x0_2_ = 1'b1"), std::string::npos);
+  EXPECT_NE(tb.find("x1_1_ = 1'b1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnm::hw

@@ -1,0 +1,277 @@
+/// Tests for the netlist fabric: folding rules, structural hashing,
+/// simulation semantics, and the physical analyses.
+
+#include "pnm/hw/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace pnm::hw {
+namespace {
+
+TEST(Netlist, ConstantsPreexist) {
+  Netlist nl;
+  EXPECT_EQ(nl.constant(false), kConst0);
+  EXPECT_EQ(nl.constant(true), kConst1);
+  EXPECT_EQ(nl.gate_count(), 0U);
+}
+
+TEST(Netlist, InputsAreNamedAndOrdered) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  EXPECT_NE(a, b);
+  ASSERT_EQ(nl.inputs().size(), 2U);
+  EXPECT_EQ(nl.inputs()[0].name, "a");
+  EXPECT_EQ(nl.inputs()[1].net, b);
+}
+
+TEST(Netlist, InputBusNamesBits) {
+  Netlist nl;
+  const auto bus = nl.add_input_bus("x", 3);
+  ASSERT_EQ(bus.size(), 3U);
+  EXPECT_EQ(nl.inputs()[0].name, "x[0]");
+  EXPECT_EQ(nl.inputs()[2].name, "x[2]");
+}
+
+TEST(NetlistFolding, ConstantAbsorption) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  EXPECT_EQ(nl.add_gate(GateType::kAnd2, x, kConst0), kConst0);
+  EXPECT_EQ(nl.add_gate(GateType::kAnd2, x, kConst1), x);
+  EXPECT_EQ(nl.add_gate(GateType::kOr2, x, kConst1), kConst1);
+  EXPECT_EQ(nl.add_gate(GateType::kOr2, x, kConst0), x);
+  EXPECT_EQ(nl.add_gate(GateType::kXor2, x, kConst0), x);
+  EXPECT_EQ(nl.add_gate(GateType::kNand2, x, kConst0), kConst1);
+  EXPECT_EQ(nl.add_gate(GateType::kNor2, x, kConst1), kConst0);
+  EXPECT_EQ(nl.add_gate(GateType::kXnor2, x, kConst1), x);
+  EXPECT_EQ(nl.gate_count(), 0U);  // all folded, no hardware
+}
+
+TEST(NetlistFolding, ConstantsFoldToInverters) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId nx = nl.add_gate(GateType::kXor2, x, kConst1);
+  EXPECT_EQ(nl.gate_count(), 1U);  // one INV
+  EXPECT_EQ(nl.gates()[0].type, GateType::kInv);
+  // All four "inverting" const cases share the same inverter.
+  EXPECT_EQ(nl.add_gate(GateType::kNand2, x, kConst1), nx);
+  EXPECT_EQ(nl.add_gate(GateType::kNor2, x, kConst0), nx);
+  EXPECT_EQ(nl.add_gate(GateType::kXnor2, x, kConst0), nx);
+  EXPECT_EQ(nl.gate_count(), 1U);
+}
+
+TEST(NetlistFolding, IdempotenceAndSelfAnnihilation) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  EXPECT_EQ(nl.add_gate(GateType::kAnd2, x, x), x);
+  EXPECT_EQ(nl.add_gate(GateType::kOr2, x, x), x);
+  EXPECT_EQ(nl.add_gate(GateType::kXor2, x, x), kConst0);
+  EXPECT_EQ(nl.add_gate(GateType::kXnor2, x, x), kConst1);
+  EXPECT_EQ(nl.gate_count(), 0U);
+  const NetId nx = nl.add_gate(GateType::kNand2, x, x);
+  EXPECT_EQ(nl.gates()[0].type, GateType::kInv);
+  EXPECT_EQ(nl.add_gate(GateType::kNor2, x, x), nx);
+  EXPECT_EQ(nl.gate_count(), 1U);
+}
+
+TEST(NetlistFolding, DoubleInverterCancels) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId nx = nl.add_gate(GateType::kInv, x);
+  const NetId nnx = nl.add_gate(GateType::kInv, nx);
+  EXPECT_EQ(nnx, x);
+  EXPECT_EQ(nl.gate_count(), 1U);
+}
+
+TEST(NetlistFolding, ComplementaryOperandRules) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId nx = nl.add_gate(GateType::kInv, x);
+  EXPECT_EQ(nl.add_gate(GateType::kAnd2, x, nx), kConst0);
+  EXPECT_EQ(nl.add_gate(GateType::kOr2, x, nx), kConst1);
+  EXPECT_EQ(nl.add_gate(GateType::kXor2, x, nx), kConst1);
+  EXPECT_EQ(nl.add_gate(GateType::kXnor2, x, nx), kConst0);
+  EXPECT_EQ(nl.add_gate(GateType::kNand2, x, nx), kConst1);
+  EXPECT_EQ(nl.add_gate(GateType::kNor2, x, nx), kConst0);
+  EXPECT_EQ(nl.gate_count(), 1U);  // just the inverter
+}
+
+TEST(NetlistCse, IdenticalGatesShareOutput) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g1 = nl.add_gate(GateType::kAnd2, a, b);
+  const NetId g2 = nl.add_gate(GateType::kAnd2, b, a);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(nl.gate_count(), 1U);
+}
+
+TEST(NetlistCse, ComplementaryCellBecomesInverter) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId and_out = nl.add_gate(GateType::kAnd2, a, b);
+  const NetId nand_out = nl.add_gate(GateType::kNand2, a, b);
+  // NAND built as INV(existing AND) rather than a fresh 2-input cell.
+  EXPECT_EQ(nl.gate_count(), 2U);
+  EXPECT_EQ(nl.gates()[1].type, GateType::kInv);
+  EXPECT_EQ(nl.gates()[1].a, and_out);
+  (void)nand_out;
+}
+
+TEST(NetlistCse, DisabledByConstructorFlag) {
+  Netlist nl(/*enable_cse=*/false);
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g1 = nl.add_gate(GateType::kAnd2, a, b);
+  const NetId g2 = nl.add_gate(GateType::kAnd2, a, b);
+  EXPECT_NE(g1, g2);
+  EXPECT_EQ(nl.gate_count(), 2U);
+  // Folding still works without CSE.
+  EXPECT_EQ(nl.add_gate(GateType::kAnd2, a, kConst0), kConst0);
+}
+
+TEST(Netlist, BufFoldsToWire) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_EQ(nl.add_gate(GateType::kBuf, a), a);
+  EXPECT_EQ(nl.gate_count(), 0U);
+}
+
+TEST(Netlist, RawGateBypassesOptimization) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.add_gate_raw(GateType::kAnd2, a, kConst0);
+  EXPECT_NE(g, kConst0);
+  EXPECT_EQ(nl.gate_count(), 1U);
+}
+
+TEST(Netlist, RejectsUnknownNets) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kAnd2, a, 999), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kInv, a, a), std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(999, "y"), std::invalid_argument);
+}
+
+TEST(NetlistSim, TruthTablesOfAllCells) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  // Raw gates so nothing folds.
+  const NetId and_o = nl.add_gate_raw(GateType::kAnd2, a, b);
+  const NetId or_o = nl.add_gate_raw(GateType::kOr2, a, b);
+  const NetId nand_o = nl.add_gate_raw(GateType::kNand2, a, b);
+  const NetId nor_o = nl.add_gate_raw(GateType::kNor2, a, b);
+  const NetId xor_o = nl.add_gate_raw(GateType::kXor2, a, b);
+  const NetId xnor_o = nl.add_gate_raw(GateType::kXnor2, a, b);
+  const NetId inv_o = nl.add_gate_raw(GateType::kInv, a);
+  const NetId buf_o = nl.add_gate_raw(GateType::kBuf, a);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      const auto s = nl.simulate({static_cast<std::uint8_t>(av),
+                                  static_cast<std::uint8_t>(bv)});
+      EXPECT_EQ(s[static_cast<std::size_t>(and_o)], av & bv);
+      EXPECT_EQ(s[static_cast<std::size_t>(or_o)], av | bv);
+      EXPECT_EQ(s[static_cast<std::size_t>(nand_o)], 1 - (av & bv));
+      EXPECT_EQ(s[static_cast<std::size_t>(nor_o)], 1 - (av | bv));
+      EXPECT_EQ(s[static_cast<std::size_t>(xor_o)], av ^ bv);
+      EXPECT_EQ(s[static_cast<std::size_t>(xnor_o)], 1 - (av ^ bv));
+      EXPECT_EQ(s[static_cast<std::size_t>(inv_o)], 1 - av);
+      EXPECT_EQ(s[static_cast<std::size_t>(buf_o)], av);
+      EXPECT_EQ(s[kConst0], 0);
+      EXPECT_EQ(s[kConst1], 1);
+    }
+  }
+}
+
+TEST(NetlistSim, EvaluateOutputsFollowsPortOrder) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId na = nl.add_gate(GateType::kInv, a);
+  nl.mark_output(na, "not_a");
+  nl.mark_output(a, "a_copy");
+  const auto out = nl.evaluate_outputs({1});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST(NetlistSim, WrongInputCountThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.simulate({}), std::invalid_argument);
+  EXPECT_THROW(nl.simulate({1, 0}), std::invalid_argument);
+}
+
+TEST(NetlistAnalysis, AreaPowerAreSums) {
+  const auto& tech = TechLibrary::egt();
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_gate_raw(GateType::kAnd2, a, b);
+  nl.add_gate_raw(GateType::kXor2, a, b);
+  nl.add_gate_raw(GateType::kInv, a);
+  const double expected_area = tech.cell(GateType::kAnd2).area_mm2 +
+                               tech.cell(GateType::kXor2).area_mm2 +
+                               tech.cell(GateType::kInv).area_mm2;
+  EXPECT_DOUBLE_EQ(nl.area_mm2(tech), expected_area);
+  const double expected_power = tech.cell(GateType::kAnd2).power_uw +
+                                tech.cell(GateType::kXor2).power_uw +
+                                tech.cell(GateType::kInv).power_uw;
+  EXPECT_DOUBLE_EQ(nl.power_uw(tech), expected_power);
+}
+
+TEST(NetlistAnalysis, CriticalPathIsLongestChain) {
+  const auto& tech = TechLibrary::egt();
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  // Chain of 4 raw inverters vs a single parallel AND.
+  NetId cur = a;
+  for (int i = 0; i < 4; ++i) cur = nl.add_gate_raw(GateType::kInv, cur);
+  nl.add_gate_raw(GateType::kAnd2, a, a);
+  const double inv_d = tech.cell(GateType::kInv).delay_ms;
+  EXPECT_DOUBLE_EQ(nl.critical_path_ms(tech), 4.0 * inv_d);
+}
+
+TEST(NetlistAnalysis, GateHistogramCounts) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_gate_raw(GateType::kAnd2, a, b);
+  nl.add_gate_raw(GateType::kAnd2, a, b);
+  nl.add_gate_raw(GateType::kInv, a);
+  const auto hist = nl.gate_histogram();
+  EXPECT_EQ(hist[static_cast<std::size_t>(GateType::kAnd2)], 2U);
+  EXPECT_EQ(hist[static_cast<std::size_t>(GateType::kInv)], 1U);
+  EXPECT_EQ(hist[static_cast<std::size_t>(GateType::kXor2)], 0U);
+}
+
+TEST(Tech, EgtLibraryIsSelfConsistent) {
+  const auto& tech = TechLibrary::egt();
+  EXPECT_EQ(tech.name(), "EGT");
+  for (int t = 0; t < kGateTypeCount; ++t) {
+    const auto& cell = tech.cell(static_cast<GateType>(t));
+    EXPECT_GT(cell.area_mm2, 0.0);
+    EXPECT_GT(cell.power_uw, 0.0);
+    EXPECT_GT(cell.delay_ms, 0.0);
+  }
+  // XOR is the most expensive combinational cell in printed logic.
+  EXPECT_GT(tech.cell(GateType::kXor2).area_mm2, tech.cell(GateType::kAnd2).area_mm2);
+  EXPECT_GT(tech.cell(GateType::kAnd2).area_mm2, tech.cell(GateType::kInv).area_mm2);
+  EXPECT_GT(tech.full_adder_area_mm2(), 2.0 * tech.cell(GateType::kXor2).area_mm2);
+}
+
+TEST(Tech, GateTypeNamesAreUnique) {
+  std::set<std::string> names;
+  for (int t = 0; t < kGateTypeCount; ++t) {
+    names.insert(gate_type_name(static_cast<GateType>(t)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kGateTypeCount));
+}
+
+}  // namespace
+}  // namespace pnm::hw

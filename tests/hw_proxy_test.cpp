@@ -1,0 +1,118 @@
+/// Tests for the analytic area proxy: it must *rank* designs like the
+/// exact netlist does (that is all the GA needs) and stay within a sane
+/// multiplicative band.
+
+#include "pnm/hw/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pnm/core/cluster.hpp"
+#include "pnm/core/prune.hpp"
+
+namespace pnm::hw {
+namespace {
+
+QuantizedMlp make_design(const std::vector<std::size_t>& topology, int bits,
+                         double sparsity, int clusters, std::uint64_t seed) {
+  pnm::Rng rng(seed);
+  pnm::Mlp net(topology, rng);
+  if (sparsity > 0.0) pnm::magnitude_prune_global(net, sparsity);
+  if (clusters > 0) {
+    pnm::Rng crng(seed + 1);
+    pnm::cluster_weights(net, std::vector<int>(net.layer_count(), clusters), crng);
+  }
+  return QuantizedMlp::from_float(net, pnm::QuantSpec::uniform(net.layer_count(), bits, 4));
+}
+
+/// Spearman rank correlation.
+double rank_correlation(std::vector<double> a, std::vector<double> b) {
+  auto ranks = [](std::vector<double> v) {
+    std::vector<std::size_t> idx(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&v](std::size_t x, std::size_t y) {
+      return v[x] < v[y];
+    });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(std::move(a));
+  const auto rb = ranks(std::move(b));
+  const double n = static_cast<double>(ra.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+TEST(Proxy, PositiveForAnyDesign) {
+  const auto q = make_design({6, 5, 4}, 6, 0.0, 0, 1);
+  EXPECT_GT(estimate_area_mm2(q, TechLibrary::egt()), 0.0);
+}
+
+TEST(Proxy, MonotoneInBitWidth) {
+  const auto& tech = TechLibrary::egt();
+  double prev = 1e18;
+  for (int bits : {8, 6, 4, 2}) {
+    const double est = estimate_area_mm2(make_design({8, 6, 4}, bits, 0.0, 0, 2), tech);
+    EXPECT_LT(est, prev) << "bits=" << bits;
+    prev = est;
+  }
+}
+
+TEST(Proxy, MonotoneInSparsity) {
+  const auto& tech = TechLibrary::egt();
+  const double dense = estimate_area_mm2(make_design({8, 6, 4}, 6, 0.0, 0, 3), tech);
+  const double sparse = estimate_area_mm2(make_design({8, 6, 4}, 6, 0.5, 0, 3), tech);
+  EXPECT_LT(sparse, dense);
+}
+
+TEST(Proxy, ClusteringReducesEstimate) {
+  const auto& tech = TechLibrary::egt();
+  const double plain = estimate_area_mm2(make_design({8, 8, 5}, 7, 0.0, 0, 4), tech);
+  const double clustered = estimate_area_mm2(make_design({8, 8, 5}, 7, 0.0, 2, 4), tech);
+  EXPECT_LT(clustered, plain);
+}
+
+TEST(Proxy, TracksExactAreaWithinBand) {
+  const auto& tech = TechLibrary::egt();
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const auto q = make_design({8, 6, 5}, 5, 0.3, 0, seed);
+    const double exact = BespokeCircuit(q).area_mm2(tech);
+    const double est = estimate_area_mm2(q, tech);
+    EXPECT_GT(est, 0.35 * exact) << "seed=" << seed;
+    EXPECT_LT(est, 2.5 * exact) << "seed=" << seed;
+  }
+}
+
+TEST(Proxy, RankCorrelationWithExactAreaIsHigh) {
+  const auto& tech = TechLibrary::egt();
+  std::vector<double> exact, est;
+  // A spread of designs across the GA's search space.
+  const std::vector<std::tuple<int, double, int>> configs = {
+      {2, 0.0, 0}, {3, 0.2, 0}, {4, 0.0, 4}, {4, 0.4, 0}, {5, 0.0, 0},
+      {5, 0.5, 2}, {6, 0.0, 3}, {6, 0.3, 0}, {7, 0.0, 0}, {7, 0.6, 4},
+      {8, 0.0, 0}, {8, 0.2, 2}, {3, 0.6, 2}, {2, 0.4, 3}, {6, 0.5, 6},
+  };
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& [bits, sparsity, clusters] = configs[i];
+    const auto q = make_design({11, 8, 7}, bits, sparsity, clusters, 100 + i);
+    exact.push_back(BespokeCircuit(q).area_mm2(tech));
+    est.push_back(estimate_area_mm2(q, tech));
+  }
+  EXPECT_GT(rank_correlation(exact, est), 0.9);
+}
+
+TEST(Proxy, RespectsSharingOption) {
+  const auto q = make_design({8, 8, 5}, 7, 0.0, 2, 20);
+  const auto& tech = TechLibrary::egt();
+  BespokeOptions shared;
+  BespokeOptions unshared;
+  unshared.share_products = false;
+  EXPECT_LT(estimate_area_mm2(q, tech, shared), estimate_area_mm2(q, tech, unshared));
+}
+
+}  // namespace
+}  // namespace pnm::hw

@@ -1,0 +1,103 @@
+/// Tests for the report renderer and the structural Verilog exporter.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pnm/hw/report.hpp"
+#include "pnm/hw/verilog.hpp"
+
+namespace pnm::hw {
+namespace {
+
+Netlist small_netlist() {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b[0]");
+  const NetId x = nl.add_gate_raw(GateType::kXor2, a, b);
+  const NetId y = nl.add_gate_raw(GateType::kNand2, x, a);
+  nl.mark_output(y, "out");
+  return nl;
+}
+
+TEST(Report, AnalyzeFillsEveryField) {
+  const Netlist nl = small_netlist();
+  const auto report = analyze(nl, TechLibrary::egt());
+  EXPECT_EQ(report.tech_name, "EGT");
+  EXPECT_EQ(report.gate_total, 2U);
+  EXPECT_EQ(report.gate_histogram[static_cast<std::size_t>(GateType::kXor2)], 1U);
+  EXPECT_GT(report.area_mm2, 0.0);
+  EXPECT_GT(report.power_uw, 0.0);
+  EXPECT_GT(report.critical_path_ms, 0.0);
+  EXPECT_GT(report.max_frequency_hz, 0.0);
+  EXPECT_NEAR(report.max_frequency_hz * report.critical_path_ms, 1000.0, 1e-6);
+}
+
+TEST(Report, ToStringMentionsKeyNumbers) {
+  const auto report = analyze(small_netlist(), TechLibrary::egt());
+  const std::string s = to_string(report);
+  EXPECT_NE(s.find("EGT"), std::string::npos);
+  EXPECT_NE(s.find("area"), std::string::npos);
+  EXPECT_NE(s.find("XOR2:1"), std::string::npos);
+  EXPECT_NE(s.find("Hz"), std::string::npos);
+}
+
+TEST(Report, StageAreasRendering) {
+  StageAreas areas;
+  areas.product_mm2 = 10.0;
+  areas.accumulate_mm2 = 30.0;
+  const std::string s = to_string(areas);
+  EXPECT_NE(s.find("multipliers"), std::string::npos);
+  EXPECT_NE(s.find("25.0%"), std::string::npos);  // 10/40
+  EXPECT_NE(s.find("75.0%"), std::string::npos);
+}
+
+TEST(Verilog, EmitsWellFormedModule) {
+  std::ostringstream out;
+  write_verilog(small_netlist(), out, "my_top");
+  const std::string v = out.str();
+  EXPECT_NE(v.find("module my_top"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire a"), std::string::npos);
+  EXPECT_NE(v.find("output wire out"), std::string::npos);
+  EXPECT_NE(v.find("^"), std::string::npos);    // the XOR assign
+  EXPECT_NE(v.find("~("), std::string::npos);   // the NAND assign
+}
+
+TEST(Verilog, ManglesIllegalIdentifierCharacters) {
+  std::ostringstream out;
+  write_verilog(small_netlist(), out, "top-with-dash");
+  const std::string v = out.str();
+  EXPECT_EQ(v.find("top-with-dash"), std::string::npos);
+  EXPECT_NE(v.find("top_with_dash"), std::string::npos);
+  // Bus-style port "b[0]" becomes "b_0_".
+  EXPECT_NE(v.find("b_0_"), std::string::npos);
+}
+
+TEST(Verilog, ConstantsUseLiterals) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.add_gate_raw(GateType::kAnd2, a, kConst1);
+  nl.mark_output(g, "y");
+  std::ostringstream out;
+  write_verilog(nl, out);
+  EXPECT_NE(out.str().find("1'b1"), std::string::npos);
+}
+
+TEST(Verilog, EveryGateGetsOneAssign) {
+  const Netlist nl = small_netlist();
+  std::ostringstream out;
+  write_verilog(nl, out);
+  const std::string v = out.str();
+  std::size_t assigns = 0;
+  std::size_t pos = 0;
+  while ((pos = v.find("assign", pos)) != std::string::npos) {
+    ++assigns;
+    pos += 6;
+  }
+  // gates + output binding(s).
+  EXPECT_EQ(assigns, nl.gate_count() + nl.outputs().size());
+}
+
+}  // namespace
+}  // namespace pnm::hw

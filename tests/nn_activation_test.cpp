@@ -1,0 +1,94 @@
+/// Tests for activation functions and their derivatives.
+
+#include "pnm/nn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnm {
+namespace {
+
+TEST(Activation, ReluClampsNegatives) {
+  std::vector<double> v = {-2.0, -0.0, 0.5, 3.0};
+  apply_activation(Activation::kRelu, v);
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[1], 0.0);
+  EXPECT_EQ(v[2], 0.5);
+  EXPECT_EQ(v[3], 3.0);
+}
+
+TEST(Activation, IdentityIsNoop) {
+  std::vector<double> v = {-1.0, 2.0};
+  apply_activation(Activation::kIdentity, v);
+  EXPECT_EQ(v[0], -1.0);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(Activation, SigmoidRangeAndMidpoint) {
+  std::vector<double> v = {0.0, 100.0, -100.0};
+  apply_activation(Activation::kSigmoid, v);
+  EXPECT_NEAR(v[0], 0.5, 1e-12);
+  EXPECT_NEAR(v[1], 1.0, 1e-9);
+  EXPECT_NEAR(v[2], 0.0, 1e-9);
+}
+
+TEST(Activation, TanhIsOdd) {
+  std::vector<double> a = {0.7};
+  std::vector<double> b = {-0.7};
+  apply_activation(Activation::kTanh, a);
+  apply_activation(Activation::kTanh, b);
+  EXPECT_NEAR(a[0], -b[0], 1e-12);
+}
+
+TEST(ActivationGrad, ReluMasksBlockedUnits) {
+  // post = relu(pre); derivative is 0 where post == 0.
+  std::vector<double> post = {0.0, 2.0, 0.0};
+  std::vector<double> grad = {1.0, 1.0, -3.0};
+  apply_activation_grad(Activation::kRelu, post, grad);
+  EXPECT_EQ(grad[0], 0.0);
+  EXPECT_EQ(grad[1], 1.0);
+  EXPECT_EQ(grad[2], 0.0);
+}
+
+TEST(ActivationGrad, SigmoidUsesPostValue) {
+  std::vector<double> post = {0.5};
+  std::vector<double> grad = {2.0};
+  apply_activation_grad(Activation::kSigmoid, post, grad);
+  EXPECT_NEAR(grad[0], 2.0 * 0.25, 1e-12);
+}
+
+TEST(ActivationGrad, TanhUsesPostValue) {
+  std::vector<double> post = {0.6};
+  std::vector<double> grad = {1.0};
+  apply_activation_grad(Activation::kTanh, post, grad);
+  EXPECT_NEAR(grad[0], 1.0 - 0.36, 1e-12);
+}
+
+TEST(ActivationGrad, SizeMismatchThrows) {
+  std::vector<double> post = {1.0};
+  std::vector<double> grad = {1.0, 2.0};
+  EXPECT_THROW(apply_activation_grad(Activation::kRelu, post, grad),
+               std::invalid_argument);
+}
+
+TEST(ActivationNames, RoundTrip) {
+  for (Activation a : {Activation::kIdentity, Activation::kRelu, Activation::kSigmoid,
+                       Activation::kTanh}) {
+    EXPECT_EQ(activation_from_name(activation_name(a)), a);
+  }
+}
+
+TEST(ActivationNames, UnknownNameThrows) {
+  EXPECT_THROW(activation_from_name("swish"), std::invalid_argument);
+}
+
+TEST(Activation, HardwareLowerability) {
+  EXPECT_TRUE(hardware_lowerable(Activation::kRelu));
+  EXPECT_TRUE(hardware_lowerable(Activation::kIdentity));
+  EXPECT_FALSE(hardware_lowerable(Activation::kSigmoid));
+  EXPECT_FALSE(hardware_lowerable(Activation::kTanh));
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,127 @@
+/// Tests for the dense matrix substrate.
+
+#include "pnm/nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnm {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3U);
+  EXPECT_EQ(m.cols(), 4U);
+  EXPECT_EQ(m.size(), 12U);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, ExplicitDataRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, ExplicitDataSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, MatvecComputesProduct) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 0, -1};
+  std::vector<double> y;
+  m.matvec(x, y);
+  ASSERT_EQ(y.size(), 2U);
+  EXPECT_EQ(y[0], 1.0 - 3.0);
+  EXPECT_EQ(y[1], 4.0 - 6.0);
+}
+
+TEST(Matrix, MatvecRejectsBadSize) {
+  Matrix m(2, 3);
+  std::vector<double> x = {1, 2};
+  std::vector<double> y;
+  EXPECT_THROW(m.matvec(x, y), std::invalid_argument);
+}
+
+TEST(Matrix, MatvecTransposedComputesProduct) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 2};  // row-space vector
+  std::vector<double> y;
+  m.matvec_transposed(x, y);
+  ASSERT_EQ(y.size(), 3U);
+  EXPECT_EQ(y[0], 1.0 + 8.0);
+  EXPECT_EQ(y[1], 2.0 + 10.0);
+  EXPECT_EQ(y[2], 3.0 + 12.0);
+}
+
+TEST(Matrix, AxpyAccumulates) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {10, 20, 30, 40});
+  a.axpy(0.5, b);
+  EXPECT_EQ(a(0, 0), 6.0);
+  EXPECT_EQ(a(1, 1), 24.0);
+}
+
+TEST(Matrix, AxpyShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.axpy(1.0, b), std::invalid_argument);
+}
+
+TEST(Matrix, AddOuterIsRankOneUpdate) {
+  Matrix m(2, 3);
+  m.add_outer(2.0, {1, 2}, {3, 4, 5});
+  EXPECT_EQ(m(0, 0), 6.0);
+  EXPECT_EQ(m(0, 2), 10.0);
+  EXPECT_EQ(m(1, 1), 16.0);
+}
+
+TEST(Matrix, AbsMaxAndZeroCount) {
+  Matrix m(2, 2, {0.0, -7.5, 2.0, 0.0});
+  EXPECT_EQ(m.abs_max(), 7.5);
+  EXPECT_EQ(m.zero_count(), 2U);
+  Matrix empty;
+  EXPECT_EQ(empty.abs_max(), 0.0);
+}
+
+TEST(Matrix, FillSetsEveryElement) {
+  Matrix m(3, 3);
+  m.fill(1.5);
+  for (double v : m.raw()) EXPECT_EQ(v, 1.5);
+}
+
+TEST(Matrix, HeNormalHasExpectedScale) {
+  Rng rng(5);
+  const std::size_t fan_in = 100;
+  Matrix m = he_normal(50, fan_in, rng);
+  double sum2 = 0.0;
+  for (double v : m.raw()) sum2 += v * v;
+  const double var = sum2 / static_cast<double>(m.size());
+  EXPECT_NEAR(var, 2.0 / static_cast<double>(fan_in), 0.004);
+}
+
+TEST(Matrix, XavierUniformStaysInLimit) {
+  Rng rng(6);
+  Matrix m = xavier_uniform(30, 20, rng);
+  const double limit = std::sqrt(6.0 / 50.0);
+  for (double v : m.raw()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Matrix, EqualityIsElementwise) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2, 3, 4});
+  Matrix c(2, 2, {1, 2, 3, 5});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace pnm

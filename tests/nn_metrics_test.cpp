@@ -1,0 +1,88 @@
+/// Tests for classification metrics.
+
+#include "pnm/nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnm {
+namespace {
+
+Dataset four_samples() {
+  Dataset d;
+  d.name = "toy";
+  d.n_classes = 2;
+  d.x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  d.y = {0, 0, 1, 1};
+  return d;
+}
+
+TEST(Metrics, AccuracyCountsCorrectPredictions) {
+  const Dataset d = four_samples();
+  // Threshold classifier at 1.5: perfect.
+  const Predictor perfect = [](const std::vector<double>& x) {
+    return static_cast<std::size_t>(x[0] > 1.5 ? 1 : 0);
+  };
+  EXPECT_EQ(accuracy(perfect, d), 1.0);
+  // Constant classifier: half right.
+  const Predictor constant = [](const std::vector<double>&) { return std::size_t{0}; };
+  EXPECT_EQ(accuracy(constant, d), 0.5);
+}
+
+TEST(Metrics, AccuracyRejectsEmptyDataset) {
+  Dataset empty;
+  empty.n_classes = 2;
+  const Predictor p = [](const std::vector<double>&) { return std::size_t{0}; };
+  EXPECT_THROW(accuracy(p, empty), std::invalid_argument);
+}
+
+TEST(Metrics, ConfusionMatrixEntries) {
+  const Dataset d = four_samples();
+  const Predictor constant = [](const std::vector<double>&) { return std::size_t{1}; };
+  const auto cm = confusion_matrix(constant, d);
+  EXPECT_EQ(cm[0][1], 2U);
+  EXPECT_EQ(cm[1][1], 2U);
+  EXPECT_EQ(cm[0][0], 0U);
+}
+
+TEST(Metrics, ConfusionMatrixRejectsOutOfRangePrediction) {
+  const Dataset d = four_samples();
+  const Predictor bad = [](const std::vector<double>&) { return std::size_t{9}; };
+  EXPECT_THROW(confusion_matrix(bad, d), std::out_of_range);
+}
+
+TEST(Metrics, BalancedAccuracyWeighsClassesEqually) {
+  // Imbalanced: 3 of class 0, 1 of class 1.
+  Dataset d;
+  d.n_classes = 2;
+  d.x = {{0}, {0}, {0}, {1}};
+  d.y = {0, 0, 0, 1};
+  const Predictor constant0 = [](const std::vector<double>&) { return std::size_t{0}; };
+  EXPECT_EQ(accuracy(constant0, d), 0.75);
+  EXPECT_EQ(balanced_accuracy(constant0, d), 0.5);  // (1.0 + 0.0) / 2
+}
+
+TEST(Metrics, MlpAccuracyOverloadAgreesWithPredictor) {
+  Rng rng(3);
+  Mlp net({1, 4, 2}, rng);
+  const Dataset d = four_samples();
+  const double a1 = accuracy(net, d);
+  const double a2 =
+      accuracy([&net](const std::vector<double>& x) { return net.predict(x); }, d);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(Metrics, MeanCrossEntropyOfUniformModelIsLogC) {
+  // Zero-weight model emits uniform logits -> CE = log(n_classes).
+  DenseLayer l;
+  l.weights = Matrix(2, 1);
+  l.bias = {0.0, 0.0};
+  l.act = Activation::kIdentity;
+  Mlp net({l});
+  const Dataset d = four_samples();
+  EXPECT_NEAR(mean_cross_entropy(net, d), std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,217 @@
+/// Tests for the trainer: loss math, optimization progress, and the two
+/// minimization hooks (weight view = STE/QAT, projector = constraints).
+
+#include "pnm/nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnm/data/scaler.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/nn/metrics.hpp"
+
+namespace pnm {
+namespace {
+
+/// Small separable dataset for optimization tests, min-max scaled to [0,1]
+/// like every real flow in this library (unscaled features make the loss
+/// landscape needlessly hostile for short training runs).
+Dataset easy_dataset(std::uint64_t seed = 100) {
+  SynthConfig cfg;
+  cfg.name = "easy";
+  cfg.n_features = 4;
+  cfg.n_classes = 3;
+  cfg.n_samples = 300;
+  cfg.class_separation = 3.0;
+  Rng rng(seed);
+  Dataset data = make_synthetic(cfg, rng);
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  return scaler.transform(data);
+}
+
+TEST(SoftmaxCrossEntropy, KnownValues) {
+  // Uniform logits: loss = log(n).
+  const double loss = softmax_cross_entropy({0.0, 0.0, 0.0}, 1, nullptr);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-12);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZero) {
+  std::vector<double> grad;
+  softmax_cross_entropy({1.0, -2.0, 0.5, 3.0}, 2, &grad);
+  double sum = 0.0;
+  for (double g : grad) sum += g;
+  EXPECT_NEAR(sum, 0.0, 1e-12);  // softmax sums to 1, onehot to 1
+  EXPECT_LT(grad[2], 0.0);       // true-class gradient is negative
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForHugeLogits) {
+  const double loss = softmax_cross_entropy({1e4, 0.0}, 0, nullptr);
+  EXPECT_NEAR(loss, 0.0, 1e-9);
+  const double loss2 = softmax_cross_entropy({-1e4, 0.0}, 0, nullptr);
+  EXPECT_NEAR(loss2, 1e4, 1.0);
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  EXPECT_THROW(softmax_cross_entropy({0.0, 0.0}, 2, nullptr), std::invalid_argument);
+}
+
+TEST(Trainer, ConfigValidation) {
+  TrainConfig bad;
+  bad.epochs = 0;
+  EXPECT_THROW(Trainer{bad}, std::invalid_argument);
+  bad = TrainConfig{};
+  bad.lr = 0.0;
+  EXPECT_THROW(Trainer{bad}, std::invalid_argument);
+}
+
+TEST(Trainer, LossDecreasesOnEasyTask) {
+  const Dataset data = easy_dataset();
+  Rng rng(1);
+  Mlp net({4, 6, 3}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  Trainer trainer(cfg);
+  const auto result = trainer.fit(net, data, rng);
+  ASSERT_EQ(result.epoch_loss.size(), 30U);
+  EXPECT_LT(result.final_loss(), 0.5 * result.epoch_loss.front());
+  EXPECT_GT(accuracy(net, data), 0.9);
+}
+
+TEST(Trainer, SgdAlsoConverges) {
+  const Dataset data = easy_dataset();
+  Rng rng(2);
+  Mlp net({4, 6, 3}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.optimizer = Optimizer::kSgd;
+  cfg.lr = 0.05;
+  Trainer trainer(cfg);
+  trainer.fit(net, data, rng);
+  EXPECT_GT(accuracy(net, data), 0.9);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const Dataset data = easy_dataset();
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  Mlp net1({4, 5, 3}, *std::make_unique<Rng>(3));
+  Mlp net2({4, 5, 3}, *std::make_unique<Rng>(3));
+  Rng rng1(77), rng2(77);
+  Trainer(cfg).fit(net1, data, rng1);
+  Trainer(cfg).fit(net2, data, rng2);
+  for (std::size_t li = 0; li < net1.layer_count(); ++li) {
+    EXPECT_EQ(net1.layer(li).weights, net2.layer(li).weights);
+  }
+}
+
+TEST(Trainer, WeightDecayShrinksNorms) {
+  const Dataset data = easy_dataset();
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  Rng ra(4), rb(4);
+  Mlp plain({4, 6, 3}, ra);
+  Mlp decayed = plain;
+  Rng rng_a(9), rng_b(9);
+  Trainer(cfg).fit(plain, data, rng_a);
+  cfg.weight_decay = 0.05;
+  Trainer(cfg).fit(decayed, data, rng_b);
+  auto norm = [](const Mlp& m) {
+    double s = 0.0;
+    for (const auto& l : m.layers()) {
+      for (double w : l.weights.raw()) s += w * w;
+    }
+    return s;
+  };
+  EXPECT_LT(norm(decayed), norm(plain));
+}
+
+TEST(Trainer, ProjectorHoldsConstraintAfterEveryStep) {
+  const Dataset data = easy_dataset();
+  Rng rng(5);
+  Mlp net({4, 6, 3}, rng);
+  // Constraint: weight (0,0) of layer 0 is frozen at zero.
+  net.layer(0).weights(0, 0) = 0.0;
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.lr = 0.01;
+  Trainer trainer(cfg);
+  trainer.set_projector([](Mlp& m) { m.layer(0).weights(0, 0) = 0.0; });
+  trainer.fit(net, data, rng);
+  EXPECT_EQ(net.layer(0).weights(0, 0), 0.0);
+  EXPECT_GT(accuracy(net, data), 0.85);  // still learns around the constraint
+}
+
+TEST(Trainer, WeightViewReceivesMasterAndAffectsTraining) {
+  const Dataset data = easy_dataset();
+  Rng rng(6);
+  Mlp net({4, 5, 3}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  Trainer trainer(cfg);
+  int view_calls = 0;
+  trainer.set_weight_view([&view_calls](const Mlp& master, Mlp& view) {
+    ++view_calls;
+    // Crude 1-bit "quantization": sign * 0.5.
+    for (std::size_t li = 0; li < master.layer_count(); ++li) {
+      auto& w = view.layer(li).weights.raw();
+      const auto& mw = master.layer(li).weights.raw();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = mw[i] > 0 ? 0.5 : (mw[i] < 0 ? -0.5 : 0.0);
+      }
+    }
+  });
+  trainer.fit(net, data, rng);
+  EXPECT_GT(view_calls, 0);
+  // Master weights stay float (not collapsed to +-0.5): STE semantics.
+  bool any_non_half = false;
+  for (double w : net.layer(0).weights.raw()) {
+    if (w != 0.5 && w != -0.5 && w != 0.0) any_non_half = true;
+  }
+  EXPECT_TRUE(any_non_half);
+}
+
+TEST(Trainer, RejectsShapeMismatch) {
+  const Dataset data = easy_dataset();
+  Rng rng(7);
+  Mlp net({5, 4, 3}, rng);  // dataset has 4 features
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  Trainer trainer(cfg);
+  EXPECT_THROW(trainer.fit(net, data, rng), std::invalid_argument);
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+  Dataset empty;
+  empty.n_classes = 2;
+  Rng rng(8);
+  Mlp net({4, 3, 2}, rng);
+  TrainConfig cfg;
+  Trainer trainer(cfg);
+  EXPECT_THROW(trainer.fit(net, empty, rng), std::invalid_argument);
+}
+
+TEST(Gradients, ZerosLikeShapesMatch) {
+  Rng rng(9);
+  Mlp net({3, 7, 2}, rng);
+  auto g = Gradients::zeros_like(net);
+  ASSERT_EQ(g.w.size(), 2U);
+  EXPECT_EQ(g.w[0].rows(), 7U);
+  EXPECT_EQ(g.w[0].cols(), 3U);
+  EXPECT_EQ(g.b[1].size(), 2U);
+}
+
+TEST(Gradients, ScaleMultipliesEverything) {
+  Rng rng(10);
+  Mlp net({2, 2, 2}, rng);
+  auto g = Gradients::zeros_like(net);
+  g.w[0](0, 0) = 4.0;
+  g.b[1][1] = -2.0;
+  g.scale(0.5);
+  EXPECT_EQ(g.w[0](0, 0), 2.0);
+  EXPECT_EQ(g.b[1][1], -1.0);
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,103 @@
+/// Tests for the bit-width helpers that size every bespoke datapath.
+
+#include "pnm/util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnm {
+namespace {
+
+TEST(Bits, UnsignedWidths) {
+  EXPECT_EQ(bits_for_unsigned(0), 0);
+  EXPECT_EQ(bits_for_unsigned(1), 1);
+  EXPECT_EQ(bits_for_unsigned(2), 2);
+  EXPECT_EQ(bits_for_unsigned(3), 2);
+  EXPECT_EQ(bits_for_unsigned(4), 3);
+  EXPECT_EQ(bits_for_unsigned(255), 8);
+  EXPECT_EQ(bits_for_unsigned(256), 9);
+}
+
+TEST(Bits, SignedRangeWidths) {
+  EXPECT_EQ(bits_for_signed_range(0, 0), 0);
+  EXPECT_EQ(bits_for_signed_range(0, 7), 3);    // non-negative => unsigned bits
+  EXPECT_EQ(bits_for_signed_range(-1, 0), 1);   // {-1, 0} fits 1 bit
+  EXPECT_EQ(bits_for_signed_range(-1, 1), 2);
+  EXPECT_EQ(bits_for_signed_range(-4, 3), 3);
+  EXPECT_EQ(bits_for_signed_range(-4, 4), 4);   // +4 forces the next width
+  EXPECT_EQ(bits_for_signed_range(-128, 127), 8);
+  EXPECT_EQ(bits_for_signed_range(-129, 0), 9);
+}
+
+TEST(Bits, SignedRangeRejectsInvertedRange) {
+  EXPECT_THROW(bits_for_signed_range(3, 2), std::invalid_argument);
+}
+
+TEST(Bits, RangeExtremesRoundTrip) {
+  for (int w = 1; w <= 32; ++w) {
+    EXPECT_EQ(bits_for_signed_range(signed_min(w), signed_max(w)), w) << "w=" << w;
+    if (w >= 1) {
+      EXPECT_EQ(bits_for_unsigned(static_cast<std::uint64_t>(unsigned_max(w))), w);
+    }
+  }
+}
+
+TEST(Bits, UnsignedMaxValues) {
+  EXPECT_EQ(unsigned_max(0), 0);
+  EXPECT_EQ(unsigned_max(1), 1);
+  EXPECT_EQ(unsigned_max(4), 15);
+  EXPECT_EQ(unsigned_max(8), 255);
+}
+
+TEST(Bits, SignedExtremes) {
+  EXPECT_EQ(signed_min(1), -1);
+  EXPECT_EQ(signed_max(1), 0);
+  EXPECT_EQ(signed_min(8), -128);
+  EXPECT_EQ(signed_max(8), 127);
+}
+
+TEST(Bits, BadWidthsThrow) {
+  EXPECT_THROW(unsigned_max(-1), std::invalid_argument);
+  EXPECT_THROW(unsigned_max(63), std::invalid_argument);
+  EXPECT_THROW(signed_min(0), std::invalid_argument);
+  EXPECT_THROW(signed_max(0), std::invalid_argument);
+}
+
+TEST(Bits, Pow2OrZero) {
+  EXPECT_TRUE(is_pow2_or_zero(0));
+  EXPECT_TRUE(is_pow2_or_zero(1));
+  EXPECT_TRUE(is_pow2_or_zero(2));
+  EXPECT_TRUE(is_pow2_or_zero(-2));
+  EXPECT_TRUE(is_pow2_or_zero(64));
+  EXPECT_TRUE(is_pow2_or_zero(-64));
+  EXPECT_FALSE(is_pow2_or_zero(3));
+  EXPECT_FALSE(is_pow2_or_zero(-3));
+  EXPECT_FALSE(is_pow2_or_zero(6));
+  EXPECT_FALSE(is_pow2_or_zero(100));
+}
+
+TEST(Bits, BinaryNonzeroDigits) {
+  EXPECT_EQ(binary_nonzero_digits(0), 0);
+  EXPECT_EQ(binary_nonzero_digits(1), 1);
+  EXPECT_EQ(binary_nonzero_digits(7), 3);
+  EXPECT_EQ(binary_nonzero_digits(-7), 3);
+  EXPECT_EQ(binary_nonzero_digits(255), 8);
+  EXPECT_EQ(binary_nonzero_digits(256), 1);
+}
+
+/// Property sweep: widths are minimal (value fits, value+1 may not).
+class UnsignedWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnsignedWidthSweep, WidthIsMinimal) {
+  const int w = GetParam();
+  const std::int64_t max = unsigned_max(w);
+  EXPECT_LE(max, (std::int64_t{1} << w) - 1);
+  if (w > 0) {
+    EXPECT_EQ(bits_for_unsigned(static_cast<std::uint64_t>(max)), w);
+    EXPECT_EQ(bits_for_unsigned(static_cast<std::uint64_t>(max) + 1), w + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallWidths, UnsignedWidthSweep, ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace pnm

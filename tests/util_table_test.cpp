@@ -1,0 +1,75 @@
+/// Tests for the text-table renderer used by the figure harness.
+
+#include "pnm/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pnm {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "2"});
+  std::istringstream in(t.to_string());
+  std::string header, sep, row1, row2;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TextTable, SeparatorLineSpansWidth) {
+  TextTable t({"col"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  const std::string s = t.to_string();
+  // Header separator plus the explicit one.
+  std::size_t dashes = 0;
+  for (char ch : s) dashes += (ch == '-') ? 1 : 0;
+  EXPECT_GE(dashes, 6U);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, ExtraCellsBeyondHeaderAreIgnored) {
+  TextTable t({"a"});
+  t.add_row({"x", "overflow"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find("overflow"), std::string::npos);
+}
+
+TEST(FormatFixed, ProducesRequestedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 3), "2.000");
+}
+
+TEST(FormatFactor, AppendsMultiplier) {
+  EXPECT_EQ(format_factor(5.0), "5.00x");
+  EXPECT_EQ(format_factor(0.128), "0.13x");
+}
+
+}  // namespace
+}  // namespace pnm
