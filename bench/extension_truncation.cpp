@@ -33,8 +33,10 @@ int main() {
     ga3.generations = 12;
     GaConfig ga4 = ga3;
     ga4.acc_shift_choices = {0, 1, 2, 3, 4};
-    const auto out3 = flow.run_combined_ga(ga3, 2);
-    const auto out4 = flow.run_combined_ga(ga4, 2);
+    auto proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
+    ParallelEvaluator fitness(proxy);
+    const auto out3 = flow.run_ga(fitness, ga3);
+    const auto out4 = flow.run_ga(fitness, ga4);
     const double g3 = best_area_gain_at_loss(out3.front, baseline.accuracy,
                                              baseline.area_mm2, 0.05);
     const double g4 = best_area_gain_at_loss(out4.front, baseline.accuracy,

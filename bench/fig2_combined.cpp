@@ -27,13 +27,18 @@ int main() {
   const auto prune = flow.sweep_pruning({0.2, 0.3, 0.4, 0.5, 0.6});
   const auto cluster = flow.sweep_clustering({2, 3, 4, 6, 8});
 
-  // Combined search over per-layer {bits, sparsity, clusters}.
+  // Combined search over per-layer {bits, sparsity, clusters}.  Fitness
+  // backend: thread-parallel proxy evaluation — bit-identical to the
+  // serial path, faster on multicore hosts.
   GaConfig ga;
   ga.population = 32;
   ga.generations = 20;
+  auto proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
+  ParallelEvaluator fitness(proxy);
   std::cout << "running NSGA-II (population " << ga.population << ", "
-            << ga.generations << " generations, proxy-area fitness)...\n";
-  const auto outcome = flow.run_combined_ga(ga, /*ga_finetune_epochs=*/2);
+            << ga.generations << " generations, fitness backend "
+            << fitness.name() << ")...\n";
+  const auto outcome = flow.run_ga(fitness, ga);
   std::cout << "distinct designs evaluated: " << outcome.raw.evaluations << "\n\n";
 
   print_front("quantization standalone", quant, baseline);

@@ -37,7 +37,9 @@ int main() {
     GaConfig ga;
     ga.population = 24;
     ga.generations = 12;
-    const auto outcome = flow.run_combined_ga(ga, 2);
+    auto proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
+    ParallelEvaluator fitness(proxy);
+    const auto outcome = flow.run_ga(fitness, ga);
 
     const double acc = baseline.accuracy;
     const double area = baseline.area_mm2;

@@ -1,10 +1,17 @@
 /// Google-benchmark microbenchmarks of the substrate operations that
 /// dominate the reproduction's runtime: training steps, integer
 /// inference, netlist generation, gate-level simulation, the area proxy,
-/// and one full GA candidate evaluation.
+/// and one full GA candidate evaluation — plus a batch-evaluation
+/// throughput measurement (serial vs parallel, proxy vs netlist) that
+/// writes BENCH_eval.json to track the evaluation-layer perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "pnm/core/eval.hpp"
 #include "pnm/core/flow.hpp"
 #include "pnm/core/quantize.hpp"
 #include "pnm/data/scaler.hpp"
@@ -12,6 +19,7 @@
 #include "pnm/hw/bespoke.hpp"
 #include "pnm/hw/proxy.hpp"
 #include "pnm/nn/trainer.hpp"
+#include "pnm/util/thread_pool.hpp"
 
 namespace {
 
@@ -117,7 +125,7 @@ void BM_ExactArea(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactArea);
 
-void BM_GaCandidateEvaluation(benchmark::State& state) {
+MinimizationFlow& bench_flow() {
   static MinimizationFlow flow = [] {
     FlowConfig config;
     config.dataset_name = "seeds";
@@ -126,6 +134,11 @@ void BM_GaCandidateEvaluation(benchmark::State& state) {
     f.prepare();
     return f;
   }();
+  return flow;
+}
+
+void BM_GaCandidateEvaluation(benchmark::State& state) {
+  auto& flow = bench_flow();
   Genome genome;
   genome.weight_bits = {4, 4};
   genome.sparsity_pct = {30, 30};
@@ -137,6 +150,129 @@ void BM_GaCandidateEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_GaCandidateEvaluation);
 
+// ---- Batch-evaluation throughput (BENCH_eval.json) ----------------------
+// A GA-generation-sized batch of distinct genomes through each cost
+// backend, serial vs thread-parallel.  Parallel results are bit-identical
+// to serial (per-genome RNG streams), so the speedup column is a pure
+// throughput number, not a quality trade.
+
+std::vector<Genome> batch_genomes(std::size_t n) {
+  Rng rng(1234);
+  const std::vector<int> sparsity_choices = {0, 10, 20, 30, 40, 50, 60, 70};
+  const std::vector<int> cluster_choices = {0, 2, 3, 4, 6, 8};
+  std::vector<Genome> genomes;
+  genomes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Genome g;
+    for (int layer = 0; layer < 2; ++layer) {
+      g.weight_bits.push_back(rng.uniform_int(2, 8));
+      g.sparsity_pct.push_back(
+          sparsity_choices[rng.uniform_int(sparsity_choices.size())]);
+      g.clusters.push_back(cluster_choices[rng.uniform_int(cluster_choices.size())]);
+    }
+    genomes.push_back(std::move(g));
+  }
+  return genomes;
+}
+
+struct EvalBenchRecord {
+  std::string backend;
+  std::string mode;
+  std::size_t threads = 1;
+  std::size_t genomes = 0;
+  double seconds = 0.0;
+  double genomes_per_sec = 0.0;
+  double speedup_vs_serial = 1.0;
+};
+
+double timed_batch(Evaluator& evaluator, const std::vector<Genome>& genomes) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = evaluator.evaluate_batch(genomes);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(points.size());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void run_eval_throughput_bench(const std::string& json_path) {
+  auto& flow = bench_flow();
+  const std::size_t threads = ThreadPool::default_thread_count();
+  const std::vector<Genome> genomes = batch_genomes(24);
+
+  ProxyEvaluator proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
+  NetlistEvaluator netlist = flow.netlist_evaluator(/*finetune_epochs=*/2);
+
+  std::vector<EvalBenchRecord> records;
+  auto measure = [&](const std::string& backend, Evaluator& serial_eval) {
+    // Warm-up evaluation outside the timed region (first-touch effects).
+    serial_eval.evaluate(genomes.front());
+
+    EvalBenchRecord serial;
+    serial.backend = backend;
+    serial.mode = "serial";
+    serial.genomes = genomes.size();
+    serial.seconds = timed_batch(serial_eval, genomes);
+    serial.genomes_per_sec = static_cast<double>(serial.genomes) / serial.seconds;
+    records.push_back(serial);
+
+    ParallelEvaluator parallel_eval(serial_eval, threads);
+    EvalBenchRecord parallel;
+    parallel.backend = backend;
+    parallel.mode = "parallel";
+    parallel.threads = threads;
+    parallel.genomes = genomes.size();
+    parallel.seconds = timed_batch(parallel_eval, genomes);
+    parallel.genomes_per_sec = static_cast<double>(parallel.genomes) / parallel.seconds;
+    parallel.speedup_vs_serial = serial.seconds / parallel.seconds;
+    records.push_back(parallel);
+  };
+  measure("proxy", proxy);
+  measure("netlist", netlist);
+
+  std::cout << "\n-- batch evaluation throughput (" << genomes.size()
+            << " genomes, " << threads << " hardware threads) --\n";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "error: cannot write " << json_path << '\n';
+    return;
+  }
+  json << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EvalBenchRecord& r = records[i];
+    std::cout << "  " << r.backend << '/' << r.mode << ": " << r.genomes_per_sec
+              << " genomes/sec";
+    if (r.mode == "parallel") {
+      std::cout << " (speedup vs serial " << r.speedup_vs_serial << "x on "
+                << r.threads << " threads)";
+    }
+    std::cout << '\n';
+    json << "  {\"bench\": \"eval_batch\", \"backend\": \"" << r.backend
+         << "\", \"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+         << ", \"genomes\": " << r.genomes << ", \"seconds\": " << r.seconds
+         << ", \"genomes_per_sec\": " << r.genomes_per_sec
+         << ", \"speedup_vs_serial\": " << r.speedup_vs_serial << "}"
+         << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  json << "]\n";
+  std::cout << "(wrote " << json_path << ")\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--benchmark_list_tests") {
+      list_only = true;
+    } else if (arg.rfind("--benchmark_list_tests=", 0) == 0) {
+      const std::string value = arg.substr(arg.find('=') + 1);
+      list_only = (value != "false" && value != "0");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!list_only) run_eval_throughput_bench("BENCH_eval.json");
+  return 0;
+}

@@ -37,8 +37,10 @@ int main() {
       GaConfig ga;
       ga.population = 20;
       ga.generations = 10;
+      auto proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
+      ParallelEvaluator fitness(proxy);
       const double gga =
-          best_area_gain_at_loss(flow.run_combined_ga(ga, 2).front, acc, area, 0.05);
+          best_area_gain_at_loss(flow.run_ga(fitness, ga).front, acc, area, 0.05);
 
       const bool combined_wins = gga >= std::max(gq, std::max(gp, gc));
       wins += combined_wins ? 1 : 0;

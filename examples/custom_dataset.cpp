@@ -75,9 +75,9 @@ int main(int argc, char** argv) {
   recipe.weight_bits.assign(n_layers, 4);
   recipe.sparsity_pct.assign(n_layers, 30);
   recipe.clusters.assign(n_layers, 4);
-  const DesignPoint minimized =
-      flow.evaluate_genome(recipe, config.finetune_epochs, /*exact_area=*/true,
-                           /*use_test_set=*/true);
+  NetlistEvaluator exact =
+      flow.netlist_evaluator(config.finetune_epochs, /*use_test_set=*/true);
+  const DesignPoint minimized = exact.evaluate(recipe);
 
   TextTable table({"design", "accuracy", "area mm^2", "gain"});
   table.add_row({"baseline 8b", format_fixed(flow.baseline().accuracy, 3),

@@ -37,9 +37,13 @@ int main(int argc, char** argv) {
   std::cout << "baseline: acc " << format_fixed(baseline.accuracy, 3) << ", area "
             << format_fixed(baseline.area_mm2, 1) << " mm^2\n";
 
+  // Fitness backend: proxy pipeline, fanned across all cores —
+  // bit-identical to a serial run (see pnm/core/eval.hpp).
+  auto proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
+  ParallelEvaluator fitness(proxy);
   std::cout << "running NSGA-II (pop " << ga.population << ", " << ga.generations
-            << " gens)...\n";
-  const auto outcome = flow.run_combined_ga(ga, 2);
+            << " gens, fitness " << fitness.name() << ")...\n";
+  const auto outcome = flow.run_ga(fitness, ga);
   std::cout << "evaluated " << outcome.raw.evaluations << " distinct designs\n\n";
 
   TextTable table({"genome", "accuracy", "norm area", "gain"});

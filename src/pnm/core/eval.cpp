@@ -1,0 +1,238 @@
+#include "pnm/core/eval.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pnm/core/prune.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/hw/proxy.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+namespace {
+
+/// FNV-1a, to derive deterministic per-genome fine-tuning seeds.  The
+/// same formula MinimizationFlow always used, so evaluator results are
+/// bit-identical to the historical monolithic pipeline.
+std::uint64_t hash_string(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---- Evaluator ----------------------------------------------------------
+
+std::vector<DesignPoint> Evaluator::evaluate_batch(std::span<const Genome> genomes) {
+  std::vector<DesignPoint> points;
+  points.reserve(genomes.size());
+  for (const Genome& genome : genomes) points.push_back(evaluate(genome));
+  return points;
+}
+
+// ---- PipelineEvaluator --------------------------------------------------
+
+PipelineEvaluator::PipelineEvaluator(const Mlp& model, const DataSplit& split,
+                                     const hw::TechLibrary& tech, EvalConfig config)
+    : model_(&model), split_(&split), tech_(&tech), config_(std::move(config)) {}
+
+Mlp PipelineEvaluator::minimize_float(const Genome& genome) const {
+  const std::size_t n_layers = model_->layer_count();
+  if (genome.weight_bits.size() != n_layers || genome.sparsity_pct.size() != n_layers ||
+      genome.clusters.size() != n_layers ||
+      (!genome.acc_shift.empty() && genome.acc_shift.size() != n_layers)) {
+    throw std::invalid_argument("PipelineEvaluator: genome arity mismatch");
+  }
+
+  Mlp candidate = *model_;
+  Rng rng(config_.seed ^ hash_string(genome.key()));
+
+  // 1. Prune.
+  std::vector<double> sparsity(n_layers);
+  for (std::size_t li = 0; li < n_layers; ++li) {
+    sparsity[li] = static_cast<double>(genome.sparsity_pct[li]) / 100.0;
+  }
+  PruneMask mask = magnitude_prune_per_layer(candidate, sparsity);
+
+  // 2. Cluster (zeros pinned, so pruning survives).
+  ClusterAssignment clusters =
+      cluster_weights(candidate, genome.clusters, rng, config_.cluster_scope);
+
+  // 3. Fine-tune with all constraints live: STE quantization in the
+  //    forward pass, mask + cluster ties re-imposed after each step.
+  if (config_.finetune_epochs > 0) {
+    TrainConfig ft = config_.train;
+    ft.epochs = config_.finetune_epochs;
+    ft.lr = config_.train.lr * 0.3;  // gentler: we are repairing, not learning
+    Trainer trainer(ft);
+    QuantSpec spec;
+    spec.weight_bits = genome.weight_bits;
+    spec.input_bits = config_.input_bits;
+    // NOTE: the QAT view models weight quantization only; accumulator
+    // truncation is applied post-hoc by the integer model (like the paper
+    // applies its approximations after training).
+    trainer.set_weight_view(make_qat_view(spec));
+    trainer.set_projector([mask, clusters](Mlp& m) {
+      mask.apply(m);
+      clusters.project(m);
+    });
+    trainer.fit(candidate, split_->train, rng);
+    // The projector ran after each step, so both constraints hold here.
+  }
+  return candidate;
+}
+
+QuantizedMlp PipelineEvaluator::realize(const Genome& genome) const {
+  const Mlp candidate = minimize_float(genome);
+  QuantSpec spec;
+  spec.weight_bits = genome.weight_bits;
+  spec.input_bits = config_.input_bits;
+  spec.acc_shift = genome.acc_shift;
+  return QuantizedMlp::from_float(candidate, spec);
+}
+
+hw::BespokeOptions PipelineEvaluator::options_for(const Genome& genome) const {
+  hw::BespokeOptions options = config_.bespoke;
+  if (config_.share_only_when_clustered) {
+    bool any_clustered = false;
+    for (int k : genome.clusters) any_clustered |= (k > 0);
+    options.share_products = any_clustered;
+  }
+  return options;
+}
+
+DesignPoint PipelineEvaluator::evaluate(const Genome& genome) {
+  const QuantizedMlp qmodel = realize(genome);
+
+  DesignPoint point;
+  point.technique = "ga";
+  point.config = genome.key();
+  point.accuracy = qmodel.accuracy(config_.use_test_set ? split_->test : split_->val);
+  measure(point, qmodel, options_for(genome));
+  return point;
+}
+
+// ---- ProxyEvaluator / NetlistEvaluator ----------------------------------
+
+void ProxyEvaluator::measure(DesignPoint& point, const QuantizedMlp& qmodel,
+                             const hw::BespokeOptions& options) const {
+  point.area_mm2 = hw::estimate_area_mm2(qmodel, tech(), options);
+}
+
+void NetlistEvaluator::measure(DesignPoint& point, const QuantizedMlp& qmodel,
+                               const hw::BespokeOptions& options) const {
+  const hw::BespokeCircuit circuit(qmodel, options);
+  point.area_mm2 = circuit.area_mm2(tech());
+  point.power_uw = circuit.power_uw(tech());
+  point.delay_ms = circuit.critical_path_ms(tech());
+}
+
+// ---- CachedEvaluator ----------------------------------------------------
+
+DesignPoint CachedEvaluator::evaluate(const Genome& genome) {
+  const std::string key = genome.key();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Evaluate outside the lock so concurrent misses on *different* genomes
+  // proceed in parallel.  Racing misses on the same genome both compute
+  // (identical, deterministic results) and the second insert is a no-op.
+  DesignPoint point = inner_->evaluate(genome);
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.emplace(key, point);
+  return point;
+}
+
+std::vector<DesignPoint> CachedEvaluator::evaluate_batch(
+    std::span<const Genome> genomes) {
+  std::vector<DesignPoint> points(genomes.size());
+  std::vector<std::size_t> miss_index;     // positions to fill from the inner batch
+  std::vector<Genome> miss_genomes;        // distinct uncached genomes, first-seen order
+  std::unordered_map<std::string, std::size_t> miss_of_key;  // key -> miss_genomes slot
+  std::vector<std::size_t> miss_slot;      // per miss_index entry
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      const std::string key = genomes[i].key();
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        ++hits_;
+        points[i] = it->second;
+        continue;
+      }
+      ++misses_;
+      const auto [slot_it, inserted] = miss_of_key.emplace(key, miss_genomes.size());
+      if (inserted) miss_genomes.push_back(genomes[i]);
+      miss_index.push_back(i);
+      miss_slot.push_back(slot_it->second);
+    }
+  }
+
+  if (!miss_genomes.empty()) {
+    const std::vector<DesignPoint> fresh = inner_->evaluate_batch(miss_genomes);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t m = 0; m < miss_genomes.size(); ++m) {
+      cache_.emplace(miss_genomes[m].key(), fresh[m]);
+    }
+    for (std::size_t k = 0; k < miss_index.size(); ++k) {
+      points[miss_index[k]] = fresh[miss_slot[k]];
+    }
+  }
+  return points;
+}
+
+std::size_t CachedEvaluator::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t CachedEvaluator::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t CachedEvaluator::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void CachedEvaluator::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+// ---- ParallelEvaluator --------------------------------------------------
+
+std::vector<DesignPoint> ParallelEvaluator::evaluate_batch(
+    std::span<const Genome> genomes) {
+  std::vector<DesignPoint> points(genomes.size());
+  pool_.parallel_for(genomes.size(), [this, genomes, &points](std::size_t i) {
+    points[i] = inner_->evaluate(genomes[i]);
+  });
+  return points;
+}
+
+// ---- FunctionEvaluator --------------------------------------------------
+
+DesignPoint FunctionEvaluator::evaluate(const Genome& genome) {
+  const GenomeFitness fitness = fn_(genome);
+  DesignPoint point;
+  point.technique = "function";
+  point.config = genome.key();
+  point.accuracy = fitness.accuracy;
+  point.area_mm2 = fitness.area_mm2;
+  return point;
+}
+
+}  // namespace pnm

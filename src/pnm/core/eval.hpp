@@ -1,0 +1,219 @@
+#ifndef PNM_CORE_EVAL_HPP
+#define PNM_CORE_EVAL_HPP
+
+/// \file eval.hpp
+/// \brief Composable design-point evaluation: the genome -> DesignPoint
+///        pipeline as pluggable, stackable backends.
+///
+/// Every candidate design goes through the same pipeline (prune ->
+/// cluster -> fine-tune with QAT/STE -> integer model -> bespoke cost);
+/// what varies is *how the cost is measured* (analytic proxy vs exact
+/// netlist, a ~65x gap per candidate), *whether results are memoized*,
+/// and *how many evaluations run at once*.  This header separates those
+/// concerns behind one small interface:
+///
+///   * Evaluator          — evaluate() one genome / evaluate_batch() many;
+///   * ProxyEvaluator     — pipeline + analytic area proxy (GA inner loop);
+///   * NetlistEvaluator   — pipeline + exact netlist area/power/delay;
+///   * CachedEvaluator    — decorator memoizing by Genome::key();
+///   * ParallelEvaluator  — decorator fanning batches across a ThreadPool;
+///   * FunctionEvaluator  — adapter for analytic toy objectives (GA tests).
+///
+/// Determinism: the pipeline derives its fine-tuning RNG from
+/// `seed ^ fnv1a(genome.key())`, never from shared mutable state, so an
+/// evaluation's result depends only on (prepared state, config, genome) —
+/// not on which thread runs it or in which order.  ParallelEvaluator is
+/// therefore bit-identical to serial evaluation by construction, and the
+/// stack Cached(Parallel(Proxy)) is the recommended GA fitness backend.
+///
+/// MinimizationFlow (pnm/core/flow.hpp) owns the prepared state and hands
+/// out configured ProxyEvaluator/NetlistEvaluator instances.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pnm/core/cluster.hpp"
+#include "pnm/core/ga.hpp"
+#include "pnm/core/pareto.hpp"
+#include "pnm/core/qmlp.hpp"
+#include "pnm/data/dataset.hpp"
+#include "pnm/hw/bespoke.hpp"
+#include "pnm/hw/tech.hpp"
+#include "pnm/nn/mlp.hpp"
+#include "pnm/nn/trainer.hpp"
+#include "pnm/util/thread_pool.hpp"
+
+namespace pnm {
+
+/// Everything one pipeline evaluation needs besides the genome and the
+/// prepared flow state.  MinimizationFlow::eval_config() derives this
+/// from its FlowConfig.
+struct EvalConfig {
+  std::uint64_t seed = 42;  ///< base seed; per-genome streams derive from it
+  int input_bits = 4;       ///< sensor word width
+  /// Base training recipe; fine-tuning runs `finetune_epochs` epochs at
+  /// 0.3x the learning rate (repairing, not learning).
+  TrainConfig train{};
+  std::size_t finetune_epochs = 2;
+  ClusterScope cluster_scope = ClusterScope::kPerLayer;
+  /// Paper-faithful sharing policy (FlowConfig::share_only_when_clustered).
+  bool share_only_when_clustered = true;
+  hw::BespokeOptions bespoke{};
+  /// Which split accuracy is reported on (GA fitness uses validation,
+  /// figures use test).
+  bool use_test_set = false;
+};
+
+/// Abstract design-point evaluator: genome in, measured design out.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Evaluates one candidate design.  Implementations must be safe to
+  /// call concurrently from multiple threads (ParallelEvaluator relies
+  /// on this).
+  virtual DesignPoint evaluate(const Genome& genome) = 0;
+
+  /// Evaluates a batch; result[i] corresponds to genomes[i].  The default
+  /// runs serially in order; decorators override to cache or parallelize.
+  virtual std::vector<DesignPoint> evaluate_batch(std::span<const Genome> genomes);
+
+  /// Short backend name for reports ("proxy", "netlist", "cached(...)").
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Shared prune -> cluster -> QAT fine-tune -> integer-model pipeline over
+/// prepared flow state; subclasses decide how the hardware cost of the
+/// resulting integer model is measured.  Holds references only: the
+/// MinimizationFlow (or other owner) must outlive the evaluator.
+class PipelineEvaluator : public Evaluator {
+ public:
+  PipelineEvaluator(const Mlp& model, const DataSplit& split,
+                    const hw::TechLibrary& tech, EvalConfig config);
+
+  DesignPoint evaluate(const Genome& genome) override;
+
+  /// The minimized float model for a genome (prune + cluster + fine-tune).
+  [[nodiscard]] Mlp minimize_float(const Genome& genome) const;
+
+  /// The minimized integer model for a genome (for circuit export etc.).
+  [[nodiscard]] QuantizedMlp realize(const Genome& genome) const;
+
+  [[nodiscard]] const EvalConfig& config() const { return config_; }
+
+ protected:
+  /// Fills the cost fields (area, and power/delay if available) of an
+  /// evaluated design.  Must be const and thread-safe.
+  virtual void measure(DesignPoint& point, const QuantizedMlp& qmodel,
+                       const hw::BespokeOptions& options) const = 0;
+
+  /// Sharing policy applied to one genome (share_only_when_clustered).
+  [[nodiscard]] hw::BespokeOptions options_for(const Genome& genome) const;
+
+  const hw::TechLibrary& tech() const { return *tech_; }
+
+ private:
+  const Mlp* model_;
+  const DataSplit* split_;
+  const hw::TechLibrary* tech_;
+  EvalConfig config_;
+};
+
+/// Fast analytic area proxy (pnm/hw/proxy.hpp); leaves power/delay at 0.
+/// The GA's inner-loop fitness backend.
+class ProxyEvaluator final : public PipelineEvaluator {
+ public:
+  using PipelineEvaluator::PipelineEvaluator;
+  [[nodiscard]] std::string name() const override { return "proxy"; }
+
+ protected:
+  void measure(DesignPoint& point, const QuantizedMlp& qmodel,
+               const hw::BespokeOptions& options) const override;
+};
+
+/// Exact bespoke netlist: real area plus power and critical-path delay.
+/// ~65x the proxy's cost per candidate; used for baselines, sweeps, and
+/// front re-evaluation.
+class NetlistEvaluator final : public PipelineEvaluator {
+ public:
+  using PipelineEvaluator::PipelineEvaluator;
+  [[nodiscard]] std::string name() const override { return "netlist"; }
+
+ protected:
+  void measure(DesignPoint& point, const QuantizedMlp& qmodel,
+               const hw::BespokeOptions& options) const override;
+};
+
+/// Memoizing decorator keyed on Genome::key().  Thread-safe; batches
+/// forward only the distinct misses to the inner evaluator (as one inner
+/// batch, so a parallel inner backend still fans out).
+class CachedEvaluator final : public Evaluator {
+ public:
+  explicit CachedEvaluator(Evaluator& inner) : inner_(&inner) {}
+
+  DesignPoint evaluate(const Genome& genome) override;
+  std::vector<DesignPoint> evaluate_batch(std::span<const Genome> genomes) override;
+  [[nodiscard]] std::string name() const override {
+    return "cached(" + inner_->name() + ")";
+  }
+
+  /// Exact lookup statistics (one hit or one miss per requested genome).
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  /// Number of distinct genomes stored.
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  Evaluator* inner_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, DesignPoint> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Decorator fanning evaluate_batch() across a ThreadPool.  Results are
+/// bit-identical to the serial order because pipeline evaluations derive
+/// all randomness from the genome itself.  The inner evaluator must be
+/// thread-safe (PipelineEvaluator and CachedEvaluator are).
+class ParallelEvaluator final : public Evaluator {
+ public:
+  /// threads == 0 selects the hardware concurrency.
+  explicit ParallelEvaluator(Evaluator& inner, std::size_t threads = 0)
+      : inner_(&inner), pool_(threads) {}
+
+  DesignPoint evaluate(const Genome& genome) override { return inner_->evaluate(genome); }
+  std::vector<DesignPoint> evaluate_batch(std::span<const Genome> genomes) override;
+  [[nodiscard]] std::string name() const override {
+    return "parallel(" + inner_->name() + ")x" + std::to_string(pool_.size());
+  }
+
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+
+ private:
+  Evaluator* inner_;
+  ThreadPool pool_;
+};
+
+/// Adapter turning a GenomeFitness callback into an Evaluator — analytic
+/// toy objectives for GA unit tests and search-core experiments.
+class FunctionEvaluator final : public Evaluator {
+ public:
+  explicit FunctionEvaluator(GenomeEvaluator fn) : fn_(std::move(fn)) {}
+
+  DesignPoint evaluate(const Genome& genome) override;
+  [[nodiscard]] std::string name() const override { return "function"; }
+
+ private:
+  GenomeEvaluator fn_;
+};
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_EVAL_HPP

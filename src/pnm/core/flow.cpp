@@ -4,28 +4,11 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "pnm/core/cluster.hpp"
-#include "pnm/core/prune.hpp"
-#include "pnm/core/quantize.hpp"
 #include "pnm/data/synth.hpp"
-#include "pnm/hw/proxy.hpp"
 #include "pnm/nn/metrics.hpp"
 #include "pnm/util/table.hpp"
 
 namespace pnm {
-namespace {
-
-/// FNV-1a, to derive deterministic per-genome fine-tuning seeds.
-std::uint64_t hash_string(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (char ch : s) {
-    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 MinimizationFlow::MinimizationFlow(FlowConfig config) : config_(std::move(config)) {}
 
@@ -65,15 +48,15 @@ void MinimizationFlow::prepare() {
   Trainer trainer(config_.train);
   trainer.fit(model_, split_.train, rng);
   float_test_accuracy_ = accuracy(model_, split_.test);
-  prepared_ = true;  // evaluate_genome requires this
+  prepared_ = true;  // the evaluators require this
 
   // Baseline: the unminimized bespoke design at baseline precision.
   Genome baseline_genome;
   baseline_genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
   baseline_genome.sparsity_pct.assign(model_.layer_count(), 0);
   baseline_genome.clusters.assign(model_.layer_count(), 0);
-  baseline_ = evaluate_genome(baseline_genome, config_.finetune_epochs,
-                              /*exact_area=*/true, /*use_test_set=*/true);
+  baseline_ = netlist_evaluator(config_.finetune_epochs, /*use_test_set=*/true)
+                  .evaluate(baseline_genome);
   baseline_.technique = "baseline";
   baseline_.config = std::to_string(config_.baseline_weight_bits) + "b";
 }
@@ -98,155 +81,126 @@ const DesignPoint& MinimizationFlow::baseline() const {
   return baseline_;
 }
 
-Mlp MinimizationFlow::minimize_float(const Genome& genome,
-                                     std::size_t finetune_epochs) const {
+EvalConfig MinimizationFlow::eval_config(std::size_t finetune_epochs,
+                                         bool use_test_set) const {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
-  const std::size_t n_layers = model_.layer_count();
-  if (genome.weight_bits.size() != n_layers || genome.sparsity_pct.size() != n_layers ||
-      genome.clusters.size() != n_layers ||
-      (!genome.acc_shift.empty() && genome.acc_shift.size() != n_layers)) {
-    throw std::invalid_argument("MinimizationFlow: genome arity mismatch");
-  }
+  EvalConfig eval;
+  eval.seed = config_.seed;
+  eval.input_bits = config_.input_bits;
+  eval.train = config_.train;
+  eval.finetune_epochs = finetune_epochs;
+  eval.cluster_scope = config_.cluster_scope;
+  eval.share_only_when_clustered = config_.share_only_when_clustered;
+  eval.bespoke = config_.bespoke;
+  eval.use_test_set = use_test_set;
+  return eval;
+}
 
-  Mlp candidate = model_;
-  Rng rng(config_.seed ^ hash_string(genome.key()));
+ProxyEvaluator MinimizationFlow::proxy_evaluator(std::size_t finetune_epochs,
+                                                 bool use_test_set) const {
+  return ProxyEvaluator(model_, split_, *tech_,
+                        eval_config(finetune_epochs, use_test_set));
+}
 
-  // 1. Prune.
-  std::vector<double> sparsity(n_layers);
-  for (std::size_t li = 0; li < n_layers; ++li) {
-    sparsity[li] = static_cast<double>(genome.sparsity_pct[li]) / 100.0;
-  }
-  PruneMask mask = magnitude_prune_per_layer(candidate, sparsity);
-
-  // 2. Cluster (zeros pinned, so pruning survives).
-  ClusterAssignment clusters =
-      cluster_weights(candidate, genome.clusters, rng, config_.cluster_scope);
-
-  // 3. Fine-tune with all constraints live: STE quantization in the
-  //    forward pass, mask + cluster ties re-imposed after each step.
-  if (finetune_epochs > 0) {
-    TrainConfig ft = config_.train;
-    ft.epochs = finetune_epochs;
-    ft.lr = config_.train.lr * 0.3;  // gentler: we are repairing, not learning
-    Trainer trainer(ft);
-    QuantSpec spec;
-    spec.weight_bits = genome.weight_bits;
-    spec.input_bits = config_.input_bits;
-    // NOTE: the QAT view models weight quantization only; accumulator
-    // truncation is applied post-hoc by the integer model (like the paper
-    // applies its approximations after training).
-    trainer.set_weight_view(make_qat_view(spec));
-    trainer.set_projector([mask, clusters](Mlp& m) {
-      mask.apply(m);
-      clusters.project(m);
-    });
-    trainer.fit(candidate, split_.train, rng);
-    // The projector ran after each step, so both constraints hold here.
-  }
-  return candidate;
+NetlistEvaluator MinimizationFlow::netlist_evaluator(std::size_t finetune_epochs,
+                                                     bool use_test_set) const {
+  return NetlistEvaluator(model_, split_, *tech_,
+                          eval_config(finetune_epochs, use_test_set));
 }
 
 QuantizedMlp MinimizationFlow::realize_genome(const Genome& genome,
-                                              std::size_t finetune_epochs) {
-  const Mlp candidate = minimize_float(genome, finetune_epochs);
-  QuantSpec spec;
-  spec.weight_bits = genome.weight_bits;
-  spec.input_bits = config_.input_bits;
-  spec.acc_shift = genome.acc_shift;
-  return QuantizedMlp::from_float(candidate, spec);
+                                              std::size_t finetune_epochs) const {
+  return proxy_evaluator(finetune_epochs).realize(genome);
 }
 
 DesignPoint MinimizationFlow::evaluate_genome(const Genome& genome,
                                               std::size_t finetune_epochs,
-                                              bool exact_area, bool use_test_set) {
-  const QuantizedMlp qmodel = realize_genome(genome, finetune_epochs);
-
-  hw::BespokeOptions options = config_.bespoke;
-  if (config_.share_only_when_clustered) {
-    bool any_clustered = false;
-    for (int k : genome.clusters) any_clustered |= (k > 0);
-    options.share_products = any_clustered;
-  }
-
-  DesignPoint point;
-  point.technique = "ga";
-  point.config = genome.key();
-  point.accuracy = qmodel.accuracy(use_test_set ? split_.test : split_.val);
-  if (exact_area) {
-    const hw::BespokeCircuit circuit(qmodel, options);
-    point.area_mm2 = circuit.area_mm2(*tech_);
-    point.power_uw = circuit.power_uw(*tech_);
-    point.delay_ms = circuit.critical_path_ms(*tech_);
-  } else {
-    point.area_mm2 = hw::estimate_area_mm2(qmodel, *tech_, options);
-  }
-  return point;
+                                              bool exact_area, bool use_test_set) const {
+  if (exact_area) return netlist_evaluator(finetune_epochs, use_test_set).evaluate(genome);
+  return proxy_evaluator(finetune_epochs, use_test_set).evaluate(genome);
 }
+
+namespace {
+
+/// Builds + batch-evaluates one sweep through the exact-netlist backend,
+/// fanned across cores (bit-identical to serial; see eval.hpp).
+std::vector<DesignPoint> run_sweep(NetlistEvaluator& exact,
+                                   std::vector<Genome> genomes,
+                                   const std::string& technique,
+                                   const std::vector<std::string>& configs) {
+  ParallelEvaluator parallel(exact);
+  std::vector<DesignPoint> points = parallel.evaluate_batch(genomes);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].technique = technique;
+    points[i].config = configs[i];
+  }
+  return points;
+}
+
+}  // namespace
 
 std::vector<DesignPoint> MinimizationFlow::sweep_quantization(int lo_bits, int hi_bits) {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
   if (lo_bits < 2 || hi_bits < lo_bits) {
     throw std::invalid_argument("sweep_quantization: bad bit range");
   }
-  std::vector<DesignPoint> points;
+  std::vector<Genome> genomes;
+  std::vector<std::string> configs;
   for (int bits = lo_bits; bits <= hi_bits; ++bits) {
     Genome genome;
     genome.weight_bits.assign(model_.layer_count(), bits);
     genome.sparsity_pct.assign(model_.layer_count(), 0);
     genome.clusters.assign(model_.layer_count(), 0);
-    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
-                                    /*exact_area=*/true, /*use_test_set=*/true);
-    p.technique = "quant";
-    p.config = std::to_string(bits) + "b";
-    points.push_back(std::move(p));
+    genomes.push_back(std::move(genome));
+    configs.push_back(std::to_string(bits) + "b");
   }
-  return points;
+  NetlistEvaluator exact = netlist_evaluator(config_.finetune_epochs, true);
+  return run_sweep(exact, std::move(genomes), "quant", configs);
 }
 
 std::vector<DesignPoint> MinimizationFlow::sweep_pruning(
     const std::vector<double>& sparsities) {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
-  std::vector<DesignPoint> points;
+  std::vector<Genome> genomes;
+  std::vector<std::string> configs;
   for (double s : sparsities) {
     Genome genome;
     genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
     genome.sparsity_pct.assign(model_.layer_count(),
                                static_cast<int>(std::llround(s * 100.0)));
     genome.clusters.assign(model_.layer_count(), 0);
-    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
-                                    /*exact_area=*/true, /*use_test_set=*/true);
-    p.technique = "prune";
+    genomes.push_back(std::move(genome));
     std::ostringstream cfg;
     cfg << "s=" << format_fixed(s, 2);
-    p.config = cfg.str();
-    points.push_back(std::move(p));
+    configs.push_back(cfg.str());
   }
-  return points;
+  NetlistEvaluator exact = netlist_evaluator(config_.finetune_epochs, true);
+  return run_sweep(exact, std::move(genomes), "prune", configs);
 }
 
 std::vector<DesignPoint> MinimizationFlow::sweep_clustering(
     const std::vector<int>& cluster_counts) {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
-  std::vector<DesignPoint> points;
+  std::vector<Genome> genomes;
+  std::vector<std::string> configs;
   for (int k : cluster_counts) {
     if (k < 1) throw std::invalid_argument("sweep_clustering: cluster count must be >= 1");
     Genome genome;
     genome.weight_bits.assign(model_.layer_count(), config_.baseline_weight_bits);
     genome.sparsity_pct.assign(model_.layer_count(), 0);
     genome.clusters.assign(model_.layer_count(), k);
-    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
-                                    /*exact_area=*/true, /*use_test_set=*/true);
-    p.technique = "cluster";
-    p.config = "k=" + std::to_string(k);
-    points.push_back(std::move(p));
+    genomes.push_back(std::move(genome));
+    configs.push_back("k=" + std::to_string(k));
   }
-  return points;
+  NetlistEvaluator exact = netlist_evaluator(config_.finetune_epochs, true);
+  return run_sweep(exact, std::move(genomes), "cluster", configs);
 }
 
 std::vector<DesignPoint> MinimizationFlow::sweep_truncation(
     const std::vector<int>& shifts) {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
-  std::vector<DesignPoint> points;
+  std::vector<Genome> genomes;
+  std::vector<std::string> configs;
   for (int s : shifts) {
     if (s < 0) throw std::invalid_argument("sweep_truncation: negative shift");
     Genome genome;
@@ -254,39 +208,41 @@ std::vector<DesignPoint> MinimizationFlow::sweep_truncation(
     genome.sparsity_pct.assign(model_.layer_count(), 0);
     genome.clusters.assign(model_.layer_count(), 0);
     genome.acc_shift.assign(model_.layer_count(), s);
-    DesignPoint p = evaluate_genome(genome, config_.finetune_epochs,
-                                    /*exact_area=*/true, /*use_test_set=*/true);
-    p.technique = "truncate";
-    p.config = "t=" + std::to_string(s);
-    points.push_back(std::move(p));
+    genomes.push_back(std::move(genome));
+    configs.push_back("t=" + std::to_string(s));
   }
-  return points;
+  NetlistEvaluator exact = netlist_evaluator(config_.finetune_epochs, true);
+  return run_sweep(exact, std::move(genomes), "truncate", configs);
+}
+
+MinimizationFlow::GaOutcome MinimizationFlow::run_ga(Evaluator& fitness,
+                                                     const GaConfig& ga) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  Rng rng(config_.seed + 0x9A);
+
+  GaOutcome outcome;
+  outcome.raw = nsga2_search(ga, model_.layer_count(), fitness, rng);
+
+  // Re-evaluate the front with exact netlist costs and test accuracy,
+  // fanned across cores (bit-identical to serial; see eval.hpp).
+  std::vector<Genome> genomes;
+  genomes.reserve(outcome.raw.front.size());
+  for (const auto& member : outcome.raw.front) genomes.push_back(member.genome);
+  NetlistEvaluator exact = netlist_evaluator(config_.finetune_epochs, true);
+  ParallelEvaluator parallel(exact);
+  outcome.front = pareto_front(parallel.evaluate_batch(genomes));
+  return outcome;
 }
 
 MinimizationFlow::GaOutcome MinimizationFlow::run_combined_ga(
     const GaConfig& ga, std::size_t ga_finetune_epochs, bool exact_area_fitness) {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
-  Rng rng(config_.seed + 0x9A);
-
-  const GenomeEvaluator evaluator = [this, ga_finetune_epochs,
-                                     exact_area_fitness](const Genome& genome) {
-    const DesignPoint p = evaluate_genome(genome, ga_finetune_epochs,
-                                          exact_area_fitness, /*use_test_set=*/false);
-    return GenomeFitness{p.accuracy, p.area_mm2};
-  };
-
-  GaOutcome outcome;
-  outcome.raw = nsga2_search(ga, model_.layer_count(), evaluator, rng);
-
-  // Re-evaluate the front with exact netlist areas and test accuracy.
-  for (const auto& member : outcome.raw.front) {
-    DesignPoint p = evaluate_genome(member.genome, config_.finetune_epochs,
-                                    /*exact_area=*/true, /*use_test_set=*/true);
-    p.technique = "ga";
-    outcome.front.push_back(std::move(p));
+  if (exact_area_fitness) {
+    NetlistEvaluator fitness = netlist_evaluator(ga_finetune_epochs);
+    return run_ga(fitness, ga);
   }
-  outcome.front = pareto_front(std::move(outcome.front));
-  return outcome;
+  ProxyEvaluator fitness = proxy_evaluator(ga_finetune_epochs);
+  return run_ga(fitness, ga);
 }
 
 }  // namespace pnm

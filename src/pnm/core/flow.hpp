@@ -7,13 +7,14 @@
 ///
 /// A MinimizationFlow owns one classification task: it synthesizes (or
 /// accepts) the dataset, trains the float MLP, establishes the
-/// unminimized bespoke baseline (Mubarik-style, 8-bit weights), and then
-/// produces DesignPoints for
-///   * the standalone quantization / pruning / clustering sweeps (Fig. 1),
-///   * the combined hardware-aware GA search (Fig. 2).
-/// Every candidate goes through the same pipeline:
+/// unminimized bespoke baseline (Mubarik-style, 8-bit weights), and hands
+/// out configured pnm::Evaluator backends over that prepared state.  The
+/// sweeps (Fig. 1) and the combined hardware-aware GA (Fig. 2) are thin
+/// drivers on top: every candidate goes through the same pipeline
 ///   prune -> cluster -> fine-tune (masked, tied, QAT/STE) -> integer
-///   model -> bespoke area (exact netlist or fast proxy) + accuracy.
+///   model -> bespoke cost (exact netlist or fast proxy) + accuracy,
+/// which lives in pnm/core/eval.hpp and can be cached, parallelized, or
+/// swapped per backend without touching the flow.
 
 #include <cstdint>
 #include <optional>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "pnm/core/cluster.hpp"
+#include "pnm/core/eval.hpp"
 #include "pnm/core/ga.hpp"
 #include "pnm/core/pareto.hpp"
 #include "pnm/core/qmlp.hpp"
@@ -97,6 +99,28 @@ class MinimizationFlow {
   [[nodiscard]] const DesignPoint& baseline() const;
   [[nodiscard]] const hw::TechLibrary& tech() const { return *tech_; }
 
+  // ---- Evaluator factories ----------------------------------------------
+  // The evaluators hold references to this flow's prepared state; the flow
+  // must outlive them.  Compose freely with the eval.hpp decorators, e.g.
+  //   auto proxy = flow.proxy_evaluator(2);
+  //   ParallelEvaluator fitness(proxy);
+  //   auto outcome = flow.run_ga(fitness, ga);
+  // (run_ga/nsga2_search already memoize within one search; wrap the stack
+  // in a CachedEvaluator to additionally reuse results across searches.)
+
+  /// EvalConfig for this flow's prepared state (seed, bits, train recipe,
+  /// sharing policy) at the given fine-tuning budget / reporting split.
+  [[nodiscard]] EvalConfig eval_config(std::size_t finetune_epochs,
+                                       bool use_test_set) const;
+
+  /// Fast analytic-proxy backend (the GA inner loop's default fitness).
+  [[nodiscard]] ProxyEvaluator proxy_evaluator(std::size_t finetune_epochs,
+                                               bool use_test_set = false) const;
+
+  /// Exact-netlist backend (area + power + delay; ~65x the proxy's cost).
+  [[nodiscard]] NetlistEvaluator netlist_evaluator(std::size_t finetune_epochs,
+                                                   bool use_test_set = false) const;
+
   // ---- Figure 1: standalone sweeps --------------------------------------
 
   /// QAT sweep over weight bit-widths [lo_bits, hi_bits] (paper: 2..7).
@@ -118,15 +142,21 @@ class MinimizationFlow {
   // ---- Figure 2: combined hardware-aware GA ------------------------------
 
   struct GaOutcome {
-    GaResult raw;                    ///< genomes + proxy fitness
+    GaResult raw;                    ///< genomes + inner-loop fitness
     std::vector<DesignPoint> front;  ///< exact-netlist re-evaluated front
   };
 
-  /// NSGA-II over per-layer {bits, sparsity, clusters}.  The GA inner loop
-  /// uses the analytic area proxy (or, with exact_area_fitness, the full
-  /// netlist — ~65x slower per candidate) and the validation split; the
-  /// returned front is always re-evaluated with exact netlist areas and
-  /// test accuracy.
+  /// NSGA-II over per-layer {bits, sparsity, clusters} with a caller-built
+  /// fitness backend (typically Cached(Parallel(proxy_evaluator(2)))); the
+  /// returned front is always re-evaluated with exact netlist costs and
+  /// test accuracy.  Deterministic for a fixed FlowConfig::seed no matter
+  /// how the evaluator stack is composed.
+  GaOutcome run_ga(Evaluator& fitness, const GaConfig& ga = {});
+
+  /// Convenience wrapper: runs run_ga with a plain proxy backend (or the
+  /// full netlist with exact_area_fitness — ~65x slower per candidate) on
+  /// the validation split.  Distinct designs are still evaluated once per
+  /// search (nsga2_search memoizes); there is no cross-search caching.
   GaOutcome run_combined_ga(const GaConfig& ga = {}, std::size_t ga_finetune_epochs = 2,
                             bool exact_area_fitness = false);
 
@@ -135,19 +165,18 @@ class MinimizationFlow {
   /// Runs the full minimization pipeline for one genome.  use_test_set
   /// selects the reporting split (GA fitness uses validation).  exact_area
   /// builds the real netlist (and fills power/delay); otherwise the proxy
-  /// estimate is used.
+  /// estimate is used.  Equivalent to evaluating through the matching
+  /// factory-built evaluator.
   DesignPoint evaluate_genome(const Genome& genome, std::size_t finetune_epochs,
-                              bool exact_area, bool use_test_set);
+                              bool exact_area, bool use_test_set) const;
 
   /// The minimized integer model for a genome (for circuit export etc.).
-  QuantizedMlp realize_genome(const Genome& genome, std::size_t finetune_epochs);
+  QuantizedMlp realize_genome(const Genome& genome, std::size_t finetune_epochs) const;
 
   /// Printed-scale default hidden widths for the four paper datasets.
   static std::vector<std::size_t> default_hidden(const std::string& dataset_name);
 
  private:
-  Mlp minimize_float(const Genome& genome, std::size_t finetune_epochs) const;
-
   FlowConfig config_;
   std::optional<Dataset> external_data_;
   const hw::TechLibrary* tech_ = &hw::TechLibrary::egt();

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "pnm/core/eval.hpp"
+
 namespace pnm {
 namespace {
 
@@ -125,19 +127,40 @@ std::vector<double> crowding_distances(
 
 GaResult nsga2_search(const GaConfig& config, std::size_t n_layers,
                       const GenomeEvaluator& evaluate, Rng& rng) {
+  if (!evaluate) throw std::invalid_argument("nsga2_search: null evaluator");
+  FunctionEvaluator adapter(evaluate);
+  return nsga2_search(config, n_layers, adapter, rng);
+}
+
+GaResult nsga2_search(const GaConfig& config, std::size_t n_layers,
+                      Evaluator& evaluate, Rng& rng) {
   config.validate();
   if (n_layers == 0) throw std::invalid_argument("nsga2_search: zero layers");
-  if (!evaluate) throw std::invalid_argument("nsga2_search: null evaluator");
 
-  std::unordered_map<std::string, GenomeFitness> cache;
+  // Per-run memo: distinct designs are evaluated exactly once, so the
+  // batches below carry only a generation's genuinely new candidates.
+  std::unordered_map<std::string, GenomeFitness> memo;
   std::size_t evaluations = 0;
-  auto fitness_of = [&](const Genome& genome) -> GenomeFitness {
-    const std::string key = genome.key();
-    if (const auto it = cache.find(key); it != cache.end()) return it->second;
-    const GenomeFitness fit = evaluate(genome);
-    cache.emplace(key, fit);
-    ++evaluations;
-    return fit;
+  auto fitness_of_all = [&](const std::vector<Genome>& genomes) {
+    std::vector<Genome> fresh;
+    for (const Genome& genome : genomes) {
+      const std::string key = genome.key();
+      if (memo.find(key) == memo.end()) {
+        memo.emplace(key, GenomeFitness{});  // claims the key: dedup within batch
+        fresh.push_back(genome);
+      }
+    }
+    if (!fresh.empty()) {
+      const std::vector<DesignPoint> points = evaluate.evaluate_batch(fresh);
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        memo[fresh[i].key()] = GenomeFitness{points[i].accuracy, points[i].area_mm2};
+      }
+      evaluations += fresh.size();
+    }
+    std::vector<GenomeFitness> fitness;
+    fitness.reserve(genomes.size());
+    for (const Genome& genome : genomes) fitness.push_back(memo.at(genome.key()));
+    return fitness;
   };
 
   const bool explore_shift = !config.acc_shift_choices.empty();
@@ -218,10 +241,7 @@ GaResult nsga2_search(const GaConfig& config, std::size_t n_layers,
   }
   while (population.size() < config.population) population.push_back(random_genome());
 
-  std::vector<GenomeFitness> fitness(population.size());
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    fitness[i] = fitness_of(population[i]);
-  }
+  std::vector<GenomeFitness> fitness = fitness_of_all(population);
 
   GaResult result;
 
@@ -270,10 +290,7 @@ GaResult nsga2_search(const GaConfig& config, std::size_t n_layers,
     // Combined environmental selection.
     std::vector<Genome> combined = population;
     combined.insert(combined.end(), offspring.begin(), offspring.end());
-    std::vector<GenomeFitness> combined_fit(combined.size());
-    for (std::size_t i = 0; i < combined.size(); ++i) {
-      combined_fit[i] = fitness_of(combined[i]);
-    }
+    const std::vector<GenomeFitness> combined_fit = fitness_of_all(combined);
     const auto combined_objs = objectives_of(combined_fit);
     const auto combined_fronts = fast_non_dominated_sort(combined_objs);
 

@@ -15,9 +15,12 @@
 /// classifier, minimize its bespoke area ("hardware-aware": the area comes
 /// from the CSD/range cost model or the exact netlist generator — the GA
 /// never sees FLOPs or parameter counts, only printed-silicon cost).
-/// The genome->objectives evaluation is injected as a callback so the
-/// search core is testable on analytic toy problems; the production
-/// evaluator lives in pnm::MinimizationFlow.
+/// The genome->objectives evaluation is injected as a pnm::Evaluator
+/// (pnm/core/eval.hpp): the search core batches all uncached candidates of
+/// a generation through Evaluator::evaluate_batch, so a ParallelEvaluator
+/// backend fans fitness evaluation across threads with no GA change.  A
+/// plain callback overload remains for analytic toy problems in tests;
+/// the production evaluators live in pnm::MinimizationFlow.
 
 #include <array>
 #include <cstdint>
@@ -28,6 +31,8 @@
 #include "pnm/util/rng.hpp"
 
 namespace pnm {
+
+class Evaluator;  // pnm/core/eval.hpp
 
 /// Per-layer minimization decisions for one candidate design.
 struct Genome {
@@ -100,8 +105,16 @@ std::vector<double> crowding_distances(
     const std::vector<std::array<double, 2>>& objectives,
     const std::vector<std::size_t>& front);
 
-/// Runs the search.  n_layers sizes the genomes; evaluations are cached by
-/// genome key, so `GaResult::evaluations` counts distinct designs.
+/// Runs the search.  n_layers sizes the genomes; evaluations are memoized
+/// by genome key, so `GaResult::evaluations` counts distinct designs.
+/// Each generation's distinct new candidates go through one
+/// evaluate_batch() call — stack ParallelEvaluator under the evaluator to
+/// parallelize the inner loop (bit-identical results, see eval.hpp).
+GaResult nsga2_search(const GaConfig& config, std::size_t n_layers,
+                      Evaluator& evaluate, Rng& rng);
+
+/// Callback convenience overload (analytic toy problems, unit tests):
+/// wraps `evaluate` in a FunctionEvaluator and runs the search above.
 GaResult nsga2_search(const GaConfig& config, std::size_t n_layers,
                       const GenomeEvaluator& evaluate, Rng& rng);
 

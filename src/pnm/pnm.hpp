@@ -14,13 +14,16 @@
 ///  * pnm/data  — datasets: synthetic UCI analogs, CSV, splits, scaling
 ///  * pnm/core  — the paper's contribution: quantization/QAT, pruning,
 ///                weight clustering, integer golden model, Pareto tools,
-///                the hardware-aware NSGA-II, and MinimizationFlow
+///                the composable Evaluator backends (proxy/netlist/
+///                cached/parallel), the hardware-aware NSGA-II, and
+///                MinimizationFlow
 ///  * pnm/hw    — bespoke printed hardware: netlists, EGT technology,
 ///                constant multipliers, circuit generation, analysis,
 ///                Verilog/testbench export
 ///  * pnm/util  — deterministic RNG, bit helpers, text tables
 
 #include "pnm/core/cluster.hpp"
+#include "pnm/core/eval.hpp"
 #include "pnm/core/flow.hpp"
 #include "pnm/core/ga.hpp"
 #include "pnm/core/pareto.hpp"
@@ -48,5 +51,6 @@
 #include "pnm/util/bits.hpp"
 #include "pnm/util/rng.hpp"
 #include "pnm/util/table.hpp"
+#include "pnm/util/thread_pool.hpp"
 
 #endif  // PNM_PNM_HPP

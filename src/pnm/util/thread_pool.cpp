@@ -1,0 +1,148 @@
+#include "pnm/util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pnm {
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> queue;
+  std::mutex mutex;
+  std::condition_variable wake;
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();  // submit()/parallel_for() wrap tasks so this never throws
+    }
+  }
+};
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) threads = default_thread_count();
+  impl_->workers.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size(); }
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.emplace_back([task = std::move(task), promise] {
+      try {
+        task();
+        promise->set_value();
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+  }
+  impl_->wake.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  // Shared iteration state: workers and the caller all drain the cursor.
+  struct State {
+    const std::function<void(std::size_t)>& body;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr error;
+
+    explicit State(const std::function<void(std::size_t)>& b, std::size_t count)
+        : body(b), n(count) {}
+
+    void drain() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        // After a failure the batch result is lost anyway; resolve the
+        // remaining iterations without running them so the caller gets
+        // the exception promptly instead of paying for the whole batch.
+        if (!failed.load(std::memory_order_acquire)) {
+          try {
+            body(i);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(mutex);
+              if (!error) error = std::current_exception();
+            }
+            failed.store(true, std::memory_order_release);
+          }
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard<std::mutex> lock(mutex);  // pairs with the wait
+          finished.notify_all();
+        }
+      }
+    }
+  };
+
+  auto state = std::make_shared<State>(body, n);
+  // One drainer per worker is enough: each claims iterations until the
+  // cursor runs dry.  The caller participates too, so completion never
+  // depends on queue latency (or on the pool being larger than zero).
+  const std::size_t drainers = std::min(impl_->workers.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t i = 0; i < drainers; ++i) {
+      impl_->queue.emplace_back([state] { state->drain(); });
+    }
+  }
+  impl_->wake.notify_all();
+
+  state->drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->finished.wait(lock, [&] { return state->done.load() == state->n; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace pnm

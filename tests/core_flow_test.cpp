@@ -32,9 +32,9 @@ MinimizationFlow& seeds_flow() {
 TEST(Flow, AccessorsRequirePrepare) {
   MinimizationFlow flow(fast_config("seeds"));
   EXPECT_FALSE(flow.prepared());
-  EXPECT_THROW(flow.data(), std::logic_error);
-  EXPECT_THROW(flow.float_model(), std::logic_error);
-  EXPECT_THROW(flow.baseline(), std::logic_error);
+  EXPECT_THROW((void)flow.data(), std::logic_error);
+  EXPECT_THROW((void)flow.float_model(), std::logic_error);
+  EXPECT_THROW((void)flow.baseline(), std::logic_error);
   EXPECT_THROW(flow.sweep_quantization(), std::logic_error);
 }
 
@@ -68,7 +68,9 @@ TEST(Flow, QuantizationSweepProducesOrderedAreas) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     EXPECT_EQ(points[i].technique, "quant");
     EXPECT_GT(points[i].area_mm2, 0.0);
-    if (i > 0) EXPECT_GT(points[i].area_mm2, points[i - 1].area_mm2);  // more bits
+    if (i > 0) {
+      EXPECT_GT(points[i].area_mm2, points[i - 1].area_mm2);  // more bits
+    }
   }
   // Low bit-widths save area vs the baseline.
   EXPECT_LT(points.front().area_mm2, 0.6 * flow.baseline().area_mm2);

@@ -190,7 +190,7 @@ TEST_P(QuantBitsSweep, FakeQuantizedModelStillPredicts) {
                               view.layer(li).weights.raw().end());
     EXPECT_LE(distinct.size(), (1U << bits));
   }
-  EXPECT_NO_THROW(view.predict({0.1, 0.2, 0.3, 0.4, 0.5}));
+  EXPECT_NO_THROW((void)view.predict({0.1, 0.2, 0.3, 0.4, 0.5}));
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperRange, QuantBitsSweep, ::testing::Range(2, 8));

@@ -92,14 +92,14 @@ TEST(StructuredPrune, PrunedModelStillComputes) {
   const Mlp net = random_net(7);
   const Mlp pruned = structured_prune(net, 0.5);
   const std::vector<double> x = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
-  EXPECT_NO_THROW(pruned.predict(x));
+  EXPECT_NO_THROW((void)pruned.predict(x));
 }
 
 TEST(StructuredPrune, MultiHiddenLayerNetworks) {
   const Mlp net = random_net(8, {5, 8, 6, 3});
   const Mlp pruned = structured_prune(net, 0.5);
   EXPECT_EQ(pruned.topology(), (std::vector<std::size_t>{5, 4, 3, 3}));
-  EXPECT_NO_THROW(pruned.predict({0.1, 0.2, 0.3, 0.4, 0.5}));
+  EXPECT_NO_THROW((void)pruned.predict({0.1, 0.2, 0.3, 0.4, 0.5}));
 }
 
 TEST(StructuredPrune, UnstructuredIsAtLeastComparableAtMatchedLevel) {

@@ -43,10 +43,10 @@ TEST(Bespoke, RejectsUnsupportedShapes) {
 TEST(Bespoke, PredictValidatesInput) {
   const auto q = random_qmlp({4, 3, 2}, 4, 4, 2);
   const BespokeCircuit circuit(q);
-  EXPECT_THROW(circuit.predict({1, 2, 3}), std::invalid_argument);       // arity
-  EXPECT_THROW(circuit.predict({1, 2, 3, 16}), std::invalid_argument);   // range
-  EXPECT_THROW(circuit.predict({1, 2, 3, -1}), std::invalid_argument);
-  EXPECT_NO_THROW(circuit.predict({0, 15, 7, 3}));
+  EXPECT_THROW((void)circuit.predict({1, 2, 3}), std::invalid_argument);      // arity
+  EXPECT_THROW((void)circuit.predict({1, 2, 3, 16}), std::invalid_argument);  // range
+  EXPECT_THROW((void)circuit.predict({1, 2, 3, -1}), std::invalid_argument);
+  EXPECT_NO_THROW((void)circuit.predict({0, 15, 7, 3}));
 }
 
 /// THE equivalence property, across topology/bits/input-bits combinations.

@@ -102,7 +102,9 @@ TEST(Csd, AverageDigitCountBeatsBinaryOnPaperBitWidths) {
     }
     // The advantage grows with bit-width (asymptotically b/3 vs b/2).
     EXPECT_LT(csd_total, bin_total) << "bits=" << bits;
-    if (bits == 8) EXPECT_LT(csd_total, bin_total * 0.82);
+    if (bits == 8) {
+      EXPECT_LT(csd_total, bin_total * 0.82);
+    }
   }
 }
 

@@ -1,0 +1,113 @@
+/// Unit tests for the evaluation fan-out thread pool.
+
+#include "pnm/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pnm {
+namespace {
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3U);
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.size(), 1U);
+  EXPECT_EQ(defaulted.size(), ThreadPool::default_thread_count());
+}
+
+TEST(ThreadPool, SubmitRunsTaskAndSignalsFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f1 = pool.submit([&ran] { ran.fetch_add(1); });
+  auto f2 = pool.submit([&ran] { ran.fetch_add(10); });
+  f1.get();
+  f2.get();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives an exceptional task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 257;
+  std::vector<std::atomic<int>> counts(n);
+  pool.parallel_for(n, [&counts](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesDegenerateSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWorksWithMoreItemsThanWorkers) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 99L * 100L / 2L);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [&completed](std::size_t i) {
+                          if (i == 7) throw std::logic_error("bad item");
+                          completed.fetch_add(1);
+                        }),
+      std::logic_error);
+  // Iterations claimed after the failure are skipped; the thrower never
+  // counts, so at most 15 bodies completed.
+  EXPECT_LE(completed.load(), 15);
+  // The pool remains usable afterwards.
+  std::atomic<int> again{0};
+  pool.parallel_for(4, [&again](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForSkipsTailAfterEarlyFailure) {
+  // With one worker plus the caller and an immediate failure at i == 0,
+  // the remaining iterations must be resolved without running.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&ran](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("first");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForBalancesUnevenWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.parallel_for(8, [&done](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 8);
+}
+
+}  // namespace
+}  // namespace pnm
