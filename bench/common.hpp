@@ -10,8 +10,10 @@
 /// statistic the paper quotes for that figure.  Absolute areas are also
 /// printed so the printed-technology scale (cm^2!) is visible.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,14 +67,31 @@ inline void print_front(const std::string& title, std::vector<DesignPoint> point
   std::cout << table.to_string() << '\n';
 }
 
+/// Table cell for an optional gain: "5.02x", or "n/a" when no design met
+/// the loss budget (best_area_gain_at_loss's no-qualifier case).
+inline std::string format_gain(const std::optional<double>& gain) {
+  return gain ? format_factor(*gain) : "n/a";
+}
+
+/// Numeric value of an optional gain for averaging/comparing series.
+/// The baseline itself always meets any loss budget, so every series can
+/// realize at least 1.0x: a sweep with no qualifying design contributes
+/// exactly that, and a qualifying design *larger* than the baseline
+/// (sub-unity factor) is clamped up to it as well — otherwise "nothing
+/// qualified" (1.0) would rank above "something qualified at 0.9x".
+inline double gain_or_baseline(const std::optional<double>& gain) {
+  return std::max(1.0, gain.value_or(1.0));
+}
+
 /// "Up to X area gain for <= loss accuracy loss" summary line.
-inline double report_gain(const std::string& technique,
-                          const std::vector<DesignPoint>& points,
-                          const DesignPoint& baseline, double loss = 0.05) {
-  const double gain =
+inline std::optional<double> report_gain(const std::string& technique,
+                                         const std::vector<DesignPoint>& points,
+                                         const DesignPoint& baseline, double loss = 0.05) {
+  const auto gain =
       best_area_gain_at_loss(points, baseline.accuracy, baseline.area_mm2, loss);
   std::cout << technique << ": max area gain at <=" << format_fixed(loss * 100, 0)
-            << "% accuracy loss = " << format_factor(gain) << '\n';
+            << "% accuracy loss = " << format_gain(gain)
+            << (gain ? "" : " (no design within the loss budget)") << '\n';
   return gain;
 }
 

@@ -37,13 +37,15 @@ int main() {
     ParallelEvaluator fitness(proxy);
     const auto out3 = flow.run_ga(fitness, ga3);
     const auto out4 = flow.run_ga(fitness, ga4);
-    const double g3 = best_area_gain_at_loss(out3.front, baseline.accuracy,
-                                             baseline.area_mm2, 0.05);
-    const double g4 = best_area_gain_at_loss(out4.front, baseline.accuracy,
-                                             baseline.area_mm2, 0.05);
-    std::cout << "combined GA @5% loss: three axes " << format_factor(g3)
-              << "  |  + truncation gene " << format_factor(g4)
-              << (g4 >= g3 ? "  [truncation helps or ties]" : "  [no benefit here]")
+    const auto g3 = best_area_gain_at_loss(out3.front, baseline.accuracy,
+                                           baseline.area_mm2, 0.05);
+    const auto g4 = best_area_gain_at_loss(out4.front, baseline.accuracy,
+                                           baseline.area_mm2, 0.05);
+    std::cout << "combined GA @5% loss: three axes " << format_gain(g3)
+              << "  |  + truncation gene " << format_gain(g4)
+              << (gain_or_baseline(g4) >= gain_or_baseline(g3)
+                      ? "  [truncation helps or ties]"
+                      : "  [no benefit here]")
               << "\n\n";
   }
   std::cout << "expected shape: t=1..2 is nearly free in accuracy while cutting "

@@ -49,10 +49,11 @@ int main() {
 
   std::cout << "-- summary (paper: combined reaches up to 8x at 5% loss, beating "
                "every standalone technique) --\n";
-  const double gq = report_gain("quantization", quant, baseline);
-  const double gp = report_gain("pruning     ", prune, baseline);
-  const double gc = report_gain("clustering  ", cluster, baseline);
-  const double gga = report_gain("combined GA ", outcome.front, baseline);
+  const double gq = gain_or_baseline(report_gain("quantization", quant, baseline));
+  const double gp = gain_or_baseline(report_gain("pruning     ", prune, baseline));
+  const double gc = gain_or_baseline(report_gain("clustering  ", cluster, baseline));
+  const double gga =
+      gain_or_baseline(report_gain("combined GA ", outcome.front, baseline));
   const double best_standalone = std::max(gq, std::max(gp, gc));
   std::cout << "\ncombined vs best standalone: " << format_factor(gga) << " vs "
             << format_factor(best_standalone)

@@ -28,25 +28,28 @@ int main() {
       const double acc = baseline.accuracy;
       const double area = baseline.area_mm2;
 
-      const double gq =
+      const auto gq =
           best_area_gain_at_loss(flow.sweep_quantization(2, 7), acc, area, 0.05);
-      const double gp = best_area_gain_at_loss(
+      const auto gp = best_area_gain_at_loss(
           flow.sweep_pruning({0.2, 0.4, 0.6}), acc, area, 0.05);
-      const double gc =
+      const auto gc =
           best_area_gain_at_loss(flow.sweep_clustering({2, 4, 8}), acc, area, 0.05);
       GaConfig ga;
       ga.population = 20;
       ga.generations = 10;
       auto proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
       ParallelEvaluator fitness(proxy);
-      const double gga =
+      const auto gga =
           best_area_gain_at_loss(flow.run_ga(fitness, ga).front, acc, area, 0.05);
 
-      const bool combined_wins = gga >= std::max(gq, std::max(gp, gc));
+      const bool combined_wins =
+          gain_or_baseline(gga) >=
+          std::max(gain_or_baseline(gq),
+                   std::max(gain_or_baseline(gp), gain_or_baseline(gc)));
       wins += combined_wins ? 1 : 0;
       ++runs;
-      table.add_row({dataset, std::to_string(seed), format_factor(gq),
-                     format_factor(gp), format_factor(gc), format_factor(gga),
+      table.add_row({dataset, std::to_string(seed), format_gain(gq),
+                     format_gain(gp), format_gain(gc), format_gain(gga),
                      combined_wins ? "yes" : "no"});
     }
     table.add_separator();

@@ -77,9 +77,11 @@ int main(int argc, char** argv) {
                    pnm::format_fixed(p.area_mm2 / baseline.area_mm2, 3)});
   }
   std::cout << table.to_string();
+  const auto best_gain =
+      pnm::best_area_gain_at_loss(all, baseline.accuracy, baseline.area_mm2, 0.05);
   std::cout << "\nbest area gain at <=5% accuracy loss: "
-            << pnm::format_factor(pnm::best_area_gain_at_loss(
-                   all, baseline.accuracy, baseline.area_mm2, 0.05))
+            << (best_gain ? pnm::format_factor(*best_gain)
+                          : std::string("n/a (no design within the loss budget)"))
             << '\n';
   return EXIT_SUCCESS;
 }

@@ -102,6 +102,11 @@ hw::BespokeOptions PipelineEvaluator::options_for(const Genome& genome) const {
     for (int k : genome.clusters) any_clustered |= (k > 0);
     options.share_products = any_clustered;
   }
+  // Cross-coefficient MCM sharing rides on the shared-product table; a
+  // per-connection datapath has no coefficient set to share across, so
+  // the knob is normalized off here to keep proxy and netlist costs (and
+  // cache keys) consistent with what the generator would build.
+  if (!options.share_products) options.share_subexpressions = false;
   return options;
 }
 

@@ -56,7 +56,11 @@ struct FlowConfig {
   double val_frac = 0.2;
   double test_frac = 0.2;
 
-  hw::BespokeOptions bespoke{};  ///< options for exact-area generation
+  /// Options for circuit generation and the matching area proxy —
+  /// including hw/mcm.hpp's share_subexpressions knob, which flows
+  /// through every evaluator, sweep, and the Fig. 2 GA fitness so the
+  /// search sees the cross-coefficient adder-graph savings.
+  hw::BespokeOptions bespoke{};
 
   /// Paper-faithful sharing policy (§II-C): bespoke RTL generators emit
   /// one constant multiplier per connection, and logic synthesis does not

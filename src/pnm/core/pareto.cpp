@@ -35,16 +35,17 @@ std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points) {
   return front;
 }
 
-double best_area_gain_at_loss(const std::vector<DesignPoint>& points,
-                              double baseline_accuracy, double baseline_area_mm2,
-                              double max_loss) {
+std::optional<double> best_area_gain_at_loss(const std::vector<DesignPoint>& points,
+                                             double baseline_accuracy,
+                                             double baseline_area_mm2, double max_loss) {
   if (baseline_area_mm2 <= 0.0) {
     throw std::invalid_argument("best_area_gain_at_loss: bad baseline area");
   }
-  double best = 1.0;
+  std::optional<double> best;
   for (const auto& p : points) {
     if (p.accuracy + max_loss >= baseline_accuracy && p.area_mm2 > 0.0) {
-      best = std::max(best, baseline_area_mm2 / p.area_mm2);
+      const double gain = baseline_area_mm2 / p.area_mm2;
+      if (!best || gain > *best) best = gain;
     }
   }
   return best;

@@ -11,6 +11,7 @@
 /// headline numbers are "largest area reduction subject to <= X% accuracy
 /// loss" queries on those fronts.
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,11 +36,14 @@ bool dominates(const DesignPoint& a, const DesignPoint& b);
 std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points);
 
 /// Largest baseline_area/area over points with accuracy >=
-/// baseline_accuracy - max_loss; returns 1.0 if no point qualifies (the
-/// baseline itself always does in a well-formed sweep).
-double best_area_gain_at_loss(const std::vector<DesignPoint>& points,
-                              double baseline_accuracy, double baseline_area_mm2,
-                              double max_loss);
+/// baseline_accuracy - max_loss.  Returns std::nullopt when no point
+/// qualifies — previously that case was conflated with a genuine 1.0x
+/// gain, which made "this sweep has nothing within the loss budget"
+/// indistinguishable from "the best qualifying design matches the
+/// baseline's area" in every table and summary line.
+std::optional<double> best_area_gain_at_loss(const std::vector<DesignPoint>& points,
+                                             double baseline_accuracy,
+                                             double baseline_area_mm2, double max_loss);
 
 /// 2-D hypervolume of the front w.r.t. a reference point (ref_accuracy
 /// below all points, ref_area above all points), in (accuracy x

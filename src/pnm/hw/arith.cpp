@@ -21,6 +21,31 @@ Sizing sizing_for_range(std::int64_t lo, std::int64_t hi) {
   return {bits_for_signed_range(lo, hi), true};
 }
 
+/// Checked interval arithmetic: the [lo, hi] metadata drives every
+/// datapath width, so a silent int64 wrap here would mis-size (or
+/// UB-corrupt) the circuit.  Absurdly wide accumulators fail loudly.
+std::int64_t checked_add_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw std::overflow_error("arith: word range overflows int64");
+  }
+  return out;
+}
+
+std::int64_t checked_sub_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    throw std::overflow_error("arith: word range overflows int64");
+  }
+  return out;
+}
+
+std::int64_t checked_shl_i64(std::int64_t v, int shift) {
+  if (v == 0) return 0;
+  if (shift >= 63) throw std::overflow_error("arith: word range overflows int64");
+  return pnm::checked_mul(v, std::int64_t{1} << shift);
+}
+
 /// Full adder: returns sum bit, updates carry in place.  Constant operands
 /// are specialized directly (half-adder / wiring forms) so that e.g. the
 /// inverted zero bits of a subtrahend cost OR gates, not dead inverters;
@@ -67,8 +92,10 @@ Word add_sub(Netlist& nl, const Word& a, const Word& b, bool subtract) {
   // Adding/subtracting a provable zero is pure wiring.
   if (b.is_const_zero()) return refit_impl(a, a.lo, a.hi);
   if (a.is_const_zero() && !subtract) return refit_impl(b, b.lo, b.hi);
-  const std::int64_t lo = subtract ? a.lo - b.hi : a.lo + b.lo;
-  const std::int64_t hi = subtract ? a.hi - b.lo : a.hi + b.hi;
+  const std::int64_t lo =
+      subtract ? checked_sub_i64(a.lo, b.hi) : checked_add_i64(a.lo, b.lo);
+  const std::int64_t hi =
+      subtract ? checked_sub_i64(a.hi, b.lo) : checked_add_i64(a.hi, b.hi);
   const Sizing sz = sizing_for_range(lo, hi);
 
   Word out;
@@ -138,8 +165,8 @@ Word shift_left(const Word& a, int shift) {
   if (a.is_const_zero()) return a;
   Word out = a;
   out.bits.insert(out.bits.begin(), static_cast<std::size_t>(shift), kConst0);
-  out.lo = a.lo << shift;
-  out.hi = a.hi << shift;
+  out.lo = checked_shl_i64(a.lo, shift);
+  out.hi = checked_shl_i64(a.hi, shift);
   return out;
 }
 

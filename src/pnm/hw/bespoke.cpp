@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "pnm/hw/arith.hpp"
+#include "pnm/hw/mcm.hpp"
 #include "pnm/util/bits.hpp"
 
 namespace pnm::hw {
@@ -35,7 +36,7 @@ BespokeCircuit::BespokeCircuit(const QuantizedMlp& model, BespokeOptions options
   }
 
   for (std::size_t li = 0; li < model.layer_count(); ++li) {
-    acts = build_layer(model.layer(li), acts);
+    acts = build_layer(model.layer(li), acts, li);
   }
   build_argmax(acts);
 
@@ -62,7 +63,8 @@ BespokeCircuit::BespokeCircuit(const QuantizedMlp& model, BespokeOptions options
 }
 
 std::vector<Word> BespokeCircuit::build_layer(const QuantizedLayer& layer,
-                                              const std::vector<Word>& in_acts) {
+                                              const std::vector<Word>& in_acts,
+                                              std::size_t layer_index) {
   if (layer.in_features() != in_acts.size()) {
     throw std::invalid_argument("BespokeCircuit: layer/activation arity mismatch");
   }
@@ -77,14 +79,40 @@ std::vector<Word> BespokeCircuit::build_layer(const QuantizedLayer& layer,
     return options_.share_products ? std::make_tuple(std::size_t{0}, col, mag)
                                    : std::make_tuple(row, col, mag);
   };
-  for (std::size_t r = 0; r < layer.out_features(); ++r) {
+  const bool mcm = options_.share_subexpressions && options_.share_products;
+  if (mcm) {
+    // Cross-coefficient sharing: all of a column's |weight| magnitudes go
+    // through one MCM adder DAG (hw/mcm.hpp).  Shared intermediates are
+    // labeled "l<layer>_x<col>_t<value>" for RTL inspection.
     for (std::size_t c = 0; c < layer.in_features(); ++c) {
-      const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
-      if (mag == 0) continue;
-      const auto key = product_key(r, c, mag);
-      if (products.contains(key)) continue;
-      products.emplace(key, const_mult(nl_, in_acts[c], mag, mult_options));
-      if (const_mult_adder_count(mag, mult_options) > 0) ++multiplier_count_;
+      std::vector<std::int64_t> mags;
+      for (std::size_t r = 0; r < layer.out_features(); ++r) {
+        const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
+        if (mag != 0) mags.push_back(mag);
+      }
+      if (mags.empty()) continue;
+      const std::string prefix =
+          "l" + std::to_string(layer_index) + "_x" + std::to_string(c);
+      McmPlan plan;
+      auto words = const_mult_shared(nl_, in_acts[c], mags, mult_options, prefix, &plan);
+      product_adder_count_ += static_cast<std::size_t>(plan.adder_count());
+      for (auto& [mag, word] : words) {
+        products.emplace(std::make_tuple(std::size_t{0}, c, mag), std::move(word));
+        if (const_mult_adder_count(mag, mult_options) > 0) ++multiplier_count_;
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < layer.out_features(); ++r) {
+      for (std::size_t c = 0; c < layer.in_features(); ++c) {
+        const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
+        if (mag == 0) continue;
+        const auto key = product_key(r, c, mag);
+        if (products.contains(key)) continue;
+        products.emplace(key, const_mult(nl_, in_acts[c], mag, mult_options));
+        const int adders = const_mult_adder_count(mag, mult_options);
+        product_adder_count_ += static_cast<std::size_t>(adders);
+        if (adders > 0) ++multiplier_count_;
+      }
     }
   }
 

@@ -14,7 +14,11 @@
 ///
 /// Structure per layer:
 ///  1. product stage   — one shift-add network per distinct
-///                       (input column, |weight|) pair (sharing!);
+///                       (input column, |weight|) pair (sharing!); with
+///                       share_subexpressions, the networks of one column
+///                       further collapse into a single MCM adder DAG
+///                       (hw/mcm.hpp) whose intermediates are labeled in
+///                       the netlist for RTL inspection;
 ///  2. accumulate stage — per neuron, a chain of exactly-sized add/sub
 ///                       rows folding in the hard-wired bias;
 ///  3. activation stage — ReLU sign-mask (hidden layers only);
@@ -40,6 +44,16 @@ struct BespokeOptions {
   bool share_products = true;
   /// CSD vs plain binary coefficient recoding (ablation A1).
   bool use_csd = true;
+  /// Cross-coefficient adder-graph sharing (hw/mcm.hpp): per input
+  /// column, every required |weight| is computed through one shared
+  /// shift-add DAG instead of an independent chain per coefficient, so
+  /// repeated signed-digit subterms (5x and 13x both reuse 4x + x) cost
+  /// one adder total.  Never increases the product stage's add/sub rows;
+  /// bit-exact with the unshared lowering.  Requires share_products
+  /// (ignored when that is off — a per-connection datapath has no
+  /// coefficient set to share across).  Off by default: the paper's
+  /// baseline generator (Mubarik et al.) does not perform MCM.
+  bool share_subexpressions = false;
 };
 
 /// Construction phases, for the area breakdown report.
@@ -69,8 +83,16 @@ class BespokeCircuit {
   [[nodiscard]] std::size_t n_classes() const { return n_classes_; }
   [[nodiscard]] int input_bits() const { return input_bits_; }
 
-  /// Physical multipliers emitted (shift-add networks with >= 1 adder).
+  /// Logical multipliers emitted: distinct (input, |weight|) products
+  /// needing >= 1 adder.  With share_subexpressions the physical adders
+  /// behind them are shared, so this stays the sharing-independent
+  /// "multiplier instances" metric of the golden model.
   [[nodiscard]] std::size_t multiplier_count() const { return multiplier_count_; }
+
+  /// Add/sub rows of the product stage as planned (per column: the MCM
+  /// DAG's adder_count with share_subexpressions, the sum of independent
+  /// chain costs otherwise) — the before/after metric of BENCH_mcm.
+  [[nodiscard]] std::size_t product_adder_count() const { return product_adder_count_; }
 
   /// Gate-level simulation: quantized input codes -> predicted class.
   [[nodiscard]] std::size_t predict(const std::vector<std::int64_t>& xq) const;
@@ -88,9 +110,11 @@ class BespokeCircuit {
  private:
   void begin_stage(Stage stage);
   /// Emits one layer (product, accumulate, activation stages) and returns
-  /// the post-activation words feeding the next layer.
+  /// the post-activation words feeding the next layer.  `layer_index`
+  /// only names the layer in shared-intermediate net labels.
   std::vector<Word> build_layer(const QuantizedLayer& layer,
-                                const std::vector<Word>& in_acts);
+                                const std::vector<Word>& in_acts,
+                                std::size_t layer_index);
   /// Emits the argmax comparator/mux tree and marks the class outputs.
   void build_argmax(const std::vector<Word>& logits);
 
@@ -101,6 +125,7 @@ class BespokeCircuit {
   std::size_t n_classes_ = 0;
   int input_bits_ = 0;
   std::size_t multiplier_count_ = 0;
+  std::size_t product_adder_count_ = 0;
   /// (stage, first gate index) marks, in emission order (build time only).
   std::vector<std::pair<Stage, std::size_t>> stage_marks_;
   /// Stage of each surviving gate, after dead-gate sweeping.

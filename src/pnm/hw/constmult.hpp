@@ -13,11 +13,17 @@
 /// (one network, many consumers) all shrink the circuit.
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "pnm/hw/arith.hpp"
 #include "pnm/hw/netlist.hpp"
 
 namespace pnm::hw {
+
+struct McmPlan;  // hw/mcm.hpp (which includes this header for MultOptions)
 
 /// Options for multiplier generation (ablation knobs).
 struct MultOptions {
@@ -38,6 +44,31 @@ Word const_mult(Netlist& nl, const Word& x, std::int64_t coeff,
 /// Number of add/sub rows const_mult would emit for this coefficient —
 /// the unit of the analytic area proxy (hw/proxy.hpp).
 int const_mult_adder_count(std::int64_t coeff, const MultOptions& options = {});
+
+/// Nonzero digits of coeff's chosen signed-digit recoding as (shift,
+/// positive) pairs, rotated so a positive term (if any) leads.  This is
+/// the decomposition const_mult lowers; it is exposed so the MCM planner
+/// (hw/mcm.hpp) seeds its search from exactly the same terms and its
+/// shared plans are never costlier than the independent chains.
+std::vector<std::pair<int, bool>> recode_digit_terms(std::int64_t coeff,
+                                                     const MultOptions& options = {});
+
+/// Emits every coefficient of `coefficients` (positive |weight|
+/// magnitudes; duplicates collapse) times x through one shared shift-add
+/// DAG planned by hw/mcm.hpp, and returns the exactly-sized product word
+/// per coefficient.  Bit-exact with per-coefficient const_mult; never
+/// emits more add/sub rows, and strictly fewer whenever coefficients
+/// share signed-digit subterms (e.g. {5, 13} both reuse 4x + x).  When
+/// `label_prefix` is non-empty the shared intermediate words are labeled
+/// "<prefix>_t<value>[bit]" in the netlist for RTL inspection.  When
+/// `plan_out` is non-null the lowered plan is copied there (so callers
+/// wanting its adder_count() don't re-run the planning search); it is
+/// left empty when x is the constant-zero word (nothing is lowered).
+std::map<std::int64_t, Word> const_mult_shared(Netlist& nl, const Word& x,
+                                               const std::vector<std::int64_t>& coefficients,
+                                               const MultOptions& options = {},
+                                               const std::string& label_prefix = {},
+                                               McmPlan* plan_out = nullptr);
 
 }  // namespace pnm::hw
 

@@ -1,7 +1,10 @@
 #include "pnm/hw/csd.hpp"
 
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+
+#include "pnm/util/bits.hpp"
 
 namespace pnm::hw {
 
@@ -9,16 +12,18 @@ std::vector<SignedDigit> to_csd(std::int64_t v) {
   std::vector<SignedDigit> digits;
   if (v == 0) return digits;
   const bool negative = v < 0;
-  std::int64_t u = negative ? -v : v;
+  std::uint64_t u = unsigned_magnitude(v);
 
   // Standard CSD recoding: while odd, emit digit d = 2 - (u mod 4), i.e.
   // +1 for ...01 and -1 for ...11 (the -1 starts a carry that turns a run
-  // of ones into +1 0...0 -1); subtract the digit and shift.
+  // of ones into +1 0...0 -1); subtract the digit and shift.  Unsigned
+  // arithmetic throughout: u <= 2^63, and the +1 carry of a -1 digit
+  // cannot overflow because u is odd (< 2^64 - 1) there.
   while (u != 0) {
     SignedDigit d = 0;
-    if ((u & 1) != 0) {
-      d = static_cast<SignedDigit>(2 - static_cast<int>(u & 3));
-      u -= d;
+    if ((u & 1U) != 0) {
+      d = (u & 3U) == 1U ? SignedDigit{1} : SignedDigit{-1};
+      u = d > 0 ? u - 1 : u + 1;
     }
     digits.push_back(d);
     u >>= 1;
@@ -33,7 +38,7 @@ std::vector<SignedDigit> to_binary_digits(std::int64_t v) {
   std::vector<SignedDigit> digits;
   if (v == 0) return digits;
   const SignedDigit sign = v < 0 ? SignedDigit{-1} : SignedDigit{1};
-  auto u = static_cast<std::uint64_t>(v < 0 ? -v : v);
+  std::uint64_t u = unsigned_magnitude(v);
   while (u != 0) {
     digits.push_back((u & 1U) ? sign : SignedDigit{0});
     u >>= 1;
@@ -42,12 +47,22 @@ std::vector<SignedDigit> to_binary_digits(std::int64_t v) {
 }
 
 std::int64_t digits_value(const std::vector<SignedDigit>& digits) {
-  if (digits.size() > 62) throw std::invalid_argument("digits_value: too many digits");
-  std::int64_t value = 0;
-  for (std::size_t i = digits.size(); i-- > 0;) {
+  // Effective length ignores most-significant zero digits.  Up to 64
+  // digits are legitimate: CSD of values near the top of the int64 range
+  // carries into digit 63 (e.g. 2^62 - 1 recodes as +2^62 - 1, and
+  // INT64_MAX as +2^63 - 1), and to_csd(INT64_MIN) is a single -1 there.
+  std::size_t n = digits.size();
+  while (n > 0 && digits[n - 1] == 0) --n;
+  if (n > 64) throw std::invalid_argument("digits_value: too many digits");
+  __int128 value = 0;
+  for (std::size_t i = n; i-- > 0;) {
     value = value * 2 + digits[i];
   }
-  return value;
+  if (value < std::numeric_limits<std::int64_t>::min() ||
+      value > std::numeric_limits<std::int64_t>::max()) {
+    throw std::invalid_argument("digits_value: value overflows int64");
+  }
+  return static_cast<std::int64_t>(value);
 }
 
 int nonzero_digit_count(const std::vector<SignedDigit>& digits) {

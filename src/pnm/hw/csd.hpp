@@ -29,7 +29,10 @@ std::vector<SignedDigit> to_csd(std::int64_t v);
 /// every nonzero digit.  Used as the ablation baseline for CSD.
 std::vector<SignedDigit> to_binary_digits(std::int64_t v);
 
-/// Reconstructs the value of a signed-digit string (LSB first).
+/// Reconstructs the value of a signed-digit string (LSB first).  Accepts
+/// up to 64 effective digits (CSD of values near the int64 extremes
+/// legitimately carries into digit 63); throws std::invalid_argument if
+/// the string is longer or its value does not fit an int64.
 std::int64_t digits_value(const std::vector<SignedDigit>& digits);
 
 /// Number of nonzero digits (= shifted-operand count of the multiplier).

@@ -1,0 +1,91 @@
+#ifndef PNM_HW_MCM_HPP
+#define PNM_HW_MCM_HPP
+
+/// \file mcm.hpp
+/// \brief Multiple-constant-multiplication planning: one shared shift-add
+///        DAG per input column instead of one chain per coefficient.
+///
+/// The per-coefficient generator (hw/constmult.hpp) prices each |weight|
+/// independently: w*x costs nonzero_digits(w) - 1 adders.  But all the
+/// multipliers of one input column share the same x, so classic MCM
+/// common-subexpression elimination applies: 5x and 13x both contain the
+/// subterm 4x + x, so building t = 4x + x once lets 5x = t (free) and
+/// 13x = t + 8x (one adder) — three adders become two.
+///
+/// plan_mcm() runs a greedy Hartley-style CSE over the signed-digit
+/// decompositions of the coefficient set: repeatedly find the two-term
+/// subexpression (an odd "fundamental" value) that occurs most often
+/// across the current decompositions, materialize it as a shared DAG node
+/// (one adder), and rewrite every disjoint occurrence to reference the
+/// node.  Each extraction with k >= 2 occurrences saves k - 1 adders, so
+/// the plan's adder count is never worse than the independent chains and
+/// strictly better whenever any subterm repeats.  The search is fully
+/// deterministic (value-ordered tie-breaks, no RNG), which the
+/// reproducibility of the evaluation pipeline relies on.
+///
+/// The planner is pure arithmetic — no netlist types — so the area proxy
+/// (hw/proxy.hpp) can price the shared DAG without building it; the
+/// gate-level lowering lives in const_mult_shared (hw/constmult.hpp).
+/// For exact-synthesis flavored subexpression search over general logic,
+/// see percy (Soeken et al.), which this greedy planner is a lightweight
+/// arithmetic-domain cousin of.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pnm/hw/constmult.hpp"
+
+namespace pnm::hw {
+
+/// One signed, shifted reference to an available value in the DAG:
+/// contributes +-(value << shift) * x.  `value` is 1 (the column input
+/// itself) or the value of an earlier McmNode.
+struct McmTerm {
+  std::int64_t value = 1;  ///< odd positive fundamental (1 or a node value)
+  int shift = 0;           ///< left shift applied to the referenced word
+  bool positive = true;    ///< sign of the contribution
+};
+
+/// One shared adder of the DAG: value = a + b (as signed shifted terms).
+/// Node values are odd and > 1; `a` is always a positive term so the
+/// lowering never needs an explicit negation row.
+struct McmNode {
+  std::int64_t value = 0;
+  McmTerm a;
+  McmTerm b;
+};
+
+/// A planned shared shift-add DAG for one coefficient set.
+struct McmPlan {
+  /// Shared intermediate values in topological order: each node's terms
+  /// reference value 1 or the value of an earlier node.  One adder each.
+  std::vector<McmNode> nodes;
+  /// Per requested coefficient, the terms summing to it (over node values
+  /// and 1).  A single-term entry is pure wiring; an n-term entry costs
+  /// n - 1 adders.  Terms are in lowering order (ascending shift, first
+  /// term positive).
+  std::map<std::int64_t, std::vector<McmTerm>> sums;
+
+  /// Total add/sub rows of the plan: one per node plus terms-1 per sum.
+  [[nodiscard]] int adder_count() const;
+};
+
+/// Plans the shared DAG for a set of positive coefficients (duplicates
+/// are collapsed; zero or negative coefficients throw — callers pass
+/// |weight| magnitudes and handle signs in the accumulate stage).  The
+/// initial decompositions use the same per-coefficient recoding choice as
+/// const_mult (options.use_csd), so the plan's adder_count() is <= the
+/// sum of const_mult_adder_count() over the set, with equality when no
+/// subexpression repeats.
+McmPlan plan_mcm(const std::vector<std::int64_t>& coefficients,
+                 const MultOptions& options = {});
+
+/// Convenience: plan_mcm(...).adder_count() — the shared-DAG analog of
+/// summing const_mult_adder_count over the coefficient set.
+int mcm_adder_count(const std::vector<std::int64_t>& coefficients,
+                    const MultOptions& options = {});
+
+}  // namespace pnm::hw
+
+#endif  // PNM_HW_MCM_HPP

@@ -54,6 +54,12 @@ void Netlist::mark_output(NetId net, std::string name) {
   outputs_.push_back(Port{std::move(name), net});
 }
 
+void Netlist::set_net_label(NetId net, std::string label) {
+  if (net < 0 || net >= next_net_) throw std::invalid_argument("set_net_label: bad net");
+  if (is_const(net)) return;  // constant bits of a word carry no information
+  net_labels_.emplace(net, std::move(label));
+}
+
 NetId Netlist::make_inverter(NetId a) {
   if (a == kConst0) return kConst1;
   if (a == kConst1) return kConst0;

@@ -68,6 +68,17 @@ class Netlist {
   /// Marks an existing net as a primary output.
   void mark_output(NetId net, std::string name);
 
+  /// Attaches a human-readable label to a net — e.g. the bits of a shared
+  /// MCM intermediate word ("l0_x3_t5[2]" = bit 2 of 5*x3 in layer 0).
+  /// Purely informational: write_verilog emits labels as comments on the
+  /// wire declarations so shared words are identifiable in the RTL.  The
+  /// first label on a net wins (structural hashing can alias many words
+  /// onto one net); constants are ignored.
+  void set_net_label(NetId net, std::string label);
+  [[nodiscard]] const std::unordered_map<NetId, std::string>& net_labels() const {
+    return net_labels_;
+  }
+
   /// Creates a gate (or reuses/folds). Returns the output net.  All local
   /// optimization happens here; see file comment.  Pass b = kInvalidNet
   /// for INV/BUF.
@@ -145,6 +156,7 @@ class Netlist {
   std::vector<Port> outputs_;
   std::unordered_map<GateKey, NetId, GateKeyHash> cse_;
   std::unordered_map<NetId, NetId> inverse_of_;  ///< net -> its inversion, both ways
+  std::unordered_map<NetId, std::string> net_labels_;
 };
 
 }  // namespace pnm::hw

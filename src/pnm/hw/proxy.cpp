@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <set>
 #include <tuple>
+#include <vector>
 
+#include "pnm/hw/mcm.hpp"
 #include "pnm/util/bits.hpp"
 
 namespace pnm::hw {
@@ -38,23 +40,52 @@ double estimate_area_mm2(const QuantizedMlp& model, const TechLibrary& tech,
     // Product stage: each distinct shift-add network.  An n-term CSD
     // multiplier of an x with max value X costs ~ (terms-1) adder rows of
     // the growing partial-sum width; approximate each row at the final
-    // product width.
-    std::set<std::tuple<std::size_t, std::size_t, std::int64_t>> built;
-    for (std::size_t r = 0; r < layer.out_features(); ++r) {
+    // product width.  kProductRowFill is the mean fraction of a full FA
+    // row that survives constant folding of the shifted zero LSBs
+    // (calibrated against the exact generator; see bench/ablation_proxy —
+    // the same constant fits the shared-DAG rows because node words are
+    // priced at their own, narrower widths).
+    constexpr double kProductRowFill = 0.62;
+    if (options.share_subexpressions && options.share_products) {
+      // Cross-coefficient sharing: price the per-column MCM DAG the
+      // exact generator would lower (hw/mcm.hpp) — shared nodes at the
+      // node word's width, residual sum rows at the product width.
       for (std::size_t c = 0; c < layer.in_features(); ++c) {
-        const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
-        if (mag == 0) continue;
-        const auto key = options.share_products
-                             ? std::make_tuple(std::size_t{0}, c, mag)
-                             : std::make_tuple(r, c, mag);
-        if (!built.insert(key).second) continue;
-        const int adders = const_mult_adder_count(mag, mult_options);
-        if (adders == 0) continue;
-        const int pw = range_width(0, mag * in_hi[c]);
-        area += static_cast<double>(adders) * static_cast<double>(pw) * fa * 0.62;
-        // 0.62: mean fraction of a full FA row that survives constant
-        // folding of the shifted zero LSBs (calibrated once against the
-        // exact generator; see bench/ablation_proxy).
+        std::vector<std::int64_t> mags;
+        for (std::size_t r = 0; r < layer.out_features(); ++r) {
+          const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
+          if (mag != 0) mags.push_back(mag);
+        }
+        if (mags.empty()) continue;
+        const McmPlan plan = plan_mcm(mags, mult_options);
+        for (const McmNode& node : plan.nodes) {
+          const int nw = range_width(0, checked_mul(node.value, in_hi[c]));
+          area += static_cast<double>(nw) * fa * kProductRowFill;
+        }
+        for (const auto& [coeff, terms] : plan.sums) {
+          const int rows = static_cast<int>(terms.size()) - 1;
+          if (rows <= 0) continue;
+          const int pw = range_width(0, checked_mul(coeff, in_hi[c]));
+          area += static_cast<double>(rows) * static_cast<double>(pw) * fa *
+                  kProductRowFill;
+        }
+      }
+    } else {
+      std::set<std::tuple<std::size_t, std::size_t, std::int64_t>> built;
+      for (std::size_t r = 0; r < layer.out_features(); ++r) {
+        for (std::size_t c = 0; c < layer.in_features(); ++c) {
+          const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
+          if (mag == 0) continue;
+          const auto key = options.share_products
+                               ? std::make_tuple(std::size_t{0}, c, mag)
+                               : std::make_tuple(r, c, mag);
+          if (!built.insert(key).second) continue;
+          const int adders = const_mult_adder_count(mag, mult_options);
+          if (adders == 0) continue;
+          const int pw = range_width(0, checked_mul(mag, in_hi[c]));
+          area += static_cast<double>(adders) * static_cast<double>(pw) * fa *
+                  kProductRowFill;
+        }
       }
     }
 

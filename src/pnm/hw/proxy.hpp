@@ -12,6 +12,9 @@
 /// recoding and range analysis the generator uses:
 ///
 ///   product    ~ sum over distinct (input,|w|) of adders(|w|) * width
+///                (with share_subexpressions: the per-column MCM plan's
+///                node + residual-sum rows at their own widths, so the GA
+///                fitness sees exactly the savings the generator realizes)
 ///   accumulate ~ per neuron, (nonzero operands) rows of accumulator width
 ///   activation ~ ReLU masks (AND per kept bit)
 ///   argmax     ~ (C-1) * (comparator + 2 muxes) of output width

@@ -41,15 +41,26 @@ std::int64_t signed_max(int width) {
   return (std::int64_t{1} << (width - 1)) - 1;
 }
 
+std::uint64_t unsigned_magnitude(std::int64_t v) {
+  return v < 0 ? 0ULL - static_cast<std::uint64_t>(v) : static_cast<std::uint64_t>(v);
+}
+
 bool is_pow2_or_zero(std::int64_t v) {
-  if (v < 0) v = -v;
-  return (v & (v - 1)) == 0;
+  const std::uint64_t u = unsigned_magnitude(v);
+  return (u & (u - 1)) == 0;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw std::overflow_error("checked_mul: int64 overflow");
+  }
+  return out;
 }
 
 int binary_nonzero_digits(std::int64_t v) {
-  if (v < 0) v = -v;
   int n = 0;
-  auto u = static_cast<std::uint64_t>(v);
+  std::uint64_t u = unsigned_magnitude(v);
   while (u != 0) {
     n += static_cast<int>(u & 1U);
     u >>= 1;

@@ -32,9 +32,20 @@ std::int64_t unsigned_max(int width);
 std::int64_t signed_min(int width);
 std::int64_t signed_max(int width);
 
+/// |v| as an unsigned value.  Negating INT64_MIN in int64 arithmetic is
+/// UB; the unsigned subtraction is well-defined for every input.  Every
+/// magnitude computation on possibly-extreme values goes through here.
+std::uint64_t unsigned_magnitude(std::int64_t v);
+
 /// True if v is zero or a power of two (a "free" bespoke coefficient:
 /// multiplication is pure wiring).
 bool is_pow2_or_zero(std::int64_t v);
+
+/// a * b, throwing std::overflow_error instead of wrapping when the exact
+/// product does not fit an int64.  Used wherever hard-wired coefficients
+/// multiply worst-case signal bounds (constant-multiplier range refits,
+/// the area proxy): a silent wrap there would mis-size datapaths.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
 
 /// Population count of nonzero binary digits of |v|.
 int binary_nonzero_digits(std::int64_t v);

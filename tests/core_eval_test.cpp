@@ -90,6 +90,37 @@ TEST(Eval, NetlistFillsPowerAndDelayProxyDoesNot) {
   EXPECT_GT(proxy.area_mm2, 0.0);
 }
 
+TEST(Eval, ShareSubexpressionsKnobFlowsThroughEvaluators) {
+  // A second flow with the MCM knob on: both backends must price the
+  // shared DAG, never exceeding the unshared flow's costs, and the
+  // paper-faithful policy (sharing only for clustered genomes) must
+  // normalize the knob off where share_products is off.
+  FlowConfig mcm_config = fast_config();
+  mcm_config.bespoke.share_subexpressions = true;
+  MinimizationFlow mcm_flow(mcm_config);
+  mcm_flow.prepare();
+  auto& plain_flow = seeds_flow();
+
+  Genome clustered;
+  clustered.weight_bits = {8, 8};
+  clustered.sparsity_pct = {0, 0};
+  clustered.clusters = {4, 4};
+  const DesignPoint shared_proxy = mcm_flow.proxy_evaluator(2).evaluate(clustered);
+  const DesignPoint plain_proxy = plain_flow.proxy_evaluator(2).evaluate(clustered);
+  const DesignPoint shared_exact = mcm_flow.netlist_evaluator(2).evaluate(clustered);
+  const DesignPoint plain_exact = plain_flow.netlist_evaluator(2).evaluate(clustered);
+  EXPECT_LE(shared_proxy.area_mm2, plain_proxy.area_mm2);
+  EXPECT_LE(shared_exact.area_mm2, plain_exact.area_mm2 * 1.0001);
+  EXPECT_EQ(shared_proxy.accuracy, plain_proxy.accuracy);  // cost-only knob
+
+  Genome unclustered = clustered;
+  unclustered.clusters = {0, 0};
+  // share_only_when_clustered forces share_products (and so the MCM
+  // knob) off: identical costs with and without the config flag.
+  expect_same_point(mcm_flow.proxy_evaluator(2).evaluate(unclustered),
+                    plain_flow.proxy_evaluator(2).evaluate(unclustered));
+}
+
 TEST(Eval, BatchMatchesSingleEvaluation) {
   auto& flow = seeds_flow();
   ProxyEvaluator proxy = flow.proxy_evaluator(2);

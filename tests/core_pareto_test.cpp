@@ -74,18 +74,38 @@ TEST(BestAreaGain, PicksLargestGainWithinLossBudget) {
       dp(0.86, 12),   // within 5% loss: gain 8.33x
       dp(0.80, 5),    // too lossy
   };
-  const double gain = best_area_gain_at_loss(points, 0.90, 100.0, 0.05);
-  EXPECT_NEAR(gain, 100.0 / 12.0, 1e-9);
+  const auto gain = best_area_gain_at_loss(points, 0.90, 100.0, 0.05);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_NEAR(*gain, 100.0 / 12.0, 1e-9);
 }
 
-TEST(BestAreaGain, NoQualifyingPointGivesUnity) {
+TEST(BestAreaGain, NoQualifyingPointIsDistinctFromUnityGain) {
+  // No point within the loss budget: reported as nullopt, not 1.0x.
   const std::vector<DesignPoint> points = {dp(0.5, 10)};
-  EXPECT_EQ(best_area_gain_at_loss(points, 0.9, 100.0, 0.05), 1.0);
+  EXPECT_FALSE(best_area_gain_at_loss(points, 0.9, 100.0, 0.05).has_value());
+  EXPECT_FALSE(best_area_gain_at_loss({}, 0.9, 100.0, 0.05).has_value());
+  // A genuine 1.0x gain (qualifying point at exactly baseline area) is a
+  // value, so the two cases no longer collide.
+  const std::vector<DesignPoint> at_baseline = {dp(0.9, 100)};
+  const auto gain = best_area_gain_at_loss(at_baseline, 0.9, 100.0, 0.05);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_NEAR(*gain, 1.0, 1e-12);
+}
+
+TEST(BestAreaGain, QualifyingPointWorseThanBaselineReportsSubUnity) {
+  // The old floor of 1.0 also hid qualifying designs *larger* than the
+  // baseline; they now report their true (sub-1.0x) factor.
+  const std::vector<DesignPoint> points = {dp(0.9, 200)};
+  const auto gain = best_area_gain_at_loss(points, 0.9, 100.0, 0.05);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_NEAR(*gain, 0.5, 1e-12);
 }
 
 TEST(BestAreaGain, ExactBoundaryQualifies) {
   const std::vector<DesignPoint> points = {dp(0.85, 10)};
-  EXPECT_NEAR(best_area_gain_at_loss(points, 0.90, 100.0, 0.05), 10.0, 1e-9);
+  const auto gain = best_area_gain_at_loss(points, 0.90, 100.0, 0.05);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_NEAR(*gain, 10.0, 1e-9);
 }
 
 TEST(BestAreaGain, RejectsBadBaselineArea) {

@@ -91,6 +91,91 @@ TEST(Bespoke, EquivalenceHoldsWithoutSharing) {
   }
 }
 
+/// Property-style bit-exactness of the shared-DAG product stage: random
+/// models across topologies/precisions/seeds, simulated against the
+/// integer golden model with share_subexpressions on.
+TEST(Bespoke, EquivalenceHoldsWithSubexpressionSharing) {
+  BespokeOptions options;
+  options.share_subexpressions = true;
+  const std::vector<std::tuple<std::vector<std::size_t>, int, int>> configs = {
+      {{4, 3, 3}, 4, 4}, {{5, 4, 3}, 6, 4}, {{7, 4, 3}, 8, 4},
+      {{4, 4, 4, 3}, 5, 4}, {{11, 8, 7}, 7, 4}};
+  for (const auto& [topology, bits, input_bits] : configs) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const auto q = random_qmlp(topology, bits, input_bits, 4000 + seed);
+      const BespokeCircuit circuit(q, options);
+      pnm::Rng rng(seed);
+      for (int trial = 0; trial < 40; ++trial) {
+        const auto xq = random_input(topology.front(), input_bits, rng);
+        ASSERT_EQ(circuit.predict(xq), q.predict_quantized(xq))
+            << "bits=" << bits << " seed=" << seed << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(Bespoke, ExhaustiveEquivalenceWithSubexpressionSharing) {
+  // All 512 input vectors of a 3-feature 3-bit classifier, CSD and binary.
+  for (const bool csd : {true, false}) {
+    const auto q = random_qmlp({3, 4, 3}, 6, 3, 777);
+    BespokeOptions options;
+    options.use_csd = csd;
+    options.share_subexpressions = true;
+    const BespokeCircuit circuit(q, options);
+    for (std::int64_t a = 0; a < 8; ++a) {
+      for (std::int64_t b = 0; b < 8; ++b) {
+        for (std::int64_t c = 0; c < 8; ++c) {
+          ASSERT_EQ(circuit.predict({a, b, c}), q.predict_quantized({a, b, c}))
+              << "csd=" << csd << " x=(" << a << "," << b << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Bespoke, SubexpressionSharingNeverCostsMoreAddersOrArea) {
+  const auto& tech = TechLibrary::egt();
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    const auto q = random_qmlp({8, 6, 5}, 7, 4, seed);
+    BespokeOptions shared;
+    shared.share_subexpressions = true;
+    const BespokeCircuit with(q, shared);
+    const BespokeCircuit without(q, BespokeOptions{});
+    EXPECT_LE(with.product_adder_count(), without.product_adder_count())
+        << "seed=" << seed;
+    EXPECT_LE(with.area_mm2(tech), without.area_mm2(tech) * 1.0001) << "seed=" << seed;
+    // The multiplier-instance metric is sharing-independent.
+    EXPECT_EQ(with.multiplier_count(), without.multiplier_count());
+  }
+}
+
+TEST(Bespoke, SubexpressionSharingShrinksWideColumns) {
+  // 8-bit dense columns have heavy subterm overlap: the shared DAG must
+  // strictly reduce both planned adders and exact area.
+  const auto& tech = TechLibrary::egt();
+  const auto q = random_qmlp({6, 10, 5}, 8, 4, 41);
+  BespokeOptions shared;
+  shared.share_subexpressions = true;
+  const BespokeCircuit with(q, shared);
+  const BespokeCircuit without(q, BespokeOptions{});
+  EXPECT_LT(with.product_adder_count(), without.product_adder_count());
+  EXPECT_LT(with.area_mm2(tech), without.area_mm2(tech));
+}
+
+TEST(Bespoke, SubexpressionSharingRequiresSharedProducts) {
+  // share_subexpressions without share_products is ignored: identical to
+  // the per-connection datapath.
+  const auto q = random_qmlp({5, 4, 3}, 5, 4, 55);
+  BespokeOptions both_off;
+  both_off.share_products = false;
+  BespokeOptions mcm_only = both_off;
+  mcm_only.share_subexpressions = true;
+  const BespokeCircuit a(q, both_off);
+  const BespokeCircuit b(q, mcm_only);
+  EXPECT_EQ(a.netlist().gate_count(), b.netlist().gate_count());
+  EXPECT_EQ(a.product_adder_count(), b.product_adder_count());
+}
+
 TEST(Bespoke, EquivalenceHoldsWithBinaryRecoding) {
   const auto q = random_qmlp({5, 4, 3}, 5, 4, 7);
   BespokeOptions options;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "pnm/util/bits.hpp"
 
 namespace pnm::hw {
@@ -76,9 +78,54 @@ TEST(BinaryDigits, MatchPopcount) {
   }
 }
 
-TEST(DigitsValue, RejectsOverlongStrings) {
-  std::vector<SignedDigit> too_long(63, SignedDigit{1});
+TEST(DigitsValue, AcceptsFullInt64Range) {
+  // 63 ones = 2^63 - 1 = INT64_MAX: legitimate, previously rejected by an
+  // off-by-one length guard.
+  const std::vector<SignedDigit> all_ones(63, SignedDigit{1});
+  EXPECT_EQ(digits_value(all_ones), std::numeric_limits<std::int64_t>::max());
+  // CSD of values near 2^62 carries into digit 63.
+  std::vector<SignedDigit> csd_max(64, SignedDigit{0});
+  csd_max[0] = -1;
+  csd_max[63] = 1;  // 2^63 - 1
+  EXPECT_EQ(digits_value(csd_max), std::numeric_limits<std::int64_t>::max());
+  std::vector<SignedDigit> min64(64, SignedDigit{0});
+  min64[63] = -1;  // -2^63
+  EXPECT_EQ(digits_value(min64), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(DigitsValue, RejectsOverlongStringsAndOverflow) {
+  // 65 effective digits never fit (leading zeros are fine).
+  std::vector<SignedDigit> too_long(65, SignedDigit{0});
+  too_long[64] = 1;
   EXPECT_THROW(digits_value(too_long), std::invalid_argument);
+  std::vector<SignedDigit> padded(70, SignedDigit{0});
+  padded[0] = 1;  // value 1 with 69 leading zeros: fine
+  EXPECT_EQ(digits_value(padded), 1);
+  // 64 digits whose value is +2^63 overflows int64.
+  std::vector<SignedDigit> pos_overflow(64, SignedDigit{0});
+  pos_overflow[63] = 1;
+  EXPECT_THROW(digits_value(pos_overflow), std::invalid_argument);
+  // 64 ones = 2^64 - 1 overflows too.
+  const std::vector<SignedDigit> ones64(64, SignedDigit{1});
+  EXPECT_THROW(digits_value(ones64), std::invalid_argument);
+}
+
+TEST(Csd, Int64ExtremesRoundTrip) {
+  // Negating INT64_MIN was UB before the unsigned-magnitude rewrite.
+  for (const std::int64_t v :
+       {std::numeric_limits<std::int64_t>::min(), std::numeric_limits<std::int64_t>::min() + 1,
+        std::numeric_limits<std::int64_t>::max(), std::numeric_limits<std::int64_t>::max() - 1,
+        (std::int64_t{1} << 62) - 1, -((std::int64_t{1} << 62) - 1), std::int64_t{1} << 62,
+        (std::int64_t{1} << 62) + 1}) {
+    EXPECT_EQ(digits_value(to_csd(v)), v) << "v=" << v;
+    EXPECT_TRUE(is_canonical(to_csd(v))) << "v=" << v;
+    EXPECT_EQ(digits_value(to_binary_digits(v)), v) << "v=" << v;
+  }
+  // INT64_MIN = -2^63 is a single signed digit at position 63.
+  const auto min_digits = to_csd(std::numeric_limits<std::int64_t>::min());
+  ASSERT_EQ(min_digits.size(), 64U);
+  EXPECT_EQ(min_digits.back(), -1);
+  EXPECT_EQ(nonzero_digit_count(min_digits), 1);
 }
 
 TEST(IsCanonical, DetectsAdjacentNonzeros) {

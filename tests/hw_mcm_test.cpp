@@ -1,0 +1,193 @@
+/// Tests for the MCM adder-graph planner: every plan must reconstruct its
+/// coefficients exactly, cost no more than the independent chains, share
+/// strictly on known subexpression overlaps, and be fully deterministic.
+
+#include "pnm/hw/mcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pnm/util/rng.hpp"
+
+namespace pnm::hw {
+namespace {
+
+/// Reference value of a term list given the values of 1 and all nodes.
+__int128 sum_terms(const std::vector<McmTerm>& terms,
+                   const std::map<std::int64_t, __int128>& values) {
+  __int128 total = 0;
+  for (const McmTerm& t : terms) {
+    const __int128 v = values.at(t.value) << t.shift;
+    total += t.positive ? v : -v;
+  }
+  return total;
+}
+
+/// Structural validity + arithmetic exactness of a plan for a given set.
+void check_plan(const McmPlan& plan, const std::vector<std::int64_t>& coeffs) {
+  std::map<std::int64_t, __int128> values;
+  values[1] = 1;
+  for (const McmNode& node : plan.nodes) {
+    ASSERT_GT(node.value, 1);
+    ASSERT_EQ(node.value % 2, 1) << "node values are odd fundamentals";
+    // Topological: operands must already be available.
+    ASSERT_TRUE(values.contains(node.a.value));
+    ASSERT_TRUE(values.contains(node.b.value));
+    ASSERT_TRUE(node.a.positive) << "leading node operand is positive";
+    ASSERT_EQ(sum_terms({node.a, node.b}, values), static_cast<__int128>(node.value));
+    ASSERT_FALSE(values.contains(node.value)) << "duplicate node value";
+    values[node.value] = node.value;
+  }
+  std::set<std::int64_t> wanted(coeffs.begin(), coeffs.end());
+  ASSERT_EQ(plan.sums.size(), wanted.size());
+  for (const auto& [coeff, terms] : plan.sums) {
+    ASSERT_TRUE(wanted.contains(coeff));
+    ASSERT_FALSE(terms.empty());
+    ASSERT_TRUE(terms.front().positive) << "leading sum term is positive";
+    ASSERT_EQ(sum_terms(terms, values), static_cast<__int128>(coeff))
+        << "coeff=" << coeff;
+  }
+}
+
+int unshared_adder_count(const std::vector<std::int64_t>& coeffs,
+                         const MultOptions& options = {}) {
+  std::set<std::int64_t> distinct(coeffs.begin(), coeffs.end());
+  int total = 0;
+  for (const std::int64_t c : distinct) total += const_mult_adder_count(c, options);
+  return total;
+}
+
+TEST(Mcm, SingleCoefficientNeverBeatenByIndependentChain) {
+  for (const std::int64_t c : {1LL, 2LL, 3LL, 5LL, 7LL, 13LL, 85LL, 127LL}) {
+    const McmPlan plan = plan_mcm({c});
+    check_plan(plan, {c});
+    EXPECT_LE(plan.adder_count(), const_mult_adder_count(c)) << "c=" << c;
+  }
+  // Coefficients without repeated subterms cost exactly the chain.
+  for (const std::int64_t c : {1LL, 2LL, 3LL, 5LL, 7LL, 13LL}) {
+    EXPECT_EQ(plan_mcm({c}).adder_count(), const_mult_adder_count(c)) << "c=" << c;
+  }
+  // 85 = 0b1010101 contains 5 = 1+4 twice (85 = 5 + 5*16): intra-
+  // coefficient CSE beats the plain chain even for a single constant.
+  EXPECT_EQ(plan_mcm({85}).adder_count(), 2);
+  EXPECT_EQ(const_mult_adder_count(85), 3);
+}
+
+TEST(Mcm, RejectsNonPositiveCoefficients) {
+  EXPECT_THROW(plan_mcm({0}), std::invalid_argument);
+  EXPECT_THROW(plan_mcm({5, -3}), std::invalid_argument);
+}
+
+TEST(Mcm, FiveAndThirteenShareFourXPlusX) {
+  // The motivating example: 5 = 4+1 and 13 = 8+4+1 share t = 4x + x, so
+  // 5x = t (free) and 13x = t + 8x — two adders instead of three.
+  const McmPlan plan = plan_mcm({5, 13});
+  check_plan(plan, {5, 13});
+  ASSERT_EQ(plan.nodes.size(), 1U);
+  EXPECT_EQ(plan.nodes[0].value, 5);
+  EXPECT_EQ(plan.adder_count(), 2);
+  EXPECT_EQ(unshared_adder_count({5, 13}), 3);
+  // 5's sum is the bare node; 13 adds one row on top.
+  EXPECT_EQ(plan.sums.at(5).size(), 1U);
+  EXPECT_EQ(plan.sums.at(13).size(), 2U);
+}
+
+TEST(Mcm, ShiftedFundamentalIsFree) {
+  // 3 = 2+1 and 6 = 2*(2+1): one adder builds both.
+  const McmPlan plan = plan_mcm({3, 6});
+  check_plan(plan, {3, 6});
+  EXPECT_EQ(plan.adder_count(), 1);
+  EXPECT_EQ(unshared_adder_count({3, 6}), 2);
+  EXPECT_EQ(plan.sums.at(6).size(), 1U);
+  EXPECT_EQ(plan.sums.at(6).front().shift, 1);
+}
+
+TEST(Mcm, NeverCostsMoreThanIndependentChains) {
+  // Exhaustive pairs and triples over the 6-bit magnitude range.
+  for (std::int64_t a = 1; a <= 63; ++a) {
+    for (std::int64_t b = a; b <= 63; ++b) {
+      const McmPlan plan = plan_mcm({a, b});
+      check_plan(plan, {a, b});
+      EXPECT_LE(plan.adder_count(), unshared_adder_count({a, b}))
+          << "a=" << a << " b=" << b;
+    }
+  }
+  pnm::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::int64_t> coeffs;
+    for (int k = 0; k < 3; ++k) {
+      coeffs.push_back(1 + static_cast<std::int64_t>(rng.uniform_int(255)));
+    }
+    const McmPlan plan = plan_mcm(coeffs);
+    check_plan(plan, coeffs);
+    EXPECT_LE(plan.adder_count(), unshared_adder_count(coeffs));
+  }
+}
+
+TEST(Mcm, BinaryRecodingPlansAreValidToo) {
+  const MultOptions binary{/*use_csd=*/false};
+  pnm::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> coeffs;
+    for (int k = 0; k < 4; ++k) {
+      coeffs.push_back(1 + static_cast<std::int64_t>(rng.uniform_int(127)));
+    }
+    const McmPlan plan = plan_mcm(coeffs, binary);
+    check_plan(plan, coeffs);
+    EXPECT_LE(plan.adder_count(), unshared_adder_count(coeffs, binary));
+  }
+}
+
+TEST(Mcm, SharesAcrossWholeWeightColumns) {
+  // A realistic 8-bit column: many coefficients, dense subterm overlap.
+  const std::vector<std::int64_t> column = {3, 5, 9, 13, 27, 45, 85, 119};
+  const McmPlan plan = plan_mcm(column);
+  check_plan(plan, column);
+  EXPECT_LT(plan.adder_count(), unshared_adder_count(column));
+}
+
+TEST(Mcm, DuplicatesCollapse) {
+  const McmPlan once = plan_mcm({7, 11});
+  const McmPlan twice = plan_mcm({7, 11, 7, 11, 11});
+  EXPECT_EQ(once.adder_count(), twice.adder_count());
+  EXPECT_EQ(once.sums.size(), twice.sums.size());
+}
+
+TEST(Mcm, DeterministicAcrossCallsAndInputOrder) {
+  const std::vector<std::int64_t> a = {5, 13, 27, 45, 3, 85};
+  std::vector<std::int64_t> b = {85, 3, 45, 27, 13, 5};
+  const McmPlan pa1 = plan_mcm(a);
+  const McmPlan pa2 = plan_mcm(a);
+  const McmPlan pb = plan_mcm(b);
+  auto same = [](const McmPlan& x, const McmPlan& y) {
+    if (x.nodes.size() != y.nodes.size()) return false;
+    for (std::size_t i = 0; i < x.nodes.size(); ++i) {
+      if (x.nodes[i].value != y.nodes[i].value) return false;
+    }
+    if (x.sums.size() != y.sums.size()) return false;
+    for (const auto& [coeff, terms] : x.sums) {
+      const auto it = y.sums.find(coeff);
+      if (it == y.sums.end() || it->second.size() != terms.size()) return false;
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (terms[i].value != it->second[i].value ||
+            terms[i].shift != it->second[i].shift ||
+            terms[i].positive != it->second[i].positive) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(same(pa1, pa2));
+  EXPECT_TRUE(same(pa1, pb));
+}
+
+TEST(Mcm, AdderCountHelperMatchesPlan) {
+  const std::vector<std::int64_t> coeffs = {5, 13, 21};
+  EXPECT_EQ(mcm_adder_count(coeffs), plan_mcm(coeffs).adder_count());
+}
+
+}  // namespace
+}  // namespace pnm::hw

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "pnm/hw/constmult.hpp"
 #include "pnm/hw/report.hpp"
 #include "pnm/hw/verilog.hpp"
 
@@ -62,6 +63,38 @@ TEST(Verilog, EmitsWellFormedModule) {
   EXPECT_NE(v.find("output wire out"), std::string::npos);
   EXPECT_NE(v.find("^"), std::string::npos);    // the XOR assign
   EXPECT_NE(v.find("~("), std::string::npos);   // the NAND assign
+}
+
+TEST(Verilog, EmitsNetLabelsAsWireComments) {
+  Netlist nl = small_netlist();
+  const NetId labeled = nl.gates().front().out;
+  nl.set_net_label(labeled, "l0_x1_t5[0]");
+  nl.set_net_label(labeled, "ignored_second_label");  // first label wins
+  nl.set_net_label(kConst0, "never_emitted");         // constants are skipped
+  std::ostringstream out;
+  write_verilog(nl, out, "top");
+  const std::string v = out.str();
+  EXPECT_NE(v.find("// l0_x1_t5[0]"), std::string::npos);
+  EXPECT_EQ(v.find("ignored_second_label"), std::string::npos);
+  EXPECT_EQ(v.find("never_emitted"), std::string::npos);
+}
+
+TEST(Verilog, SharedMcmIntermediatesAreVisibleInRtl) {
+  // End-to-end: a shared-DAG multiplier's intermediate word shows up as a
+  // labeled wire in the exported RTL.
+  Netlist nl;
+  const auto bus = nl.add_input_bus("x", 4);
+  const auto products = const_mult_shared(nl, from_unsigned_bus(bus), {5, 13},
+                                          MultOptions{}, "l0_x0");
+  for (const auto& [coeff, word] : products) {
+    for (std::size_t b = 0; b < word.bits.size(); ++b) {
+      nl.mark_output(word.bits[b], "p" + std::to_string(coeff) + "[" +
+                                       std::to_string(b) + "]");
+    }
+  }
+  std::ostringstream out;
+  write_verilog(nl, out, "mcm_column");
+  EXPECT_NE(out.str().find("// l0_x0_t5["), std::string::npos);
 }
 
 TEST(Verilog, ManglesIllegalIdentifierCharacters) {

@@ -36,18 +36,20 @@ MinimizationFlow& flow_for(const std::string& dataset) {
 TEST(FigureShape, QuantizationGivesLargeGainAtFivePercentLoss) {
   auto& flow = flow_for("seeds");
   const auto points = flow.sweep_quantization(2, 7);
-  const double gain = best_area_gain_at_loss(points, flow.baseline().accuracy,
-                                             flow.baseline().area_mm2, 0.05);
-  EXPECT_GE(gain, 2.0);
+  const auto gain = best_area_gain_at_loss(points, flow.baseline().accuracy,
+                                           flow.baseline().area_mm2, 0.05);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_GE(*gain, 2.0);
 }
 
 /// Pruning at 20-60% sparsity must trade area for bounded accuracy loss.
 TEST(FigureShape, PruningFrontIsUsable) {
   auto& flow = flow_for("seeds");
   const auto points = flow.sweep_pruning({0.2, 0.4, 0.6});
-  const double gain = best_area_gain_at_loss(points, flow.baseline().accuracy,
-                                             flow.baseline().area_mm2, 0.05);
-  EXPECT_GE(gain, 1.2);
+  const auto gain = best_area_gain_at_loss(points, flow.baseline().accuracy,
+                                           flow.baseline().area_mm2, 0.05);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_GE(*gain, 1.2);
   // And sparsity monotonically shrinks the circuit.
   for (std::size_t i = 1; i < points.size(); ++i) {
     EXPECT_LT(points[i].area_mm2, points[i - 1].area_mm2);
@@ -83,11 +85,12 @@ TEST(FigureShape, CombinedGaBeatsStandaloneTechniques) {
   const double base_acc = flow.baseline().accuracy;
   const double base_area = flow.baseline().area_mm2;
   const double gain_ga =
-      best_area_gain_at_loss(outcome.front, base_acc, base_area, 0.05);
+      best_area_gain_at_loss(outcome.front, base_acc, base_area, 0.05).value_or(1.0);
   double gain_standalone = 1.0;
   for (const auto* sweep : {&quant, &prune, &cluster}) {
     gain_standalone = std::max(
-        gain_standalone, best_area_gain_at_loss(*sweep, base_acc, base_area, 0.05));
+        gain_standalone,
+        best_area_gain_at_loss(*sweep, base_acc, base_area, 0.05).value_or(1.0));
   }
   // GA combines all three search spaces, so it can only do at least as
   // well up to search noise; require >= 90% of the best standalone gain

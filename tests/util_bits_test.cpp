@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pnm {
 namespace {
 
@@ -82,6 +84,34 @@ TEST(Bits, BinaryNonzeroDigits) {
   EXPECT_EQ(binary_nonzero_digits(-7), 3);
   EXPECT_EQ(binary_nonzero_digits(255), 8);
   EXPECT_EQ(binary_nonzero_digits(256), 1);
+}
+
+TEST(CheckedMul, ExactProductsPassOverflowThrows) {
+  EXPECT_EQ(checked_mul(0, 0), 0);
+  EXPECT_EQ(checked_mul(-7, 6), -42);
+  const std::int64_t big = std::int64_t{1} << 62;
+  EXPECT_EQ(checked_mul(big, 1), big);
+  EXPECT_THROW(checked_mul(big, 4), std::overflow_error);
+  EXPECT_THROW(checked_mul(big, -4), std::overflow_error);
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(checked_mul(min64, -1), std::overflow_error);
+  EXPECT_EQ(checked_mul(min64, 1), min64);
+}
+
+TEST(BinaryNonzeroDigits, HandlesInt64Min) {
+  // |INT64_MIN| = 2^63: a single nonzero digit (previously UB to negate).
+  EXPECT_EQ(binary_nonzero_digits(std::numeric_limits<std::int64_t>::min()), 1);
+}
+
+TEST(UnsignedMagnitude, CoversInt64Extremes) {
+  EXPECT_EQ(unsigned_magnitude(0), 0ULL);
+  EXPECT_EQ(unsigned_magnitude(-5), 5ULL);
+  EXPECT_EQ(unsigned_magnitude(std::numeric_limits<std::int64_t>::max()),
+            static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_EQ(unsigned_magnitude(std::numeric_limits<std::int64_t>::min()),
+            std::uint64_t{1} << 63);
+  // |INT64_MIN| is a power of two (previously UB to compute).
+  EXPECT_TRUE(is_pow2_or_zero(std::numeric_limits<std::int64_t>::min()));
 }
 
 /// Property sweep: widths are minimal (value fits, value+1 may not).
