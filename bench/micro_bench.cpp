@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "pnm/core/dense_reference.hpp"
 #include "pnm/core/eval.hpp"
 #include "pnm/core/flow.hpp"
 #include "pnm/core/quantize.hpp"
@@ -87,6 +88,17 @@ void BM_IntegerInference(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_IntegerInference);
+
+void BM_IntegerInferenceScratch(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto xq = quantize_input(fx.split.test.x[0], 4);
+  InferScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.qmodel.predict_quantized_into(xq, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IntegerInferenceScratch);
 
 void BM_BespokeGeneration(benchmark::State& state) {
   const auto& fx = Fixture::get();
@@ -181,6 +193,7 @@ struct EvalBenchRecord {
   std::string backend;
   std::string mode;
   std::size_t threads = 1;
+  std::size_t machine_cores = 1;
   std::size_t genomes = 0;
   double seconds = 0.0;
   double genomes_per_sec = 0.0;
@@ -197,7 +210,12 @@ double timed_batch(Evaluator& evaluator, const std::vector<Genome>& genomes) {
 
 void run_eval_throughput_bench(const std::string& json_path) {
   auto& flow = bench_flow();
-  const std::size_t threads = ThreadPool::default_thread_count();
+  // The parallel mode must actually fan out: hardware_concurrency workers,
+  // recorded alongside the machine's core count so speedup_vs_serial is
+  // interpretable (a 1.0x "speedup" on a 1-core runner is expected, not a
+  // regression).
+  const std::size_t machine_cores = ThreadPool::default_thread_count();
+  const std::size_t threads = machine_cores;
   const std::vector<Genome> genomes = batch_genomes(24);
 
   ProxyEvaluator proxy = flow.proxy_evaluator(/*finetune_epochs=*/2);
@@ -211,6 +229,7 @@ void run_eval_throughput_bench(const std::string& json_path) {
     EvalBenchRecord serial;
     serial.backend = backend;
     serial.mode = "serial";
+    serial.machine_cores = machine_cores;
     serial.genomes = genomes.size();
     serial.seconds = timed_batch(serial_eval, genomes);
     serial.genomes_per_sec = static_cast<double>(serial.genomes) / serial.seconds;
@@ -220,7 +239,8 @@ void run_eval_throughput_bench(const std::string& json_path) {
     EvalBenchRecord parallel;
     parallel.backend = backend;
     parallel.mode = "parallel";
-    parallel.threads = threads;
+    parallel.threads = parallel_eval.threads();
+    parallel.machine_cores = machine_cores;
     parallel.genomes = genomes.size();
     parallel.seconds = timed_batch(parallel_eval, genomes);
     parallel.genomes_per_sec = static_cast<double>(parallel.genomes) / parallel.seconds;
@@ -231,7 +251,8 @@ void run_eval_throughput_bench(const std::string& json_path) {
   measure("netlist", netlist);
 
   std::cout << "\n-- batch evaluation throughput (" << genomes.size()
-            << " genomes, " << threads << " hardware threads) --\n";
+            << " genomes, " << threads << " worker threads, " << machine_cores
+            << " machine cores) --\n";
   std::ofstream json(json_path);
   if (!json) {
     std::cerr << "error: cannot write " << json_path << '\n';
@@ -249,6 +270,7 @@ void run_eval_throughput_bench(const std::string& json_path) {
     std::cout << '\n';
     json << "  {\"bench\": \"eval_batch\", \"backend\": \"" << r.backend
          << "\", \"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+         << ", \"machine_cores\": " << r.machine_cores
          << ", \"genomes\": " << r.genomes << ", \"seconds\": " << r.seconds
          << ", \"genomes_per_sec\": " << r.genomes_per_sec
          << ", \"speedup_vs_serial\": " << r.speedup_vs_serial << "}"
@@ -256,6 +278,163 @@ void run_eval_throughput_bench(const std::string& json_path) {
   }
   json << "]\n";
   std::cout << "(wrote " << json_path << ")\n";
+}
+
+// ---- Inference throughput (BENCH_infer.json) -----------------------------
+// The quantized-inference engine is the fitness loop's hot path: every
+// candidate's accuracy is one streaming pass over the reporting split.
+// This bench realizes the netlist-backend eval batch's genomes once, then
+// measures genome-scoring throughput three ways:
+//   * seed_dense      — the seed implementation's algorithm, faithfully
+//                       reconstructed: dense [out][in] weight rows, the
+//                       dataset re-quantized sample-by-sample for every
+//                       genome, fresh scratch vectors per sample;
+//   * engine_serial   — flat CSR kernels + the dataset pre-quantized once
+//                       (QuantizedDataset) + reused InferScratch;
+//   * engine_parallel — the same engine fanned over
+//                       hardware_concurrency threads.
+// Per-sample predictions are asserted bit-identical between the seed path
+// and the engine, and the parallel accuracies bit-identical to serial —
+// the bench fails (CI-red) on any mismatch.
+
+struct InferBenchRecord {
+  std::string mode;
+  std::size_t threads = 1;
+  std::size_t machine_cores = 1;
+  std::size_t genomes = 0;
+  std::size_t samples = 0;  ///< reporting-split size (per genome pass)
+  double seconds = 0.0;
+  double genomes_per_sec = 0.0;
+  double samples_per_sec = 0.0;
+  double speedup_vs_seed_serial = 1.0;
+};
+
+bool run_infer_throughput_bench(const std::string& json_path) {
+  auto& flow = bench_flow();
+  const std::size_t machine_cores = ThreadPool::default_thread_count();
+  const std::vector<Genome> genomes = batch_genomes(24);
+  const Dataset& val = flow.data().val;
+  const QuantizedDataset qval = quantize_dataset(val, flow.config().input_bits);
+
+  // Realize the eval batch's integer models once (untimed): this bench
+  // isolates the inference stage the tentpole rebuilt, not the training
+  // pipeline around it.
+  NetlistEvaluator netlist = flow.netlist_evaluator(/*finetune_epochs=*/2);
+  std::vector<QuantizedMlp> models;
+  models.reserve(genomes.size());
+  for (const Genome& g : genomes) models.push_back(netlist.realize(g));
+  std::vector<DenseReferenceModel> seed_models;
+  seed_models.reserve(models.size());
+  for (const QuantizedMlp& q : models) seed_models.emplace_back(q);
+
+  // Bit-exactness gate: every per-sample prediction of the flat engine
+  // must equal the seed dense implementation's.
+  bool bit_exact = true;
+  {
+    InferScratch scratch;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      for (std::size_t i = 0; i < val.size(); ++i) {
+        const std::size_t engine_pred =
+            models[m].predict_quantized_into(qval.sample(i), scratch);
+        if (engine_pred != seed_models[m].predict(val.x[i])) bit_exact = false;
+      }
+    }
+  }
+
+  // Several passes so per-mode wall time is well above timer resolution.
+  constexpr int kPasses = 150;
+  std::vector<double> acc_seed(models.size()), acc_serial(models.size()),
+      acc_parallel(models.size());
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < kPasses; ++p) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      acc_seed[m] = seed_models[m].accuracy(val);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  const double sec_seed = std::chrono::duration<double>(t1 - t0).count() / kPasses;
+
+  t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < kPasses; ++p) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      acc_serial[m] = models[m].accuracy(qval);
+    }
+  }
+  t1 = std::chrono::steady_clock::now();
+  const double sec_serial = std::chrono::duration<double>(t1 - t0).count() / kPasses;
+
+  ThreadPool pool(machine_cores);
+  t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < kPasses; ++p) {
+    pool.parallel_for(models.size(), [&](std::size_t m) {
+      acc_parallel[m] = models[m].accuracy(qval);
+    });
+  }
+  t1 = std::chrono::steady_clock::now();
+  const double sec_parallel = std::chrono::duration<double>(t1 - t0).count() / kPasses;
+
+  // Serial-vs-parallel agreement and seed-vs-engine accuracy agreement.
+  bool modes_agree = true;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    if (acc_serial[m] != acc_parallel[m] || acc_serial[m] != acc_seed[m]) {
+      modes_agree = false;
+    }
+  }
+
+  const auto record = [&](const std::string& mode, std::size_t threads,
+                          double seconds) {
+    InferBenchRecord r;
+    r.mode = mode;
+    r.threads = threads;
+    r.machine_cores = machine_cores;
+    r.genomes = models.size();
+    r.samples = val.size();
+    r.seconds = seconds;
+    r.genomes_per_sec = static_cast<double>(r.genomes) / seconds;
+    r.samples_per_sec =
+        static_cast<double>(r.genomes * r.samples) / seconds;
+    r.speedup_vs_seed_serial = sec_seed / seconds;
+    return r;
+  };
+  const std::vector<InferBenchRecord> records = {
+      record("seed_dense", 1, sec_seed),
+      record("engine_serial", 1, sec_serial),
+      record("engine_parallel", machine_cores, sec_parallel),
+  };
+
+  std::cout << "\n-- inference throughput on the netlist-backend eval batch ("
+            << models.size() << " genomes x " << val.size() << " samples, "
+            << machine_cores << " machine cores) --\n";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "error: cannot write " << json_path << '\n';
+    return false;
+  }
+  json << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const InferBenchRecord& r = records[i];
+    std::cout << "  " << r.mode << ": " << r.genomes_per_sec << " genomes/sec, "
+              << r.samples_per_sec << " samples/sec ("
+              << r.speedup_vs_seed_serial << "x vs seed serial)\n";
+    json << "  {\"bench\": \"infer_throughput\", \"mode\": \"" << r.mode
+         << "\", \"threads\": " << r.threads
+         << ", \"machine_cores\": " << r.machine_cores
+         << ", \"genomes\": " << r.genomes << ", \"samples\": " << r.samples
+         << ", \"seconds\": " << r.seconds
+         << ", \"genomes_per_sec\": " << r.genomes_per_sec
+         << ", \"samples_per_sec\": " << r.samples_per_sec
+         << ", \"speedup_vs_seed_serial\": " << r.speedup_vs_seed_serial
+         << ", \"bit_exact\": " << (bit_exact ? "true" : "false")
+         << ", \"modes_agree\": " << (modes_agree ? "true" : "false") << "}"
+         << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  json << "]\n";
+  std::cout << "  bit-exact vs seed path: " << (bit_exact ? "yes" : "NO (BUG)")
+            << ", serial/parallel/seed accuracies agree: "
+            << (modes_agree ? "yes" : "NO (BUG)") << '\n';
+  std::cout << "(wrote " << json_path << ")\n";
+  return bit_exact && modes_agree;
 }
 
 // ---- MCM adder-graph sharing (BENCH_mcm.json) ---------------------------
@@ -393,6 +572,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (!list_only) {
     run_eval_throughput_bench("BENCH_eval.json");
+    if (!run_infer_throughput_bench("BENCH_infer.json")) return 1;
     if (!run_mcm_sharing_bench("BENCH_mcm.json")) return 1;
   }
   return 0;

@@ -38,7 +38,13 @@ std::vector<DesignPoint> Evaluator::evaluate_batch(std::span<const Genome> genom
 
 PipelineEvaluator::PipelineEvaluator(const Mlp& model, const DataSplit& split,
                                      const hw::TechLibrary& tech, EvalConfig config)
-    : model_(&model), split_(&split), tech_(&tech), config_(std::move(config)) {}
+    : model_(&model), split_(&split), tech_(&tech), config_(std::move(config)) {
+  // Quantize each split once; all genome evaluations stream the same
+  // read-only flat buffers (the GA re-scores thousands of candidates on
+  // identical data, so re-deriving the codes per genome was pure waste).
+  qval_ = quantize_dataset(split.val, config_.input_bits);
+  qtest_ = quantize_dataset(split.test, config_.input_bits);
+}
 
 Mlp PipelineEvaluator::minimize_float(const Genome& genome) const {
   const std::size_t n_layers = model_->layer_count();
@@ -76,7 +82,7 @@ Mlp PipelineEvaluator::minimize_float(const Genome& genome) const {
     // truncation is applied post-hoc by the integer model (like the paper
     // applies its approximations after training).
     trainer.set_weight_view(make_qat_view(spec));
-    trainer.set_projector([mask, clusters](Mlp& m) {
+    trainer.set_projector([mask = std::move(mask), clusters = std::move(clusters)](Mlp& m) {
       mask.apply(m);
       clusters.project(m);
     });
@@ -116,7 +122,7 @@ DesignPoint PipelineEvaluator::evaluate(const Genome& genome) {
   DesignPoint point;
   point.technique = "ga";
   point.config = genome.key();
-  point.accuracy = qmodel.accuracy(config_.use_test_set ? split_->test : split_->val);
+  point.accuracy = qmodel.accuracy(reporting_set());
   measure(point, qmodel, options_for(genome));
   return point;
 }
@@ -159,24 +165,35 @@ DesignPoint CachedEvaluator::evaluate(const Genome& genome) {
 
 std::vector<DesignPoint> CachedEvaluator::evaluate_batch(
     std::span<const Genome> genomes) {
+  // Serialize each genome exactly once up front: the same key string is
+  // used for the lookup, the miss bookkeeping, and the insert (key() walks
+  // and formats the whole genome, so recomputing it per phase was the
+  // second-largest cost of a fully-cached generation).
+  std::vector<std::string> keys;
+  keys.reserve(genomes.size());
+  for (const Genome& genome : genomes) keys.push_back(genome.key());
+
   std::vector<DesignPoint> points(genomes.size());
   std::vector<std::size_t> miss_index;     // positions to fill from the inner batch
   std::vector<Genome> miss_genomes;        // distinct uncached genomes, first-seen order
+  std::vector<const std::string*> miss_keys;  // their keys, same order
   std::unordered_map<std::string, std::size_t> miss_of_key;  // key -> miss_genomes slot
   std::vector<std::size_t> miss_slot;      // per miss_index entry
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < genomes.size(); ++i) {
-      const std::string key = genomes[i].key();
-      if (const auto it = cache_.find(key); it != cache_.end()) {
+      if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
         ++hits_;
         points[i] = it->second;
         continue;
       }
       ++misses_;
-      const auto [slot_it, inserted] = miss_of_key.emplace(key, miss_genomes.size());
-      if (inserted) miss_genomes.push_back(genomes[i]);
+      const auto [slot_it, inserted] = miss_of_key.emplace(keys[i], miss_genomes.size());
+      if (inserted) {
+        miss_genomes.push_back(genomes[i]);
+        miss_keys.push_back(&keys[i]);
+      }
       miss_index.push_back(i);
       miss_slot.push_back(slot_it->second);
     }
@@ -186,7 +203,7 @@ std::vector<DesignPoint> CachedEvaluator::evaluate_batch(
     const std::vector<DesignPoint> fresh = inner_->evaluate_batch(miss_genomes);
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t m = 0; m < miss_genomes.size(); ++m) {
-      cache_.emplace(miss_genomes[m].key(), fresh[m]);
+      cache_.emplace(*miss_keys[m], fresh[m]);
     }
     for (std::size_t k = 0; k < miss_index.size(); ++k) {
       points[miss_index[k]] = fresh[miss_slot[k]];

@@ -94,6 +94,9 @@ class Evaluator {
 /// MinimizationFlow (or other owner) must outlive the evaluator.
 class PipelineEvaluator : public Evaluator {
  public:
+  /// Quantizes the validation and test splits once at config.input_bits;
+  /// every evaluation (on every thread) then reads the shared flat code
+  /// buffers instead of re-quantizing the dataset per genome.
   PipelineEvaluator(const Mlp& model, const DataSplit& split,
                     const hw::TechLibrary& tech, EvalConfig config);
 
@@ -106,6 +109,12 @@ class PipelineEvaluator : public Evaluator {
   [[nodiscard]] QuantizedMlp realize(const Genome& genome) const;
 
   [[nodiscard]] const EvalConfig& config() const { return config_; }
+
+  /// The pre-quantized reporting split this evaluator scores accuracy on
+  /// (validation unless config().use_test_set).
+  [[nodiscard]] const QuantizedDataset& reporting_set() const {
+    return config_.use_test_set ? qtest_ : qval_;
+  }
 
  protected:
   /// Fills the cost fields (area, and power/delay if available) of an
@@ -123,6 +132,10 @@ class PipelineEvaluator : public Evaluator {
   const DataSplit* split_;
   const hw::TechLibrary* tech_;
   EvalConfig config_;
+  /// Splits quantized once at construction (per input_bits); immutable
+  /// afterwards, so concurrent evaluations share them without locking.
+  QuantizedDataset qval_;
+  QuantizedDataset qtest_;
 };
 
 /// Fast analytic area proxy (pnm/hw/proxy.hpp); leaves power/delay at 0.

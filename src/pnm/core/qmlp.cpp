@@ -9,6 +9,63 @@
 
 namespace pnm {
 
+int QuantizedLayer::weight(std::size_t r, std::size_t c) const {
+  for (std::size_t k = row_offset.at(r); k < row_offset.at(r + 1); ++k) {
+    if (w_col[k] == c) return code(k);
+  }
+  return 0;
+}
+
+std::vector<std::vector<int>> QuantizedLayer::dense_weights() const {
+  std::vector<std::vector<int>> dense(out_features(), std::vector<int>(in_features(), 0));
+  for (std::size_t r = 0; r < out_features(); ++r) {
+    for (std::size_t k = row_offset[r]; k < row_offset[r + 1]; ++k) {
+      dense[r][w_col[k]] = code(k);
+    }
+  }
+  return dense;
+}
+
+std::vector<std::vector<std::int64_t>> QuantizedLayer::column_magnitudes() const {
+  std::vector<std::vector<std::int64_t>> cols(in_features());
+  for (std::size_t r = 0; r < out_features(); ++r) {
+    for (std::size_t k = row_offset[r]; k < row_offset[r + 1]; ++k) {
+      cols[w_col[k]].push_back(w_mag[k]);
+    }
+  }
+  return cols;
+}
+
+void QuantizedLayer::set_dense(std::size_t out_f, std::size_t in_f,
+                               const std::vector<int>& codes) {
+  if (codes.size() != out_f * in_f) {
+    throw std::invalid_argument("QuantizedLayer::set_dense: code count mismatch");
+  }
+  in_features_ = in_f;
+  w_mag.clear();
+  w_neg.clear();
+  w_val.clear();
+  w_col.clear();
+  row_offset.assign(out_f + 1, 0);
+  std::size_t nnz = 0;
+  for (int v : codes) nnz += (v != 0) ? 1 : 0;
+  w_mag.reserve(nnz);
+  w_neg.reserve(nnz);
+  w_val.reserve(nnz);
+  w_col.reserve(nnz);
+  for (std::size_t r = 0; r < out_f; ++r) {
+    for (std::size_t c = 0; c < in_f; ++c) {
+      const int v = codes[r * in_f + c];
+      if (v == 0) continue;
+      w_mag.push_back(v < 0 ? -v : v);
+      w_neg.push_back(v < 0 ? 1 : 0);
+      w_val.push_back(v);
+      w_col.push_back(static_cast<std::uint32_t>(c));
+    }
+    row_offset[r + 1] = w_mag.size();
+  }
+}
+
 QuantizedMlp QuantizedMlp::from_float(const Mlp& model, const QuantSpec& spec) {
   spec.validate(model.layer_count());
   if (model.layer_count() == 0) throw std::invalid_argument("QuantizedMlp: empty model");
@@ -33,17 +90,12 @@ QuantizedMlp QuantizedMlp::from_float(const Mlp& model, const QuantSpec& spec) {
     ql.act = layer.act;
     ql.weight_scale = quantization_scale(layer.weights, ql.weight_bits);
     const auto codes = quantize_codes(layer.weights, ql.weight_bits, ql.weight_scale);
-
-    const std::size_t out_f = layer.out_features();
-    const std::size_t in_f = layer.in_features();
-    ql.w.assign(out_f, std::vector<int>(in_f, 0));
-    for (std::size_t r = 0; r < out_f; ++r) {
-      for (std::size_t c = 0; c < in_f; ++c) ql.w[r][c] = codes[r * in_f + c];
-    }
+    ql.set_dense(layer.out_features(), layer.in_features(), codes);
 
     // Accumulator unit = weight_scale * act_scale; fold the float bias in.
     const double acc_scale =
         ql.weight_scale > 0.0 ? ql.weight_scale * act_scale : 0.0;
+    const std::size_t out_f = layer.out_features();
     ql.bias.assign(out_f, 0);
     for (std::size_t r = 0; r < out_f; ++r) {
       ql.bias[r] = acc_scale > 0.0
@@ -67,42 +119,79 @@ std::size_t QuantizedMlp::output_size() const {
   return layers_.empty() ? 0 : layers_.back().out_features();
 }
 
-std::vector<std::int64_t> QuantizedMlp::forward(const std::vector<std::int64_t>& xq) const {
+std::span<const std::int64_t> QuantizedMlp::forward_into(
+    std::span<const std::int64_t> xq, InferScratch& scratch) const {
   if (layers_.empty()) throw std::logic_error("QuantizedMlp::forward: empty model");
   if (xq.size() != input_size()) {
     throw std::invalid_argument("QuantizedMlp::forward: bad input size");
   }
-  std::vector<std::int64_t> cur = xq;
-  std::vector<std::int64_t> next;
-  for (const auto& l : layers_) {
-    const int s = l.acc_shift;
-    next.assign(l.out_features(), 0);
-    for (std::size_t r = 0; r < l.out_features(); ++r) {
-      std::int64_t acc = l.bias[r] >> s;  // arithmetic shift: floor
-      const auto& row = l.w[r];
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        if (row[c] == 0) continue;
-        // Magnitude-truncate, then apply the sign (matches the bespoke
-        // datapath, which drops product LSBs before the add/sub row).
-        const std::int64_t mag =
-            (std::llabs(static_cast<long long>(row[c])) * cur[c]) >> s;
-        acc += row[c] > 0 ? mag : -mag;
-      }
-      if (l.act == Activation::kRelu && acc < 0) acc = 0;
-      next[r] = acc;
-    }
-    cur.swap(next);
-  }
-  return cur;
+  return forward_unchecked(xq.data(), scratch);
 }
 
-std::size_t QuantizedMlp::predict_quantized(const std::vector<std::int64_t>& xq) const {
-  const auto out = forward(xq);
+std::span<const std::int64_t> QuantizedMlp::forward_unchecked(
+    const std::int64_t* xq, InferScratch& scratch) const {
+  // The first layer reads the caller's buffer directly (no staging copy);
+  // thereafter the ping-pong scratch buffers alternate.
+  const std::int64_t* x = xq;
+  for (const auto& l : layers_) {
+    const int s = l.acc_shift;
+    const std::size_t out_f = l.out_features();
+    scratch.next.resize(out_f);
+    const std::uint32_t* col = l.w_col.data();
+    const bool relu = l.act == Activation::kRelu;
+    if (s == 0) {
+      // Exact MAC: sign(w) * ((|w| x) >> 0) == w * x, so the fast path
+      // multiplies the signed code directly — identical values, no
+      // per-term select.
+      const std::int32_t* val = l.w_val.data();
+      for (std::size_t r = 0; r < out_f; ++r) {
+        std::int64_t acc = l.bias[r];
+        for (std::size_t k = l.row_offset[r]; k < l.row_offset[r + 1]; ++k) {
+          acc += static_cast<std::int64_t>(val[k]) * x[col[k]];
+        }
+        if (relu && acc < 0) acc = 0;
+        scratch.next[r] = acc;
+      }
+    } else {
+      // Magnitude-truncate, then apply the sign (matches the bespoke
+      // datapath, which drops product LSBs before the add/sub row).
+      const std::int32_t* mag = l.w_mag.data();
+      const std::uint8_t* neg = l.w_neg.data();
+      for (std::size_t r = 0; r < out_f; ++r) {
+        std::int64_t acc = l.bias[r] >> s;  // arithmetic shift: floor
+        for (std::size_t k = l.row_offset[r]; k < l.row_offset[r + 1]; ++k) {
+          const std::int64_t t = (static_cast<std::int64_t>(mag[k]) * x[col[k]]) >> s;
+          acc += neg[k] ? -t : t;
+        }
+        if (relu && acc < 0) acc = 0;
+        scratch.next[r] = acc;
+      }
+    }
+    scratch.cur.swap(scratch.next);
+    x = scratch.cur.data();
+  }
+  return {scratch.cur.data(), scratch.cur.size()};
+}
+
+std::vector<std::int64_t> QuantizedMlp::forward(const std::vector<std::int64_t>& xq) const {
+  InferScratch scratch;
+  const auto out = forward_into(xq, scratch);
+  return {out.begin(), out.end()};
+}
+
+std::size_t QuantizedMlp::predict_quantized_into(std::span<const std::int64_t> xq,
+                                                 InferScratch& scratch) const {
+  const auto out = forward_into(xq, scratch);
   std::size_t best = 0;
   for (std::size_t i = 1; i < out.size(); ++i) {
     if (out[i] > out[best]) best = i;
   }
   return best;
+}
+
+std::size_t QuantizedMlp::predict_quantized(const std::vector<std::int64_t>& xq) const {
+  InferScratch scratch;
+  return predict_quantized_into(xq, scratch);
 }
 
 std::size_t QuantizedMlp::predict(const std::vector<double>& x) const {
@@ -112,9 +201,36 @@ std::size_t QuantizedMlp::predict(const std::vector<double>& x) const {
 double QuantizedMlp::accuracy(const Dataset& data) const {
   data.validate();
   if (data.size() == 0) throw std::invalid_argument("QuantizedMlp::accuracy: empty data");
+  InferScratch scratch;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    if (predict(data.x[i]) == data.y[i]) ++correct;
+    quantize_input_into(data.x[i], input_bits_, scratch.xq);
+    if (predict_quantized_into(scratch.xq, scratch) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double QuantizedMlp::accuracy(const QuantizedDataset& data) const {
+  if (data.size() == 0) throw std::invalid_argument("QuantizedMlp::accuracy: empty data");
+  if (data.input_bits != input_bits_) {
+    throw std::invalid_argument(
+        "QuantizedMlp::accuracy: dataset quantized at different input_bits");
+  }
+  if (layers_.empty()) throw std::logic_error("QuantizedMlp::accuracy: empty model");
+  if (data.n_features != input_size()) {
+    throw std::invalid_argument("QuantizedMlp::accuracy: feature count mismatch");
+  }
+  // Shape checks hoisted out of the loop: the streaming pass below runs
+  // one unchecked kernel call per sample.
+  InferScratch scratch;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto out = forward_unchecked(data.x.data() + i * data.n_features, scratch);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < out.size(); ++j) {
+      if (out[j] > out[best]) best = j;
+    }
+    if (best == data.y[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }
@@ -134,14 +250,13 @@ std::vector<std::vector<ValueRange>> QuantizedMlp::neuron_preact_ranges() const 
     for (std::size_t r = 0; r < l.out_features(); ++r) {
       std::int64_t lo = l.bias[r] >> s;
       std::int64_t hi = l.bias[r] >> s;
-      for (std::size_t c = 0; c < l.in_features(); ++c) {
-        const std::int64_t w = l.w[r][c];
-        if (w == 0) continue;
+      for (std::size_t k = l.row_offset[r]; k < l.row_offset[r + 1]; ++k) {
         // Truncated-magnitude term range (monotone in x, so exact).
-        const std::int64_t mag = std::llabs(static_cast<long long>(w));
-        const std::int64_t t_lo = (mag * in_ranges[c].lo) >> s;
-        const std::int64_t t_hi = (mag * in_ranges[c].hi) >> s;
-        if (w > 0) {
+        const std::int64_t mag = l.w_mag[k];
+        const auto& in_range = in_ranges[l.w_col[k]];
+        const std::int64_t t_lo = (mag * in_range.lo) >> s;
+        const std::int64_t t_hi = (mag * in_range.hi) >> s;
+        if (!l.w_neg[k]) {
           lo += t_lo;
           hi += t_hi;
         } else {
@@ -163,11 +278,7 @@ std::vector<std::vector<ValueRange>> QuantizedMlp::neuron_preact_ranges() const 
 
 std::size_t QuantizedMlp::nonzero_weights() const {
   std::size_t n = 0;
-  for (const auto& l : layers_) {
-    for (const auto& row : l.w) {
-      for (int w : row) n += (w != 0) ? 1 : 0;
-    }
-  }
+  for (const auto& l : layers_) n += l.nonzeros();
   return n;
 }
 
@@ -176,12 +287,10 @@ std::vector<std::size_t> QuantizedMlp::shared_multiplier_counts() const {
   counts.reserve(layers_.size());
   for (const auto& l : layers_) {
     std::set<std::pair<std::size_t, std::int64_t>> distinct;
-    for (const auto& row : l.w) {
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        const std::int64_t mag = std::llabs(static_cast<long long>(row[c]));
-        if (mag == 0 || is_pow2_or_zero(mag)) continue;  // wiring only
-        distinct.emplace(c, mag);
-      }
+    for (std::size_t k = 0; k < l.nonzeros(); ++k) {
+      const std::int64_t mag = l.w_mag[k];
+      if (is_pow2_or_zero(mag)) continue;  // wiring only
+      distinct.emplace(l.w_col[k], mag);
     }
     counts.push_back(distinct.size());
   }

@@ -14,8 +14,17 @@
 /// class carries the integer weights/biases and performs pure int64
 /// inference; pnm::hw lowers it gate-by-gate and tests verify bit-exact
 /// agreement between the two.
+///
+/// Storage is a flat CSR-style layout: pruned genomes are mostly zeros, so
+/// each layer keeps only its nonzero codes as contiguous signed-magnitude
+/// entries (|code| + sign + column index) with one offset per row.  The
+/// GA's fitness inner loop streams thousands of candidate models over the
+/// same dataset, and the packed layout turns the hot MAC loop into linear
+/// walks over three parallel arrays — no pointer chasing, no per-sample
+/// allocation (see forward_into / InferScratch / QuantizedDataset).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pnm/core/quantize.hpp"
@@ -32,9 +41,20 @@ struct ValueRange {
 
 /// One integer layer: y = act((bias >> s) + sum sign(w)*((|w| x) >> s)),
 /// where s = acc_shift (0 = exact MAC, y = act(Wq x + bq)).
+///
+/// Weights are stored sparse: entry k in [row_offset[r], row_offset[r+1])
+/// is the k-th nonzero of row r, with magnitude w_mag[k] (> 0), sign
+/// w_neg[k] and column w_col[k].  Entries are in ascending column order
+/// within a row, so iteration order matches the dense [out][in] layout the
+/// seed implementation used — every consumer (forward pass, range
+/// analysis, circuit generators) sees the nonzeros in the same sequence.
 struct QuantizedLayer {
-  std::vector<std::vector<int>> w;  ///< [out][in] signed codes, |w| < 2^(bits-1)
-  std::vector<std::int64_t> bias;   ///< accumulator-unit bias codes (un-shifted)
+  std::vector<std::int32_t> w_mag;     ///< |code| per nonzero, < 2^(bits-1)
+  std::vector<std::uint8_t> w_neg;     ///< 1 where the code is negative
+  std::vector<std::int32_t> w_val;     ///< signed code (= w_neg ? -w_mag : w_mag)
+  std::vector<std::uint32_t> w_col;    ///< input column per nonzero
+  std::vector<std::size_t> row_offset; ///< size out_features()+1; CSR rows
+  std::vector<std::int64_t> bias;      ///< accumulator-unit bias codes (un-shifted)
   int weight_bits = 8;
   /// Product/bias truncation before accumulation (QuantSpec::acc_shift).
   /// The shift applies to the product *magnitude* (then the sign), exactly
@@ -43,8 +63,48 @@ struct QuantizedLayer {
   Activation act = Activation::kIdentity;
   double weight_scale = 0.0;  ///< codes * scale ~= float weights
 
-  [[nodiscard]] std::size_t out_features() const { return w.size(); }
-  [[nodiscard]] std::size_t in_features() const { return w.empty() ? 0 : w.front().size(); }
+  [[nodiscard]] std::size_t out_features() const {
+    return row_offset.empty() ? 0 : row_offset.size() - 1;
+  }
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  /// Number of stored (nonzero) weight codes.
+  [[nodiscard]] std::size_t nonzeros() const { return w_mag.size(); }
+
+  /// Signed code of stored entry k (sign applied to the magnitude).
+  [[nodiscard]] int code(std::size_t k) const {
+    return w_neg[k] ? -w_mag[k] : w_mag[k];
+  }
+
+  /// Random access to the logical dense weight (0 where no entry is
+  /// stored).  Linear in the row's nonzeros — for tests and exporters,
+  /// not for inner loops.
+  [[nodiscard]] int weight(std::size_t r, std::size_t c) const;
+
+  /// The dense [out][in] weight matrix the seed implementation stored —
+  /// golden tests and reference paths rebuild it from the CSR form.
+  [[nodiscard]] std::vector<std::vector<int>> dense_weights() const;
+
+  /// Per input column, the |code| of every nonzero in ascending row order
+  /// (duplicates kept) — the coefficient multiset the MCM planner shares
+  /// one shift-add DAG over.  The bespoke generator and the area proxy
+  /// both consume this, so they price/build exactly the same grouping.
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> column_magnitudes() const;
+
+  /// Replaces the sparse storage from a dense row-major code array
+  /// (zeros are skipped structurally).
+  void set_dense(std::size_t out_f, std::size_t in_f, const std::vector<int>& codes);
+
+ private:
+  std::size_t in_features_ = 0;
+};
+
+/// Reusable inference scratch: two ping-pong activation buffers sized to
+/// the widest layer.  One instance per thread (or per call chain) removes
+/// every per-sample allocation from the forward pass.
+struct InferScratch {
+  std::vector<std::int64_t> cur;
+  std::vector<std::int64_t> next;
+  std::vector<std::int64_t> xq;  ///< input-quantization staging buffer
 };
 
 /// Integer MLP: the bit-exact software twin of the bespoke circuit.
@@ -68,15 +128,32 @@ class QuantizedMlp {
   /// layer's accumulator values.
   [[nodiscard]] std::vector<std::int64_t> forward(const std::vector<std::int64_t>& xq) const;
 
+  /// Allocation-free forward pass: streams the sample through
+  /// scratch.cur/scratch.next and returns a view of the output values
+  /// (valid until the scratch is reused).  Bit-exact with forward().
+  std::span<const std::int64_t> forward_into(std::span<const std::int64_t> xq,
+                                             InferScratch& scratch) const;
+
   /// Predicted class from quantized inputs (argmax, lowest index on ties —
   /// identical tie-break to the hardware comparator tree).
   [[nodiscard]] std::size_t predict_quantized(const std::vector<std::int64_t>& xq) const;
 
+  /// Allocation-free variant of predict_quantized.
+  std::size_t predict_quantized_into(std::span<const std::int64_t> xq,
+                                     InferScratch& scratch) const;
+
   /// Quantizes a [0,1] float sample and predicts.
   [[nodiscard]] std::size_t predict(const std::vector<double>& x) const;
 
-  /// Test-set accuracy of the integer model.
+  /// Test-set accuracy of the integer model (quantizes each sample on the
+  /// fly; prefer the QuantizedDataset overload in loops).
   [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  /// Batched accuracy over a pre-quantized dataset: one scratch, zero
+  /// allocations per sample.  Bit-exact with accuracy(Dataset) when the
+  /// dataset was quantized at this model's input_bits.  Throws if the
+  /// dataset's input_bits disagree with the model's.
+  [[nodiscard]] double accuracy(const QuantizedDataset& data) const;
 
   /// Exact pre-activation range of every neuron, per layer, derived from
   /// the hard-wired weights and the (per-neuron) input ranges — what the
@@ -95,6 +172,11 @@ class QuantizedMlp {
   [[nodiscard]] std::vector<std::size_t> shared_multiplier_counts() const;
 
  private:
+  /// Shared kernel behind forward_into / the batched accuracy loop; the
+  /// caller has already validated the input width.
+  std::span<const std::int64_t> forward_unchecked(const std::int64_t* xq,
+                                                  InferScratch& scratch) const;
+
   std::vector<QuantizedLayer> layers_;
   int input_bits_ = 4;
 };

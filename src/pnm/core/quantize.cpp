@@ -55,12 +55,29 @@ std::vector<int> quantize_codes(const Matrix& w, int bits, double scale) {
 }
 
 Matrix fake_quantize(const Matrix& w, int bits) {
-  const double scale = quantization_scale(w, bits);
   Matrix out(w.rows(), w.cols());
-  if (scale == 0.0) return out;
-  const auto codes = quantize_codes(w, bits, scale);
-  for (std::size_t i = 0; i < codes.size(); ++i) out.raw()[i] = codes[i] * scale;
+  fake_quantize_into(w, bits, out);
   return out;
+}
+
+void fake_quantize_into(const Matrix& w, int bits, Matrix& out) {
+  const double scale = quantization_scale(w, bits);
+  if (out.rows() != w.rows() || out.cols() != w.cols()) {
+    out = Matrix(w.rows(), w.cols());
+  }
+  if (scale == 0.0) {
+    out.fill(0.0);
+    return;
+  }
+  // Fused quantize_codes + rescale: identical element arithmetic
+  // (clamp(round(w/scale)) * scale), no temporary code vector.
+  const int qmax = (1 << (bits - 1)) - 1;
+  const auto& src = w.raw();
+  auto& dst = out.raw();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const auto q = static_cast<long>(std::llround(src[i] / scale));
+    dst[i] = static_cast<double>(static_cast<int>(std::clamp<long>(q, -qmax, qmax))) * scale;
+  }
 }
 
 void fake_quantize_mlp(const Mlp& master, Mlp& view, const QuantSpec& spec) {
@@ -69,7 +86,8 @@ void fake_quantize_mlp(const Mlp& master, Mlp& view, const QuantSpec& spec) {
     throw std::invalid_argument("fake_quantize_mlp: view/master mismatch");
   }
   for (std::size_t li = 0; li < master.layer_count(); ++li) {
-    view.layer(li).weights = fake_quantize(master.layer(li).weights, spec.weight_bits[li]);
+    fake_quantize_into(master.layer(li).weights, spec.weight_bits[li],
+                       view.layer(li).weights);
     view.layer(li).bias = master.layer(li).bias;  // biases stay float during QAT
   }
 }
@@ -80,15 +98,54 @@ Trainer::WeightView make_qat_view(QuantSpec spec) {
   };
 }
 
+namespace {
+
+/// The single definition of the input-code mapping: clamp to [0,1], scale
+/// to [0, 2^bits - 1], round to nearest.  Every input-quantization entry
+/// point (per-sample and whole-dataset) encodes through this, so the
+/// batched QuantizedDataset path can never drift from quantize_input.
+void encode_input_row(const double* x, std::size_t n, double qmax,
+                      std::int64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double clamped = std::clamp(x[i], 0.0, 1.0);
+    out[i] = static_cast<std::int64_t>(std::llround(clamped * qmax));
+  }
+}
+
+}  // namespace
+
 std::vector<std::int64_t> quantize_input(const std::vector<double>& x, int input_bits) {
+  std::vector<std::int64_t> q;
+  quantize_input_into(x, input_bits, q);
+  return q;
+}
+
+void quantize_input_into(const std::vector<double>& x, int input_bits,
+                         std::vector<std::int64_t>& out) {
   if (input_bits < 1 || input_bits > 16) {
     throw std::invalid_argument("quantize_input: bad input bits");
   }
   const double qmax = static_cast<double>((1 << input_bits) - 1);
-  std::vector<std::int64_t> q(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double clamped = std::clamp(x[i], 0.0, 1.0);
-    q[i] = static_cast<std::int64_t>(std::llround(clamped * qmax));
+  out.resize(x.size());
+  encode_input_row(x.data(), x.size(), qmax, out.data());
+}
+
+QuantizedDataset quantize_dataset(const Dataset& data, int input_bits) {
+  if (input_bits < 1 || input_bits > 16) {
+    throw std::invalid_argument("quantize_dataset: bad input bits");
+  }
+  data.validate();
+  QuantizedDataset q;
+  q.name = data.name;
+  q.input_bits = input_bits;
+  q.n_features = data.n_features();
+  q.n_classes = data.n_classes;
+  q.y = data.y;
+  q.x.resize(data.size() * q.n_features);
+  const double qmax = static_cast<double>((1 << input_bits) - 1);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    encode_input_row(data.x[i].data(), q.n_features, qmax,
+                     q.x.data() + i * q.n_features);
   }
   return q;
 }

@@ -18,9 +18,18 @@
 /// QAT uses the straight-through estimator: the forward/backward pass sees
 /// the fake-quantized weights while updates land on float shadow weights —
 /// expressed with Trainer's weight-view hook.
+///
+/// Input quantization is per *dataset*, not per model: every candidate the
+/// GA evaluates shares one sensor precision, so QuantizedDataset encodes a
+/// dataset once into a flat integer buffer that all genome evaluations
+/// (and all threads) read concurrently.
 
+#include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "pnm/data/dataset.hpp"
 #include "pnm/nn/mlp.hpp"
 #include "pnm/nn/trainer.hpp"
 
@@ -57,6 +66,12 @@ std::vector<int> quantize_codes(const Matrix& w, int bits, double scale);
 /// Fake quantization: returns codes * scale (what the QAT forward sees).
 Matrix fake_quantize(const Matrix& w, int bits);
 
+/// In-place fake quantization into `out` (reshaped only if needed) — the
+/// QAT weight view runs once per optimizer step, so this avoids a Matrix
+/// and a code-vector allocation per layer per step.  Identical arithmetic
+/// to fake_quantize.
+void fake_quantize_into(const Matrix& w, int bits, Matrix& out);
+
 /// Applies fake quantization to every layer of `view` per the spec.
 void fake_quantize_mlp(const Mlp& master, Mlp& view, const QuantSpec& spec);
 
@@ -66,6 +81,35 @@ Trainer::WeightView make_qat_view(QuantSpec spec);
 /// Quantizes a [0,1]-scaled sample to unsigned input codes in
 /// [0, 2^input_bits - 1] (round-to-nearest).
 std::vector<std::int64_t> quantize_input(const std::vector<double>& x, int input_bits);
+
+/// Allocation-free variant: writes the codes into `out` (resized to
+/// x.size(), reusing its capacity).  Identical mapping to quantize_input.
+void quantize_input_into(const std::vector<double>& x, int input_bits,
+                         std::vector<std::int64_t>& out);
+
+/// A classification dataset quantized once at a fixed sensor precision:
+/// one flat sample-major int64 buffer instead of a vector of per-sample
+/// rows.  Immutable after construction and therefore safe to share
+/// read-only across every genome evaluation and every worker thread —
+/// the evaluation engine quantizes each split once per input_bits instead
+/// of re-deriving the codes per candidate and per sample.
+struct QuantizedDataset {
+  std::string name;               ///< source dataset name
+  int input_bits = 4;             ///< precision the codes were derived at
+  std::size_t n_features = 0;
+  std::size_t n_classes = 0;
+  std::vector<std::int64_t> x;    ///< flat codes, sample i at [i*n_features, ...)
+  std::vector<std::size_t> y;     ///< class labels, one per sample
+
+  [[nodiscard]] std::size_t size() const { return y.size(); }
+  [[nodiscard]] std::span<const std::int64_t> sample(std::size_t i) const {
+    return {x.data() + i * n_features, n_features};
+  }
+};
+
+/// Encodes `data` at the given sensor precision (the same mapping as
+/// quantize_input, applied to every sample).  Validates the dataset.
+QuantizedDataset quantize_dataset(const Dataset& data, int input_bits);
 
 }  // namespace pnm
 

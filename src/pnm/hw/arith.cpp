@@ -164,7 +164,7 @@ Word shift_left(const Word& a, int shift) {
   if (shift < 0) throw std::invalid_argument("shift_left: negative shift");
   if (a.is_const_zero()) return a;
   Word out = a;
-  out.bits.insert(out.bits.begin(), static_cast<std::size_t>(shift), kConst0);
+  out.bits.insert_front(static_cast<std::size_t>(shift), kConst0);
   out.lo = checked_shl_i64(a.lo, shift);
   out.hi = checked_shl_i64(a.hi, shift);
   return out;
@@ -185,7 +185,7 @@ Word shift_right_floor(const Word& a, int shift) {
   if (shift < a.width()) {
     suffix.bits.assign(a.bits.begin() + shift, a.bits.end());
   } else if (a.is_signed) {
-    suffix.bits.assign(1, a.bits.back());  // only the sign survives
+    suffix.bits.push_back(a.bits.back());  // only the sign survives
   }
   const Sizing sz = sizing_for_range(out.lo, out.hi);
   out.bits.reserve(static_cast<std::size_t>(sz.width));

@@ -16,18 +16,116 @@
 /// exhaustively in small widths.
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "pnm/hw/netlist.hpp"
 
 namespace pnm::hw {
 
+/// Small-buffer bit bundle: circuit generation creates one Word per
+/// arithmetic intermediate, and nearly all of them are narrower than the
+/// inline capacity (bespoke accumulators top out around 20 bits), so the
+/// hot construction path performs no heap allocation at all.  Words wider
+/// than the inline buffer transparently spill to a heap vector.  Only the
+/// operations the arithmetic builders need are provided.
+class NetVec {
+ public:
+  static constexpr std::size_t kInline = 24;
+
+  NetVec() = default;
+  NetVec(std::initializer_list<NetId> init) { assign(init.begin(), init.end()); }
+  NetVec& operator=(std::initializer_list<NetId> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  NetVec& operator=(const std::vector<NetId>& v) {
+    assign(v.begin(), v.end());
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return on_heap() ? heap_.size() : size_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const NetId* data() const { return on_heap() ? heap_.data() : inline_; }
+  [[nodiscard]] NetId* data() { return on_heap() ? heap_.data() : inline_; }
+  NetId operator[](std::size_t i) const { return data()[i]; }
+  NetId& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] NetId back() const { return data()[size() - 1]; }
+  [[nodiscard]] const NetId* begin() const { return data(); }
+  [[nodiscard]] const NetId* end() const { return data() + size(); }
+
+  void clear() {
+    heap_.clear();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (on_heap() || n > kInline) spill(n);
+  }
+
+  void push_back(NetId v) {
+    if (!on_heap() && size_ < kInline) {
+      inline_[size_++] = v;
+      return;
+    }
+    if (!on_heap()) spill(size_ + 1);
+    heap_.push_back(v);
+  }
+
+  /// Iterator-pair assignment only — no (count, value) overload, which
+  /// would be ambiguous with it whenever the count is an int like NetId.
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void resize(std::size_t n, NetId v) {
+    while (size() > n) pop_back();
+    while (size() < n) push_back(v);
+  }
+
+  /// Prepends `n` copies of v (the shift-left builder's zero LSBs).
+  void insert_front(std::size_t n, NetId v) {
+    const std::size_t old = size();
+    resize(old + n, v);
+    NetId* p = data();
+    for (std::size_t i = old; i-- > 0;) p[i + n] = p[i];
+    for (std::size_t i = 0; i < n; ++i) p[i] = v;
+  }
+
+ private:
+  [[nodiscard]] bool on_heap() const { return !heap_.empty(); }
+  void pop_back() {
+    if (on_heap()) {
+      heap_.pop_back();
+      if (heap_.empty()) size_ = 0;  // back on the inline buffer, empty
+    } else if (size_ > 0) {
+      --size_;
+    }
+  }
+  void spill(std::size_t capacity) {
+    if (on_heap()) {
+      heap_.reserve(capacity);
+      return;
+    }
+    heap_.reserve(capacity > size_ ? capacity : size_);
+    heap_.assign(inline_, inline_ + size_);
+    // A spilled-but-empty vector must stay inline (on_heap keys off
+    // heap_.empty()), which heap_.assign of zero elements preserves.
+  }
+
+  NetId inline_[kInline] = {};
+  std::size_t size_ = 0;  ///< inline element count (heap_.size() once spilled)
+  std::vector<NetId> heap_;
+};
+
 /// A sized integer signal: bits[0] is the LSB.  If is_signed, the word is
 /// two's complement and bits.back() is the sign.  An empty word is the
 /// constant 0.  [lo, hi] is a sound (and in this library exact) bound on
 /// the value over all reachable circuit states.
 struct Word {
-  std::vector<NetId> bits;
+  NetVec bits;
   bool is_signed = false;
   std::int64_t lo = 0;
   std::int64_t hi = 0;

@@ -84,12 +84,9 @@ std::vector<Word> BespokeCircuit::build_layer(const QuantizedLayer& layer,
     // Cross-coefficient sharing: all of a column's |weight| magnitudes go
     // through one MCM adder DAG (hw/mcm.hpp).  Shared intermediates are
     // labeled "l<layer>_x<col>_t<value>" for RTL inspection.
+    const auto col_mags = layer.column_magnitudes();
     for (std::size_t c = 0; c < layer.in_features(); ++c) {
-      std::vector<std::int64_t> mags;
-      for (std::size_t r = 0; r < layer.out_features(); ++r) {
-        const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
-        if (mag != 0) mags.push_back(mag);
-      }
+      const std::vector<std::int64_t>& mags = col_mags[c];
       if (mags.empty()) continue;
       const std::string prefix =
           "l" + std::to_string(layer_index) + "_x" + std::to_string(c);
@@ -103,9 +100,9 @@ std::vector<Word> BespokeCircuit::build_layer(const QuantizedLayer& layer,
     }
   } else {
     for (std::size_t r = 0; r < layer.out_features(); ++r) {
-      for (std::size_t c = 0; c < layer.in_features(); ++c) {
-        const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
-        if (mag == 0) continue;
+      for (std::size_t k = layer.row_offset[r]; k < layer.row_offset[r + 1]; ++k) {
+        const std::size_t c = layer.w_col[k];
+        const std::int64_t mag = layer.w_mag[k];
         const auto key = product_key(r, c, mag);
         if (products.contains(key)) continue;
         products.emplace(key, const_mult(nl_, in_acts[c], mag, mult_options));
@@ -125,13 +122,12 @@ std::vector<Word> BespokeCircuit::build_layer(const QuantizedLayer& layer,
   preacts.reserve(layer.out_features());
   for (std::size_t r = 0; r < layer.out_features(); ++r) {
     Word acc = make_constant(nl_, layer.bias[r] >> shift);
-    for (std::size_t c = 0; c < layer.in_features(); ++c) {
-      const int w = layer.w[r][c];
-      if (w == 0) continue;
-      const std::int64_t mag = std::llabs(static_cast<long long>(w));
+    for (std::size_t k = layer.row_offset[r]; k < layer.row_offset[r + 1]; ++k) {
+      const std::size_t c = layer.w_col[k];
+      const std::int64_t mag = layer.w_mag[k];
       const Word product =
           shift_right_floor(products.at(product_key(r, c, mag)), shift);
-      acc = (w > 0) ? add_words(nl_, acc, product) : sub_words(nl_, acc, product);
+      acc = layer.w_neg[k] ? sub_words(nl_, acc, product) : add_words(nl_, acc, product);
     }
     preacts.push_back(std::move(acc));
   }

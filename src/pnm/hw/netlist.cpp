@@ -28,11 +28,65 @@ GateType complement_of(GateType type) {
 
 Netlist::Netlist(bool enable_cse) : enable_cse_(enable_cse) {
   next_net_ = 2;  // nets 0 and 1 are the constants
+  inverse_of_.reserve(4096);
+  inverse_of_.assign(2, kInvalidNet);
   inverse_of_[kConst0] = kConst1;
   inverse_of_[kConst1] = kConst0;
+  // Sized so a typical bespoke MLP circuit (a few thousand gates) never
+  // rehashes mid-build; gates_ likewise skips the doubling copies.
+  cse_keys_.assign(4096, kCseEmpty);
+  cse_vals_.assign(4096, kInvalidNet);
+  gates_.reserve(2048);
 }
 
-NetId Netlist::fresh_net() { return next_net_++; }
+NetId Netlist::fresh_net() {
+  inverse_of_.push_back(kInvalidNet);
+  return next_net_++;
+}
+
+namespace {
+/// Finalizer-style mixer so every bit of the packed key reaches the low
+/// index bits (murmur3 fmix64).
+std::size_t mix_key(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h);
+}
+}  // namespace
+
+NetId Netlist::cse_find(std::uint64_t key) const {
+  const std::size_t mask = cse_keys_.size() - 1;
+  for (std::size_t i = mix_key(key) & mask;; i = (i + 1) & mask) {
+    if (cse_keys_[i] == key) return cse_vals_[i];
+    if (cse_keys_[i] == kCseEmpty) return kInvalidNet;
+  }
+}
+
+void Netlist::cse_insert(std::uint64_t key, NetId out) {
+  if ((cse_used_ + 1) * 4 > cse_keys_.size() * 3) cse_grow();  // 75% load cap
+  const std::size_t mask = cse_keys_.size() - 1;
+  std::size_t i = mix_key(key) & mask;
+  while (cse_keys_[i] != kCseEmpty) i = (i + 1) & mask;
+  cse_keys_[i] = key;
+  cse_vals_[i] = out;
+  ++cse_used_;
+}
+
+void Netlist::cse_grow() {
+  std::vector<std::uint64_t> old_keys(cse_keys_.size() * 2, kCseEmpty);
+  std::vector<NetId> old_vals(cse_vals_.size() * 2, kInvalidNet);
+  old_keys.swap(cse_keys_);
+  old_vals.swap(cse_vals_);
+  const std::size_t mask = cse_keys_.size() - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kCseEmpty) continue;
+    std::size_t j = mix_key(old_keys[i]) & mask;
+    while (cse_keys_[j] != kCseEmpty) j = (j + 1) & mask;
+    cse_keys_[j] = old_keys[i];
+    cse_vals_[j] = old_vals[i];
+  }
+}
 
 NetId Netlist::add_input(std::string name) {
   const NetId net = fresh_net();
@@ -63,14 +117,14 @@ void Netlist::set_net_label(NetId net, std::string label) {
 NetId Netlist::make_inverter(NetId a) {
   if (a == kConst0) return kConst1;
   if (a == kConst1) return kConst0;
-  if (const auto it = inverse_of_.find(a); it != inverse_of_.end()) return it->second;
-  const GateKey key{GateType::kInv, a, kInvalidNet};
-  if (const auto it = cse_.find(key); it != cse_.end()) return it->second;
+  if (const NetId inv = inverse_of(a); inv != kInvalidNet) return inv;
+  const std::uint64_t key = pack_gate_key(GateType::kInv, a, kInvalidNet);
+  if (const NetId hit = cse_find(key); hit != kInvalidNet) return hit;
   const NetId out = fresh_net();
   gates_.push_back(Gate{GateType::kInv, a, kInvalidNet, out});
-  cse_.emplace(key, out);
-  inverse_of_[a] = out;
-  inverse_of_[out] = a;
+  cse_insert(key, out);
+  inverse_of_[static_cast<std::size_t>(a)] = out;
+  inverse_of_[static_cast<std::size_t>(out)] = a;
   return out;
 }
 
@@ -115,7 +169,7 @@ NetId Netlist::add_gate(GateType type, NetId a, NetId b) {
   }
 
   // Complementary operands (x op !x).
-  if (const auto it = inverse_of_.find(a); it != inverse_of_.end() && it->second == b) {
+  if (inverse_of(a) == b) {
     switch (type) {
       case GateType::kAnd2:
       case GateType::kNor2: return kConst0;
@@ -129,18 +183,18 @@ NetId Netlist::add_gate(GateType type, NetId a, NetId b) {
 
   // Structural hashing: exact match first, then the complementary cell
   // (an existing AND(a,b) makes NAND(a,b) a cheap inverter, etc.).
-  const GateKey key{type, a, b};
+  const std::uint64_t key = pack_gate_key(type, a, b);
   if (enable_cse_) {
-    if (const auto it = cse_.find(key); it != cse_.end()) return it->second;
-    const GateKey comp_key{complement_of(type), a, b};
-    if (const auto it = cse_.find(comp_key); it != cse_.end()) {
-      return make_inverter(it->second);
+    if (const NetId hit = cse_find(key); hit != kInvalidNet) return hit;
+    const std::uint64_t comp_key = pack_gate_key(complement_of(type), a, b);
+    if (const NetId hit = cse_find(comp_key); hit != kInvalidNet) {
+      return make_inverter(hit);
     }
   }
 
   const NetId out = fresh_net();
   gates_.push_back(Gate{type, a, b, out});
-  if (enable_cse_) cse_.emplace(key, out);
+  if (enable_cse_) cse_insert(key, out);
   return out;
 }
 
@@ -183,8 +237,10 @@ std::vector<std::uint8_t> Netlist::sweep_dead_gates() {
 
   // The hash tables may reference removed drivers; drop them (further
   // building after a sweep simply loses some reuse, never correctness).
-  cse_.clear();
-  inverse_of_.clear();
+  std::fill(cse_keys_.begin(), cse_keys_.end(), kCseEmpty);
+  std::fill(cse_vals_.begin(), cse_vals_.end(), kInvalidNet);
+  cse_used_ = 0;
+  std::fill(inverse_of_.begin(), inverse_of_.end(), kInvalidNet);
   inverse_of_[kConst0] = kConst1;
   inverse_of_[kConst1] = kConst0;
   return keep;

@@ -134,28 +134,39 @@ class Netlist {
   NetId fresh_net();
   NetId make_inverter(NetId a);
 
-  struct GateKey {
-    GateType type;
-    NetId a;
-    NetId b;
-    bool operator==(const GateKey&) const = default;
-  };
-  struct GateKeyHash {
-    std::size_t operator()(const GateKey& k) const {
-      std::uint64_t h = static_cast<std::uint64_t>(k.type);
-      h = h * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(k.a + 2);
-      h = h * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(k.b + 2);
-      return static_cast<std::size_t>(h ^ (h >> 32));
-    }
-  };
+  // The structural-hashing table is the single hottest data structure of
+  // circuit generation (every emitted gate probes it up to three times),
+  // so it is a flat open-addressing map over the packed (type, a, b)
+  // triple rather than a node-based std::unordered_map.  Same exact-match
+  // semantics, a fraction of the probe cost.
+  static std::uint64_t pack_gate_key(GateType type, NetId a, NetId b) {
+    // type < 16; a, b are net ids (>= -1, dense), each fits 30 bits.
+    return (static_cast<std::uint64_t>(type) << 60) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a + 1)) << 30) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(b + 1));
+  }
+  [[nodiscard]] NetId cse_find(std::uint64_t key) const;
+  void cse_insert(std::uint64_t key, NetId out);
+  void cse_grow();
+
+  [[nodiscard]] NetId inverse_of(NetId n) const {
+    return inverse_of_[static_cast<std::size_t>(n)];
+  }
 
   bool enable_cse_ = true;
   NetId next_net_ = 0;
   std::vector<Gate> gates_;
   std::vector<Port> inputs_;
   std::vector<Port> outputs_;
-  std::unordered_map<GateKey, NetId, GateKeyHash> cse_;
-  std::unordered_map<NetId, NetId> inverse_of_;  ///< net -> its inversion, both ways
+  /// Open-addressing CSE table (linear probing, power-of-two capacity);
+  /// kCseEmpty marks free slots.  Values are the reusable output nets.
+  static constexpr std::uint64_t kCseEmpty = ~std::uint64_t{0};
+  std::vector<std::uint64_t> cse_keys_;
+  std::vector<NetId> cse_vals_;
+  std::size_t cse_used_ = 0;
+  /// net -> its inversion (kInvalidNet if none); dense ids make this a
+  /// plain array lookup instead of a hash probe.
+  std::vector<NetId> inverse_of_;
   std::unordered_map<NetId, std::string> net_labels_;
 };
 

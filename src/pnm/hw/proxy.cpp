@@ -50,12 +50,9 @@ double estimate_area_mm2(const QuantizedMlp& model, const TechLibrary& tech,
       // Cross-coefficient sharing: price the per-column MCM DAG the
       // exact generator would lower (hw/mcm.hpp) — shared nodes at the
       // node word's width, residual sum rows at the product width.
+      const auto col_mags = layer.column_magnitudes();
       for (std::size_t c = 0; c < layer.in_features(); ++c) {
-        std::vector<std::int64_t> mags;
-        for (std::size_t r = 0; r < layer.out_features(); ++r) {
-          const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
-          if (mag != 0) mags.push_back(mag);
-        }
+        const std::vector<std::int64_t>& mags = col_mags[c];
         if (mags.empty()) continue;
         const McmPlan plan = plan_mcm(mags, mult_options);
         for (const McmNode& node : plan.nodes) {
@@ -73,9 +70,9 @@ double estimate_area_mm2(const QuantizedMlp& model, const TechLibrary& tech,
     } else {
       std::set<std::tuple<std::size_t, std::size_t, std::int64_t>> built;
       for (std::size_t r = 0; r < layer.out_features(); ++r) {
-        for (std::size_t c = 0; c < layer.in_features(); ++c) {
-          const std::int64_t mag = std::llabs(static_cast<long long>(layer.w[r][c]));
-          if (mag == 0) continue;
+        for (std::size_t k = layer.row_offset[r]; k < layer.row_offset[r + 1]; ++k) {
+          const std::size_t c = layer.w_col[k];
+          const std::int64_t mag = layer.w_mag[k];
           const auto key = options.share_products
                                ? std::make_tuple(std::size_t{0}, c, mag)
                                : std::make_tuple(r, c, mag);
@@ -95,13 +92,10 @@ double estimate_area_mm2(const QuantizedMlp& model, const TechLibrary& tech,
     for (std::size_t r = 0; r < layer.out_features(); ++r) {
       const auto range = preact_ranges[li][r];
       const int aw = range_width(range.lo, range.hi);
-      int n_ops = 0;
+      const int n_ops = static_cast<int>(layer.row_offset[r + 1] - layer.row_offset[r]);
       int n_subs = 0;
-      for (std::size_t c = 0; c < layer.in_features(); ++c) {
-        if (layer.w[r][c] != 0) {
-          ++n_ops;
-          if (layer.w[r][c] < 0) ++n_subs;
-        }
+      for (std::size_t k = layer.row_offset[r]; k < layer.row_offset[r + 1]; ++k) {
+        if (layer.w_neg[k]) ++n_subs;
       }
       if (n_ops == 0) continue;
       area += static_cast<double>(n_ops) * static_cast<double>(aw) * fa * 0.8;

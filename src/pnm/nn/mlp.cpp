@@ -69,8 +69,10 @@ std::vector<double> Mlp::forward(const std::vector<double>& x) const {
 
 void Mlp::forward_cached(const std::vector<double>& x,
                          std::vector<std::vector<double>>& activations) const {
-  activations.assign(layers_.size() + 1, {});
-  activations[0] = x;
+  // resize + assign (not a wholesale .assign of empty vectors) so a reused
+  // activation cache keeps its buffers across samples.
+  activations.resize(layers_.size() + 1);
+  activations[0].assign(x.begin(), x.end());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const auto& l = layers_[i];
     l.weights.matvec(activations[i], activations[i + 1]);

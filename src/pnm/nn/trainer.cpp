@@ -53,10 +53,16 @@ double softmax_cross_entropy(const std::vector<double>& logits, std::size_t labe
 
 double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
                        Gradients& grads) {
-  std::vector<std::vector<double>> acts;
+  BackpropScratch scratch;
+  return backprop_sample(model, x, label, grads, scratch);
+}
+
+double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
+                       Gradients& grads, BackpropScratch& scratch) {
+  auto& acts = scratch.acts;
   model.forward_cached(x, acts);
 
-  std::vector<double> delta;
+  auto& delta = scratch.delta;
   const double loss = softmax_cross_entropy(acts.back(), label, &delta);
   // The output layer is identity in this library; if it is not, fold the
   // activation derivative into delta.
@@ -68,7 +74,7 @@ double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size
     grads.w[li].add_outer(1.0, delta, acts[li]);
     for (std::size_t r = 0; r < delta.size(); ++r) grads.b[li][r] += delta[r];
     if (li == 0) break;
-    std::vector<double> prev_delta;
+    auto& prev_delta = scratch.prev_delta;
     layer.weights.matvec_transposed(delta, prev_delta);
     apply_activation_grad(model.layer(li - 1).act, acts[li], prev_delta);
     // NOTE: acts[li] is the *post-activation* output of layer li-1.
@@ -92,6 +98,7 @@ TrainResult Trainer::fit(Mlp& model, const Dataset& train, Rng& rng) {
   }
 
   Gradients grads = Gradients::zeros_like(model);
+  BackpropScratch scratch;
   std::vector<std::size_t> order(train.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -114,7 +121,8 @@ TrainResult Trainer::fit(Mlp& model, const Dataset& train, Rng& rng) {
         fwd = &view_model;
       }
       for (std::size_t i = start; i < end; ++i) {
-        epoch_loss += backprop_sample(*fwd, train.x[order[i]], train.y[order[i]], grads);
+        epoch_loss +=
+            backprop_sample(*fwd, train.x[order[i]], train.y[order[i]], grads, scratch);
       }
       grads.scale(1.0 / static_cast<double>(end - start));
       apply_update(model, grads, lr);

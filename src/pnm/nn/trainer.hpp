@@ -40,9 +40,25 @@ struct Gradients {
 double softmax_cross_entropy(const std::vector<double>& logits, std::size_t label,
                              std::vector<double>* grad);
 
+/// Reusable per-sample backprop buffers.  The GA fine-tunes thousands of
+/// candidate networks over the same small dataset, so the activation and
+/// delta vectors are hoisted out of the per-sample loop — one scratch per
+/// fit() (or per thread) instead of a handful of allocations per sample.
+/// Reuse changes no arithmetic: every buffer is fully overwritten before
+/// it is read.
+struct BackpropScratch {
+  std::vector<std::vector<double>> acts;  ///< forward activations per layer
+  std::vector<double> delta;              ///< dL/d(layer output)
+  std::vector<double> prev_delta;         ///< back-propagated delta
+};
+
 /// Accumulates dL/dparams for one sample into grads (+=). Returns the loss.
 double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
                        Gradients& grads);
+
+/// Allocation-free variant reusing the caller's scratch buffers.
+double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
+                       Gradients& grads, BackpropScratch& scratch);
 
 enum class Optimizer { kSgd, kAdam };
 

@@ -204,6 +204,44 @@ TEST(Eval, CachedCountsHitsAndMissesExactly) {
   EXPECT_EQ(cached.size(), 0U);
 }
 
+TEST(Eval, CachedBatchDedupBookkeepingStaysConsistent) {
+  // Regression guard for the one-key-per-genome batch path: heavy in-batch
+  // duplication must keep the stats identity (hits + misses == requests),
+  // evaluate each distinct genome exactly once, and route every request
+  // position to the result of its own genome.
+  std::atomic<std::size_t> calls{0};
+  FunctionEvaluator inner([&calls](const Genome& g) {
+    calls.fetch_add(1);
+    return GenomeFitness{0.25, static_cast<double>(g.weight_bits[0] * 10 +
+                                                   g.weight_bits[1])};
+  });
+  CachedEvaluator cached(inner);
+
+  const std::vector<Genome> distinct = sample_genomes();  // 4 distinct
+  std::vector<Genome> batch;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const Genome& g : distinct) batch.push_back(g);
+  }
+  const auto points = cached.evaluate_batch(batch);
+
+  EXPECT_EQ(cached.hits() + cached.misses(), batch.size());
+  EXPECT_EQ(cached.misses(), batch.size());  // nothing was cached beforehand
+  EXPECT_EQ(cached.size(), distinct.size());
+  EXPECT_EQ(calls.load(), distinct.size());  // one inner call per distinct genome
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double expected = static_cast<double>(batch[i].weight_bits[0] * 10 +
+                                                batch[i].weight_bits[1]);
+    EXPECT_EQ(points[i].area_mm2, expected) << "position " << i;
+    EXPECT_EQ(points[i].config, batch[i].key()) << "position " << i;
+  }
+
+  // A warm replay flips every request to a hit without new inner calls.
+  cached.evaluate_batch(batch);
+  EXPECT_EQ(cached.hits(), batch.size());
+  EXPECT_EQ(cached.misses(), batch.size());
+  EXPECT_EQ(calls.load(), distinct.size());
+}
+
 TEST(Eval, CacheIsExactUnderRepeatedGaGenerations) {
   std::atomic<std::size_t> calls{0};
   FunctionEvaluator inner([&calls](const Genome& g) {

@@ -117,7 +117,7 @@ TEST(Flow, RealizeGenomeRespectsAllThreeConstraints) {
   const QuantizedMlp q = flow.realize_genome(genome, 3);
   // Quantization: codes within 3-bit symmetric range.
   for (const auto& layer : q.layers()) {
-    for (const auto& row : layer.w) {
+    for (const auto& row : layer.dense_weights()) {
       for (int w : row) EXPECT_LE(std::abs(w), 3);
     }
   }
@@ -132,7 +132,8 @@ TEST(Flow, RealizeGenomeRespectsAllThreeConstraints) {
     for (std::size_t c = 0; c < layer.in_features(); ++c) {
       std::set<int> distinct;
       for (std::size_t r = 0; r < layer.out_features(); ++r) {
-        if (layer.w[r][c] != 0) distinct.insert(layer.w[r][c]);
+        const int w = layer.weight(r, c);
+        if (w != 0) distinct.insert(w);
       }
       EXPECT_LE(distinct.size(), 2U);
     }

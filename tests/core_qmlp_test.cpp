@@ -98,8 +98,8 @@ TEST(QuantizedMlp, ForwardComputesKnownValues) {
     // bits=3 -> qmax=3; layer1 absmax=3 -> scale 1 -> codes == weights.
     return QuantizedMlp::from_float(net, QuantSpec::uniform(2, 3, 2));
   }();
-  ASSERT_EQ(q.layer(0).w[0][0], 3);
-  ASSERT_EQ(q.layer(0).w[0][1], -1);
+  ASSERT_EQ(q.layer(0).weight(0, 0), 3);
+  ASSERT_EQ(q.layer(0).weight(0, 1), -1);
   const auto out = q.forward({3, 1});  // l1: (9-1, 6+2) = (8, 8)
   ASSERT_EQ(out.size(), 2U);
   // l2 codes: absmax 3 -> scale 1: (8 - 16, -24 + 8) = (-8, -16)
@@ -139,7 +139,7 @@ TEST(QuantizedMlp, PreactRangesAreSoundAndTight) {
     // Recompute layer-0 preacts by hand.
     for (std::size_t r = 0; r < 3; ++r) {
       std::int64_t acc = q.layer(0).bias[r];
-      for (std::size_t c = 0; c < 4; ++c) acc += q.layer(0).w[r][c] * xq[c];
+      for (std::size_t c = 0; c < 4; ++c) acc += q.layer(0).weight(r, c) * xq[c];
       EXPECT_GE(acc, ranges[0][r].lo);
       EXPECT_LE(acc, ranges[0][r].hi);
     }
@@ -150,7 +150,7 @@ TEST(QuantizedMlp, PreactRangesAreSoundAndTight) {
     std::int64_t lo = q.layer(0).bias[r];
     std::int64_t hi = q.layer(0).bias[r];
     for (std::size_t c = 0; c < 4; ++c) {
-      const int w = q.layer(0).w[r][c];
+      const int w = q.layer(0).weight(r, c);
       if (w > 0) {
         hi += static_cast<std::int64_t>(w) * 7;
       } else {

@@ -74,10 +74,11 @@ TEST(Truncation, RangesStaySoundUnderShift) {
     for (std::size_t r = 0; r < l.out_features(); ++r) {
       std::int64_t acc = l.bias[r] >> l.acc_shift;
       for (std::size_t c = 0; c < l.in_features(); ++c) {
-        if (l.w[r][c] == 0) continue;
+        const int w = l.weight(r, c);
+        if (w == 0) continue;
         const std::int64_t mag =
-            (std::llabs(static_cast<long long>(l.w[r][c])) * xq[c]) >> l.acc_shift;
-        acc += l.w[r][c] > 0 ? mag : -mag;
+            (std::llabs(static_cast<long long>(w)) * xq[c]) >> l.acc_shift;
+        acc += w > 0 ? mag : -mag;
       }
       EXPECT_GE(acc, ranges[0][r].lo);
       EXPECT_LE(acc, ranges[0][r].hi);

@@ -77,7 +77,7 @@ TEST(FuzzPipeline, GenomeConstraintsAlwaysHoldAfterFineTuning) {
       const int qmax = (1 << (genome.weight_bits[li] - 1)) - 1;
       std::size_t zeros = 0;
       std::set<int> distinct;
-      for (const auto& row : layer.w) {
+      for (const auto& row : layer.dense_weights()) {
         for (int w : row) {
           ASSERT_LE(std::abs(w), qmax) << genome.key();
           zeros += (w == 0) ? 1 : 0;
