@@ -1,0 +1,98 @@
+/// \file campaign_bench.cpp
+/// \brief Warm-vs-cold campaign benchmark: runs the same tiny two-dataset
+///        GA campaign twice against one persistent store directory and
+///        records the resume speedup in BENCH_campaign.json.
+///
+/// The cold run starts from an empty store directory and evaluates every
+/// genome; the warm run must serve every evaluation from the store (zero
+/// misses) and produce a byte-identical fronts_json.  Exit status is
+/// nonzero when either guarantee fails — CI treats that as a red build —
+/// so the record in BENCH_campaign.json is always a verified one.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "pnm/core/campaign.hpp"
+#include "pnm/util/fileio.hpp"
+
+int main() {
+  using namespace pnm;
+
+  CampaignSpec spec;
+  spec.datasets = {"seeds", "redwine"};
+  spec.seeds = {7};
+  spec.base.train.epochs = 20;
+  spec.base.finetune_epochs = 5;
+  spec.ga.population = 12;
+  spec.ga.generations = 6;
+  spec.store_dir = "campaign_bench_store";
+
+  // Cold: wipe the store directory so every evaluation is fresh.
+  std::error_code ec;
+  std::filesystem::remove_all(spec.store_dir, ec);
+
+  const auto time_run = [](const CampaignSpec& s, CampaignResult& out) {
+    CampaignRunner runner(s);
+    const auto start = std::chrono::steady_clock::now();
+    out = runner.run();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  CampaignResult cold;
+  CampaignResult warm;
+  const double cold_seconds = time_run(spec, cold);
+  const double warm_seconds = time_run(spec, warm);
+
+  const bool fronts_identical = cold.fronts_json() == warm.fronts_json();
+  const bool warm_no_misses = warm.total_cache_misses() == 0;
+  const bool warm_has_hits = warm.total_cache_hits() > 0;
+  const double speedup = warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+
+  std::cout << "-- campaign warm-vs-cold (" << spec.datasets.size()
+            << " datasets x " << spec.seeds.size() << " seeds, pop "
+            << spec.ga.population << ", " << spec.ga.generations << " gens) --\n"
+            << "  cold: " << cold_seconds << " s, " << cold.total_cache_misses()
+            << " fresh evaluations\n"
+            << "  warm: " << warm_seconds << " s, " << warm.total_cache_hits()
+            << " hits / " << warm.total_cache_misses() << " misses ("
+            << warm.total_store_loaded() << " records preloaded)\n"
+            << "  speedup: " << speedup << "x, fronts byte-identical: "
+            << (fronts_identical ? "yes" : "NO (BUG)") << '\n';
+
+  std::ofstream json("BENCH_campaign.json");
+  if (!json) {
+    std::cerr << "error: cannot write BENCH_campaign.json\n";
+    return 1;
+  }
+  json << "[\n  {\"bench\": \"campaign_warm_vs_cold\""
+       << ", \"datasets\": " << spec.datasets.size()
+       << ", \"seeds\": " << spec.seeds.size()
+       << ", \"population\": " << spec.ga.population
+       << ", \"generations\": " << spec.ga.generations
+       << ", \"cold_seconds\": " << format_double_roundtrip(cold_seconds)
+       << ", \"warm_seconds\": " << format_double_roundtrip(warm_seconds)
+       << ", \"speedup_warm_vs_cold\": " << format_double_roundtrip(speedup)
+       << ", \"cold_misses\": " << cold.total_cache_misses()
+       << ", \"warm_hits\": " << warm.total_cache_hits()
+       << ", \"warm_misses\": " << warm.total_cache_misses()
+       << ", \"warm_store_loaded\": " << warm.total_store_loaded()
+       << ", \"warm_hit_rate\": " << format_double_roundtrip(warm.cache_hit_rate())
+       << ", \"fronts_identical\": " << (fronts_identical ? "true" : "false")
+       << "}\n]\n";
+  std::cout << "(wrote BENCH_campaign.json)\n";
+
+  if (!fronts_identical) {
+    std::cerr << "FAIL: warm fronts differ from cold fronts\n";
+    return 1;
+  }
+  if (!warm_no_misses || !warm_has_hits) {
+    std::cerr << "FAIL: warm run was not served from the store ("
+              << warm.total_cache_hits() << " hits, " << warm.total_cache_misses()
+              << " misses)\n";
+    return 1;
+  }
+  return 0;
+}

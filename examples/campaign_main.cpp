@@ -1,0 +1,137 @@
+/// \file campaign_main.cpp
+/// \brief CLI driver for multi-dataset GA campaigns (pnm/core/campaign.hpp).
+///
+/// Usage:
+///   campaign_main [--datasets a,b,c] [--seeds 42,43] [--pop N] [--gens G]
+///                 [--train-epochs E] [--finetune E] [--ga-finetune E]
+///                 [--threads N] [--store DIR] [--out PREFIX] [--require-warm]
+///
+/// Runs the Fig. 2 hardware-aware GA for every dataset x seed cell,
+/// reusing one worker pool across all runs and (with --store) resuming
+/// from the persistent evaluation stores in DIR.  Writes three artifacts:
+///
+///   PREFIX.fronts.json  — per-run + merged Pareto fronts, deterministic
+///                         bytes (a warm rerun must produce an identical
+///                         file; CI compares them with cmp)
+///   PREFIX.report.json  — fronts + baselines + cache/timing statistics
+///   PREFIX.md           — human-readable markdown report (also printed)
+///
+/// --require-warm makes the exit status assert the resume guarantee:
+/// nonzero unless every evaluation was served from the store (zero cache
+/// misses, nonzero hits).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pnm/core/campaign.hpp"
+#include "pnm/util/fileio.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--datasets a,b,c] [--seeds 42,43] [--pop N] [--gens G]\n"
+               "       [--train-epochs E] [--finetune E] [--ga-finetune E]\n"
+               "       [--threads N] [--store DIR] [--out PREFIX] [--require-warm]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pnm;
+
+  CampaignSpec spec;
+  spec.datasets = {"seeds"};
+  spec.base.train.epochs = 40;
+  spec.base.finetune_epochs = 8;
+  spec.ga.population = 16;
+  spec.ga.generations = 8;
+  std::string out_prefix = "campaign";
+  bool require_warm = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const bool has_value = i + 1 < argc;
+    if (arg == "--datasets" && has_value) {
+      spec.datasets = split_csv(argv[++i]);
+    } else if (arg == "--seeds" && has_value) {
+      spec.seeds.clear();
+      for (const std::string& s : split_csv(argv[++i])) {
+        spec.seeds.push_back(std::strtoull(s.c_str(), nullptr, 10));
+      }
+    } else if (arg == "--pop" && has_value) {
+      spec.ga.population = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--gens" && has_value) {
+      spec.ga.generations = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--train-epochs" && has_value) {
+      spec.base.train.epochs = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--finetune" && has_value) {
+      spec.base.finetune_epochs = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--ga-finetune" && has_value) {
+      spec.ga_finetune_epochs = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--threads" && has_value) {
+      spec.threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--store" && has_value) {
+      spec.store_dir = argv[++i];
+    } else if (arg == "--out" && has_value) {
+      out_prefix = argv[++i];
+    } else if (arg == "--require-warm") {
+      require_warm = true;
+    } else {
+      usage(argv[0]);
+      return EXIT_FAILURE;
+    }
+  }
+
+  CampaignRunner runner(std::move(spec));
+  std::cout << "campaign: " << runner.spec().datasets.size() << " dataset(s) x "
+            << runner.spec().seeds.size() << " seed(s), pop "
+            << runner.spec().ga.population << ", " << runner.spec().ga.generations
+            << " gens, " << runner.threads() << " shared worker thread(s)"
+            << (runner.spec().store_dir.empty()
+                    ? ", no persistence"
+                    : ", store dir " + runner.spec().store_dir)
+            << "\n\n";
+
+  const CampaignResult result = runner.run();
+  std::cout << result.report_markdown() << '\n';
+
+  const std::string fronts_path = out_prefix + ".fronts.json";
+  const std::string report_path = out_prefix + ".report.json";
+  const std::string md_path = out_prefix + ".md";
+  bool wrote = write_text_file_atomic(fronts_path, result.fronts_json());
+  wrote = write_text_file_atomic(report_path, result.report_json()) && wrote;
+  wrote = write_text_file_atomic(md_path, result.report_markdown()) && wrote;
+  if (!wrote) {
+    std::cerr << "error: failed writing report files under prefix " << out_prefix
+              << '\n';
+    return EXIT_FAILURE;
+  }
+  std::cout << "wrote " << fronts_path << ", " << report_path << ", " << md_path
+            << '\n';
+
+  if (require_warm) {
+    if (result.total_cache_misses() != 0 || result.total_cache_hits() == 0) {
+      std::cerr << "--require-warm: expected a fully warm campaign, got "
+                << result.total_cache_hits() << " hits / "
+                << result.total_cache_misses() << " misses\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "warm-run check passed: every evaluation served from the store ("
+              << result.total_cache_hits() << " hits, 0 misses)\n";
+  }
+  return EXIT_SUCCESS;
+}

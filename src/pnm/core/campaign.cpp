@@ -1,0 +1,331 @@
+#include "pnm/core/campaign.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "pnm/core/eval_store.hpp"
+#include "pnm/util/fileio.hpp"
+#include "pnm/util/table.hpp"
+
+namespace pnm {
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += ';';
+}
+
+std::string bool_str(bool b) { return b ? "1" : "0"; }
+
+/// One JSON object per design point; doubles round-trip exactly, so the
+/// same DesignPoint always renders to the same bytes.
+std::string point_json(const DesignPoint& p) {
+  std::string out = "{\"genome\": \"" + json_escape(p.config) + "\"";
+  out += ", \"technique\": \"" + json_escape(p.technique) + "\"";
+  out += ", \"accuracy\": " + format_double_roundtrip(p.accuracy);
+  out += ", \"area_mm2\": " + format_double_roundtrip(p.area_mm2);
+  out += ", \"power_uw\": " + format_double_roundtrip(p.power_uw);
+  out += ", \"delay_ms\": " + format_double_roundtrip(p.delay_ms);
+  out += "}";
+  return out;
+}
+
+std::string front_json(const std::vector<DesignPoint>& front,
+                       const std::string& indent) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + indent + "  " + point_json(front[i]);
+  }
+  out += front.empty() ? "]" : "\n" + indent + "]";
+  return out;
+}
+
+template <typename T>
+void require_unique_nonempty(const std::vector<T>& values, const char* what) {
+  if (values.empty()) {
+    throw std::invalid_argument(std::string("CampaignSpec: ") + what +
+                                " list must be non-empty");
+  }
+  std::unordered_set<T> seen;
+  for (const T& v : values) {
+    if (!seen.insert(v).second) {
+      throw std::invalid_argument(std::string("CampaignSpec: duplicate ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+std::string eval_fingerprint(const FlowConfig& flow, const EvalConfig& eval,
+                             const std::string& backend) {
+  // Canonical text over every knob that can change an evaluation result.
+  // Hashing the text (rather than concatenating fields positionally)
+  // keeps the fingerprint one short whitespace-free token while staying
+  // sensitive to each field.
+  std::string canon;
+  canon.reserve(512);
+  append_kv(canon, "store_version", std::to_string(EvalStore::kFormatVersion));
+  append_kv(canon, "backend", backend);
+  append_kv(canon, "dataset", flow.dataset_name);
+  append_kv(canon, "flow_seed", std::to_string(flow.seed));
+  // Resolve defaulted hidden widths so "default" and "explicitly the
+  // default" fingerprint identically.
+  const std::vector<std::size_t> hidden =
+      flow.hidden.empty() ? MinimizationFlow::default_hidden(flow.dataset_name)
+                          : flow.hidden;
+  std::string hidden_str;
+  for (std::size_t h : hidden) hidden_str += std::to_string(h) + ",";
+  append_kv(canon, "hidden", hidden_str);
+  append_kv(canon, "baseline_bits", std::to_string(flow.baseline_weight_bits));
+  append_kv(canon, "train_frac", format_double_roundtrip(flow.train_frac));
+  append_kv(canon, "val_frac", format_double_roundtrip(flow.val_frac));
+  append_kv(canon, "test_frac", format_double_roundtrip(flow.test_frac));
+  // Baseline training recipe (identical in eval.train, serialized once).
+  const TrainConfig& t = flow.train;
+  append_kv(canon, "train_epochs", std::to_string(t.epochs));
+  append_kv(canon, "batch", std::to_string(t.batch_size));
+  append_kv(canon, "lr", format_double_roundtrip(t.lr));
+  append_kv(canon, "lr_decay", format_double_roundtrip(t.lr_decay));
+  append_kv(canon, "momentum", format_double_roundtrip(t.momentum));
+  append_kv(canon, "weight_decay", format_double_roundtrip(t.weight_decay));
+  append_kv(canon, "optimizer", std::to_string(static_cast<int>(t.optimizer)));
+  append_kv(canon, "adam_beta1", format_double_roundtrip(t.adam_beta1));
+  append_kv(canon, "adam_beta2", format_double_roundtrip(t.adam_beta2));
+  append_kv(canon, "adam_eps", format_double_roundtrip(t.adam_eps));
+  append_kv(canon, "shuffle", bool_str(t.shuffle));
+  // Evaluation-side knobs.
+  append_kv(canon, "eval_seed", std::to_string(eval.seed));
+  append_kv(canon, "input_bits", std::to_string(eval.input_bits));
+  append_kv(canon, "finetune_epochs", std::to_string(eval.finetune_epochs));
+  append_kv(canon, "cluster_scope",
+            std::to_string(static_cast<int>(eval.cluster_scope)));
+  append_kv(canon, "share_when_clustered", bool_str(eval.share_only_when_clustered));
+  append_kv(canon, "share_products", bool_str(eval.bespoke.share_products));
+  append_kv(canon, "use_csd", bool_str(eval.bespoke.use_csd));
+  append_kv(canon, "share_subexpr", bool_str(eval.bespoke.share_subexpressions));
+  append_kv(canon, "use_test_set", bool_str(eval.use_test_set));
+  return fnv1a64_hex(canon);
+}
+
+void CampaignSpec::validate() const {
+  require_unique_nonempty(datasets, "dataset");
+  for (const std::string& d : datasets) {
+    if (d.empty()) throw std::invalid_argument("CampaignSpec: empty dataset name");
+  }
+  require_unique_nonempty(seeds, "seed");
+  ga.validate();
+}
+
+// ---- CampaignResult -----------------------------------------------------
+
+std::size_t CampaignResult::total_cache_hits() const {
+  std::size_t n = 0;
+  for (const CampaignRunResult& r : runs) n += r.cache_hits;
+  return n;
+}
+
+std::size_t CampaignResult::total_cache_misses() const {
+  std::size_t n = 0;
+  for (const CampaignRunResult& r : runs) n += r.cache_misses;
+  return n;
+}
+
+std::size_t CampaignResult::total_store_loaded() const {
+  std::size_t n = 0;
+  for (const CampaignRunResult& r : runs) n += r.store_loaded;
+  return n;
+}
+
+double CampaignResult::cache_hit_rate() const {
+  const std::size_t hits = total_cache_hits();
+  const std::size_t total = hits + total_cache_misses();
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::vector<DesignPoint> CampaignResult::merged_front(
+    const std::string& dataset) const {
+  std::vector<DesignPoint> all;
+  for (const CampaignRunResult& r : runs) {
+    if (r.dataset != dataset) continue;
+    all.insert(all.end(), r.front.begin(), r.front.end());
+  }
+  return pareto_front(std::move(all));
+}
+
+std::string CampaignResult::fronts_json() const {
+  std::string out = "{\n  \"datasets\": [";
+  bool first_dataset = true;
+  for (const std::string& dataset : datasets) {
+    out += first_dataset ? "\n" : ",\n";
+    first_dataset = false;
+    out += "    {\"dataset\": \"" + json_escape(dataset) + "\", \"runs\": [";
+    bool first_run = true;
+    for (const CampaignRunResult& r : runs) {
+      if (r.dataset != dataset) continue;
+      out += first_run ? "\n" : ",\n";
+      first_run = false;
+      out += "      {\"seed\": " + std::to_string(r.seed) +
+             ", \"front\": " + front_json(r.front, "      ") + "}";
+    }
+    out += "\n    ], \"merged_front\": " + front_json(merged_front(dataset), "    ") +
+           "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string CampaignResult::report_json() const {
+  std::string out = "{\n";
+  out += "  \"total_cache_hits\": " + std::to_string(total_cache_hits()) + ",\n";
+  out += "  \"total_cache_misses\": " + std::to_string(total_cache_misses()) + ",\n";
+  out += "  \"total_store_loaded\": " + std::to_string(total_store_loaded()) + ",\n";
+  out += "  \"cache_hit_rate\": " + format_double_roundtrip(cache_hit_rate()) + ",\n";
+  out += "  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CampaignRunResult& r = runs[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"dataset\": \"" + json_escape(r.dataset) + "\"";
+    out += ", \"seed\": " + std::to_string(r.seed);
+    out += ", \"distinct_evaluations\": " + std::to_string(r.distinct_evaluations);
+    out += ", \"cache_hits\": " + std::to_string(r.cache_hits);
+    out += ", \"cache_misses\": " + std::to_string(r.cache_misses);
+    out += ", \"store_loaded\": " + std::to_string(r.store_loaded);
+    out += ", \"seconds\": " + format_double_roundtrip(r.seconds);
+    out += ",\n     \"baseline\": " + point_json(r.baseline);
+    out += ",\n     \"front\": " + front_json(r.front, "     ") + "}";
+  }
+  out += "\n  ],\n  \"fronts\": " + fronts_json();
+  // fronts_json ends with "}\n"; splice it in as a nested object.
+  out.erase(out.size() - 1);
+  out += "\n}\n";
+  return out;
+}
+
+std::string CampaignResult::report_markdown() const {
+  std::string out = "# GA campaign report\n";
+  for (const std::string& dataset : datasets) {
+    out += "\n## " + dataset + "\n\n";
+    out += "| seed | genome | accuracy | area mm^2 | gain vs baseline |\n";
+    out += "| ---- | ------ | -------- | --------- | ---------------- |\n";
+    for (const CampaignRunResult& r : runs) {
+      if (r.dataset != dataset) continue;
+      for (const DesignPoint& p : r.front) {
+        const double gain =
+            p.area_mm2 > 0.0 ? r.baseline.area_mm2 / p.area_mm2 : 0.0;
+        out += "| " + std::to_string(r.seed) + " | `" + p.config + "` | " +
+               format_fixed(p.accuracy, 3) + " | " + format_fixed(p.area_mm2, 2) +
+               " | " + format_factor(gain) + " |\n";
+      }
+    }
+    const std::vector<DesignPoint> merged = merged_front(dataset);
+    out += "\nMerged front across seeds (" + std::to_string(merged.size()) +
+           " non-dominated designs):\n\n";
+    out += "| genome | accuracy | area mm^2 |\n";
+    out += "| ------ | -------- | --------- |\n";
+    for (const DesignPoint& p : merged) {
+      out += "| `" + p.config + "` | " + format_fixed(p.accuracy, 3) + " | " +
+             format_fixed(p.area_mm2, 2) + " |\n";
+    }
+  }
+  out += "\n## Evaluation cache\n\n";
+  out += "| dataset | seed | GA evals | hits | misses | preloaded | seconds |\n";
+  out += "| ------- | ---- | -------- | ---- | ------ | --------- | ------- |\n";
+  for (const CampaignRunResult& r : runs) {
+    out += "| " + r.dataset + " | " + std::to_string(r.seed) + " | " +
+           std::to_string(r.distinct_evaluations) + " | " +
+           std::to_string(r.cache_hits) + " | " + std::to_string(r.cache_misses) +
+           " | " + std::to_string(r.store_loaded) + " | " +
+           format_fixed(r.seconds, 2) + " |\n";
+  }
+  out += "\nTotals: " + std::to_string(total_cache_hits()) + " hits, " +
+         std::to_string(total_cache_misses()) + " misses (hit rate " +
+         format_fixed(cache_hit_rate() * 100.0, 1) + "%), " +
+         std::to_string(total_store_loaded()) + " records preloaded from disk.\n";
+  return out;
+}
+
+// ---- CampaignRunner -----------------------------------------------------
+
+CampaignRunner::CampaignRunner(CampaignSpec spec)
+    : spec_((spec.validate(), std::move(spec))), pool_(spec_.threads) {}
+
+CampaignResult CampaignRunner::run() {
+  if (!spec_.store_dir.empty()) {
+    std::filesystem::create_directories(spec_.store_dir);
+  }
+  CampaignResult result;
+  result.datasets = spec_.datasets;
+  for (const std::string& dataset : spec_.datasets) {
+    for (std::uint64_t seed : spec_.seeds) {
+      result.runs.push_back(run_cell(dataset, seed));
+    }
+  }
+  return result;
+}
+
+CampaignRunResult CampaignRunner::run_cell(const std::string& dataset,
+                                           std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+
+  FlowConfig config = spec_.base;
+  config.dataset_name = dataset;
+  config.seed = seed;
+  MinimizationFlow flow(config);
+  flow.prepare();
+
+  // The two backends of the Fig. 2 search: fast proxy fitness on the
+  // validation split, exact netlist re-evaluation on the test split.
+  ProxyEvaluator proxy = flow.proxy_evaluator(spec_.ga_finetune_epochs);
+  NetlistEvaluator netlist =
+      flow.netlist_evaluator(config.finetune_epochs, /*use_test_set=*/true);
+  ParallelEvaluator proxy_parallel(proxy, pool_);      // borrowed workers
+  ParallelEvaluator netlist_parallel(netlist, pool_);  // borrowed workers
+
+  // Persistent stores (when enabled): one file per run x backend, named
+  // by cell + fingerprint so a config change opens a fresh file instead
+  // of invalidating the old one.
+  std::optional<EvalStore> proxy_store;
+  std::optional<EvalStore> netlist_store;
+  std::optional<CachedEvaluator> fitness;
+  std::optional<CachedEvaluator> front_eval;
+  if (!spec_.store_dir.empty()) {
+    const std::string proxy_fp = eval_fingerprint(
+        config, flow.eval_config(spec_.ga_finetune_epochs, false), "proxy");
+    const std::string netlist_fp = eval_fingerprint(
+        config, flow.eval_config(config.finetune_epochs, true), "netlist");
+    const std::string stem =
+        spec_.store_dir + "/" + dataset + "_s" + std::to_string(seed);
+    proxy_store.emplace(stem + "_proxy_" + proxy_fp + ".evalstore", proxy_fp);
+    netlist_store.emplace(stem + "_netlist_" + netlist_fp + ".evalstore",
+                          netlist_fp);
+    fitness.emplace(proxy_parallel, *proxy_store);
+    front_eval.emplace(netlist_parallel, *netlist_store);
+  } else {
+    fitness.emplace(proxy_parallel);
+    front_eval.emplace(netlist_parallel);
+  }
+
+  const MinimizationFlow::GaOutcome outcome =
+      flow.run_ga(*fitness, *front_eval, spec_.ga);
+
+  CampaignRunResult run;
+  run.dataset = dataset;
+  run.seed = seed;
+  run.baseline = flow.baseline();
+  run.front = outcome.front;
+  run.distinct_evaluations = outcome.raw.evaluations;
+  run.cache_hits = fitness->hits() + front_eval->hits();
+  run.cache_misses = fitness->misses() + front_eval->misses();
+  run.store_loaded = fitness->loaded() + front_eval->loaded();
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  return run;
+}
+
+}  // namespace pnm

@@ -1,0 +1,165 @@
+#ifndef PNM_CORE_CAMPAIGN_HPP
+#define PNM_CORE_CAMPAIGN_HPP
+
+/// \file campaign.hpp
+/// \brief Multi-dataset GA campaigns: the Fig. 2 hardware-aware search
+///        run as a declarative N-datasets x M-seeds spec, with shared
+///        evaluation workers, persistent result stores, and a merged
+///        per-dataset Pareto-front report.
+///
+/// A campaign is the ROADMAP's "multi-dataset GA campaigns" workload made
+/// first-class.  For every (dataset, seed) cell the runner prepares a
+/// MinimizationFlow, composes the recommended evaluator stacks —
+///
+///     GA fitness:  stored+cached( parallel( proxy,   shared pool ) )
+///     front eval:  stored+cached( parallel( netlist, shared pool ) )
+///
+/// — and runs the Fig. 2 GA.  One ThreadPool is borrowed by every
+/// ParallelEvaluator, so worker threads are spawned once per campaign,
+/// not once per run.  With a store directory set, each stack is backed by
+/// a pnm::EvalStore keyed by an eval_fingerprint() of the run's exact
+/// configuration: an interrupted or repeated campaign resumes from disk
+/// and re-evaluates zero previously-seen genomes, while producing
+/// byte-identical fronts (evaluations are deterministic per genome and
+/// the store round-trips doubles exactly — asserted in
+/// tests/core_campaign_test.cpp and in CI).
+///
+/// Reports: CampaignResult renders the merged per-dataset Pareto fronts
+/// as deterministic JSON (fronts_json — stable across warm/cold runs, the
+/// artifact CI byte-compares), a full JSON report with cache/timing stats
+/// (report_json), and a human-readable markdown table (report_markdown).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pnm/core/eval.hpp"
+#include "pnm/core/flow.hpp"
+#include "pnm/core/ga.hpp"
+#include "pnm/core/pareto.hpp"
+#include "pnm/util/thread_pool.hpp"
+
+namespace pnm {
+
+/// Stable identity of one evaluation context, for EvalStore headers and
+/// store file names.  Hashes every knob that can change an evaluation
+/// result: the flow's dataset/seed/topology/training recipe, the eval
+/// config (bits, fine-tune budget, sharing policy, bespoke options,
+/// reporting split), the backend ("proxy"/"netlist"), and the store
+/// format version.  Two contexts agree on the fingerprint iff their
+/// stored results are interchangeable.
+///
+/// Caveat: dataset content is identified by (dataset_name, seed), which
+/// is exact for the named synthetic datasets campaigns run on.  A flow
+/// constructed with an explicitly-supplied Dataset (e.g. a custom CSV)
+/// is NOT distinguished by its content — if you persist results for
+/// such a flow, mix your own content hash (e.g. fnv1a64_hex over the
+/// raw samples) into the dataset_name before fingerprinting.
+std::string eval_fingerprint(const FlowConfig& flow, const EvalConfig& eval,
+                             const std::string& backend);
+
+/// Declarative description of one campaign: the Fig. 2 GA across
+/// datasets x seeds, sharing workers and (optionally) persistent stores.
+struct CampaignSpec {
+  /// Template for every run; dataset_name and seed are overridden per
+  /// cell.  Controls the training recipe, input bits, bespoke options,
+  /// fine-tune budget, and split fractions.
+  FlowConfig base{};
+
+  /// Datasets to search (named synthetic sets: "whitewine", "redwine",
+  /// "pendigits", "seeds").  Must be non-empty and duplicate-free.
+  std::vector<std::string> datasets;
+
+  /// Flow seeds per dataset — each seed is an independent data split,
+  /// float model, and GA run.  Must be non-empty and duplicate-free.
+  std::vector<std::uint64_t> seeds = {42};
+
+  GaConfig ga{};                        ///< search hyper-parameters
+  std::size_t ga_finetune_epochs = 2;   ///< fitness-pipeline budget
+
+  /// Directory for persistent EvalStores (one file per run x backend,
+  /// named by dataset/seed/backend/fingerprint).  Created if missing.
+  /// Empty disables persistence: the campaign still runs, nothing
+  /// survives the process.
+  std::string store_dir;
+
+  /// Shared worker-pool size; 0 selects the hardware concurrency.
+  std::size_t threads = 0;
+
+  /// \throws std::invalid_argument on an empty/duplicated dataset or
+  /// seed list (GaConfig::validate covers the GA fields).
+  void validate() const;
+};
+
+/// Outcome of one (dataset, seed) cell.
+struct CampaignRunResult {
+  std::string dataset;
+  std::uint64_t seed = 0;
+  DesignPoint baseline;                ///< unminimized bespoke reference
+  std::vector<DesignPoint> front;      ///< exact netlist front, test split
+  std::size_t distinct_evaluations = 0;  ///< GA-distinct genomes this run
+  std::size_t cache_hits = 0;          ///< across both evaluator stacks
+  std::size_t cache_misses = 0;        ///< fresh evaluations actually run
+  std::size_t store_loaded = 0;        ///< records preloaded from disk
+  double seconds = 0.0;                ///< wall time of the cell
+};
+
+/// Aggregated campaign outcome + report rendering.
+struct CampaignResult {
+  std::vector<std::string> datasets;   ///< spec order
+  std::vector<CampaignRunResult> runs; ///< datasets-major, seeds-minor
+
+  [[nodiscard]] std::size_t total_cache_hits() const;
+  [[nodiscard]] std::size_t total_cache_misses() const;
+  [[nodiscard]] std::size_t total_store_loaded() const;
+  /// hits / (hits + misses); 0 when nothing was requested.
+  [[nodiscard]] double cache_hit_rate() const;
+
+  /// Non-dominated union of one dataset's per-seed fronts (ascending
+  /// area).  Cross-seed: a useful stability view, since every seed is an
+  /// independent split + model.
+  [[nodiscard]] std::vector<DesignPoint> merged_front(
+      const std::string& dataset) const;
+
+  /// Deterministic JSON of every per-run front and merged per-dataset
+  /// front — no timing or cache stats, so a warm rerun's output is
+  /// byte-identical to the cold run's (CI compares these files with cmp).
+  [[nodiscard]] std::string fronts_json() const;
+
+  /// Full JSON report: fronts plus baselines, cache statistics, and wall
+  /// times (not byte-stable across runs — timings differ).
+  [[nodiscard]] std::string report_json() const;
+
+  /// Human-readable markdown: per-dataset front tables (area gain vs the
+  /// run's baseline) and a cache/timing summary table.
+  [[nodiscard]] std::string report_markdown() const;
+};
+
+/// Executes a CampaignSpec cell by cell.  Construction validates the spec
+/// and spawns the shared worker pool; run() does the work and may be
+/// called once per runner.
+class CampaignRunner {
+ public:
+  /// \throws std::invalid_argument via CampaignSpec/GaConfig validation.
+  explicit CampaignRunner(CampaignSpec spec);
+
+  /// Runs every (dataset, seed) cell in spec order and returns the
+  /// aggregated result.  With a store_dir, creates the directory and
+  /// resumes from any fingerprint-matching stores inside it.
+  CampaignResult run();
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+  /// Shared evaluation workers (reused by every run of the campaign).
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+
+ private:
+  CampaignRunResult run_cell(const std::string& dataset, std::uint64_t seed);
+
+  CampaignSpec spec_;
+  ThreadPool pool_;
+};
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_CAMPAIGN_HPP

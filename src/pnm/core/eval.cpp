@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pnm/core/eval_store.hpp"
 #include "pnm/core/prune.hpp"
 #include "pnm/core/quantize.hpp"
 #include "pnm/hw/proxy.hpp"
@@ -144,6 +145,16 @@ void NetlistEvaluator::measure(DesignPoint& point, const QuantizedMlp& qmodel,
 
 // ---- CachedEvaluator ----------------------------------------------------
 
+CachedEvaluator::CachedEvaluator(Evaluator& inner, EvalStore& store)
+    : inner_(&inner), store_(&store) {
+  // Preload everything the store holds: a warm process starts with the
+  // cold process's full cache and re-evaluates nothing it already saw.
+  for (auto& [key, point] : store.entries()) {
+    cache_.emplace(std::move(key), point);
+  }
+  loaded_ = cache_.size();
+}
+
 DesignPoint CachedEvaluator::evaluate(const Genome& genome) {
   const std::string key = genome.key();
   {
@@ -158,6 +169,7 @@ DesignPoint CachedEvaluator::evaluate(const Genome& genome) {
   // proceed in parallel.  Racing misses on the same genome both compute
   // (identical, deterministic results) and the second insert is a no-op.
   DesignPoint point = inner_->evaluate(genome);
+  if (store_) store_->put(key, point);  // incremental flush (own lock)
   std::lock_guard<std::mutex> lock(mutex_);
   cache_.emplace(key, point);
   return point;
@@ -201,6 +213,11 @@ std::vector<DesignPoint> CachedEvaluator::evaluate_batch(
 
   if (!miss_genomes.empty()) {
     const std::vector<DesignPoint> fresh = inner_->evaluate_batch(miss_genomes);
+    if (store_) {
+      for (std::size_t m = 0; m < miss_genomes.size(); ++m) {
+        store_->put(*miss_keys[m], fresh[m]);  // incremental flush (own lock)
+      }
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t m = 0; m < miss_genomes.size(); ++m) {
       cache_.emplace(*miss_keys[m], fresh[m]);
@@ -222,6 +239,11 @@ std::size_t CachedEvaluator::misses() const {
   return misses_;
 }
 
+std::size_t CachedEvaluator::loaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_;
+}
+
 std::size_t CachedEvaluator::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.size();
@@ -232,6 +254,7 @@ void CachedEvaluator::clear() {
   cache_.clear();
   hits_ = 0;
   misses_ = 0;
+  loaded_ = 0;
 }
 
 // ---- ParallelEvaluator --------------------------------------------------
@@ -239,7 +262,7 @@ void CachedEvaluator::clear() {
 std::vector<DesignPoint> ParallelEvaluator::evaluate_batch(
     std::span<const Genome> genomes) {
   std::vector<DesignPoint> points(genomes.size());
-  pool_.parallel_for(genomes.size(), [this, genomes, &points](std::size_t i) {
+  pool_->parallel_for(genomes.size(), [this, genomes, &points](std::size_t i) {
     points[i] = inner_->evaluate(genomes[i]);
   });
   return points;

@@ -15,8 +15,10 @@
 ///   * Evaluator          — evaluate() one genome / evaluate_batch() many;
 ///   * ProxyEvaluator     — pipeline + analytic area proxy (GA inner loop);
 ///   * NetlistEvaluator   — pipeline + exact netlist area/power/delay;
-///   * CachedEvaluator    — decorator memoizing by Genome::key();
-///   * ParallelEvaluator  — decorator fanning batches across a ThreadPool;
+///   * CachedEvaluator    — decorator memoizing by Genome::key(), optionally
+///                          persisted across processes by an EvalStore;
+///   * ParallelEvaluator  — decorator fanning batches across a ThreadPool
+///                          (owned, or borrowed so campaigns reuse workers);
 ///   * FunctionEvaluator  — adapter for analytic toy objectives (GA tests).
 ///
 /// Determinism: the pipeline derives its fine-tuning RNG from
@@ -33,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -78,10 +81,17 @@ class Evaluator {
   /// Evaluates one candidate design.  Implementations must be safe to
   /// call concurrently from multiple threads (ParallelEvaluator relies
   /// on this).
+  ///
+  /// \param genome  per-layer minimization decisions (core/ga.hpp).
+  /// \return the measured design: accuracy on the reporting split plus
+  ///         whatever cost fields the backend fills (see subclasses).
   virtual DesignPoint evaluate(const Genome& genome) = 0;
 
   /// Evaluates a batch; result[i] corresponds to genomes[i].  The default
   /// runs serially in order; decorators override to cache or parallelize.
+  /// Any composition of the decorators in this header returns results
+  /// bit-identical to the serial default (see the determinism note in the
+  /// file comment).
   virtual std::vector<DesignPoint> evaluate_batch(std::span<const Genome> genomes);
 
   /// Short backend name for reports ("proxy", "netlist", "cached(...)").
@@ -163,32 +173,54 @@ class NetlistEvaluator final : public PipelineEvaluator {
                const hw::BespokeOptions& options) const override;
 };
 
+class EvalStore;  // pnm/core/eval_store.hpp
+
 /// Memoizing decorator keyed on Genome::key().  Thread-safe; batches
 /// forward only the distinct misses to the inner evaluator (as one inner
 /// batch, so a parallel inner backend still fans out).
+///
+/// With a backing EvalStore the cache becomes persistent: previously
+/// stored results are preloaded at construction (counted by loaded()) and
+/// every fresh miss is appended + flushed to disk, so a later process
+/// resumes exactly where this one stopped — results stay byte-identical
+/// to an uncached cold run because evaluations are deterministic per
+/// genome and the store round-trips doubles exactly.
 class CachedEvaluator final : public Evaluator {
  public:
+  /// In-memory-only cache (dies with this object).
   explicit CachedEvaluator(Evaluator& inner) : inner_(&inner) {}
+
+  /// Cache persisted in `store`; preloads every record the store holds.
+  /// The store must outlive this evaluator and its fingerprint must match
+  /// the inner evaluator's configuration (see eval_fingerprint() in
+  /// pnm/core/campaign.hpp) — the cache trusts the caller on that.
+  CachedEvaluator(Evaluator& inner, EvalStore& store);
 
   DesignPoint evaluate(const Genome& genome) override;
   std::vector<DesignPoint> evaluate_batch(std::span<const Genome> genomes) override;
   [[nodiscard]] std::string name() const override {
-    return "cached(" + inner_->name() + ")";
+    return (store_ ? "stored+cached(" : "cached(") + inner_->name() + ")";
   }
 
   /// Exact lookup statistics (one hit or one miss per requested genome).
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
+  /// Entries preloaded from the backing store (0 without one).
+  [[nodiscard]] std::size_t loaded() const;
   /// Number of distinct genomes stored.
   [[nodiscard]] std::size_t size() const;
+  /// Drops the in-memory cache and resets hit/miss counters.  The backing
+  /// store's on-disk records are untouched (they are still correct).
   void clear();
 
  private:
   Evaluator* inner_;
+  EvalStore* store_ = nullptr;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, DesignPoint> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t loaded_ = 0;
 };
 
 /// Decorator fanning evaluate_batch() across a ThreadPool.  Results are
@@ -197,21 +229,28 @@ class CachedEvaluator final : public Evaluator {
 /// thread-safe (PipelineEvaluator and CachedEvaluator are).
 class ParallelEvaluator final : public Evaluator {
  public:
-  /// threads == 0 selects the hardware concurrency.
+  /// Owns its pool; threads == 0 selects the hardware concurrency.
   explicit ParallelEvaluator(Evaluator& inner, std::size_t threads = 0)
-      : inner_(&inner), pool_(threads) {}
+      : inner_(&inner), owned_(std::in_place, threads), pool_(&*owned_) {}
+
+  /// Borrows an existing pool instead of spawning one — this is how a
+  /// CampaignRunner reuses one set of workers across every run of a
+  /// campaign.  The pool must outlive this evaluator.
+  ParallelEvaluator(Evaluator& inner, ThreadPool& pool)
+      : inner_(&inner), pool_(&pool) {}
 
   DesignPoint evaluate(const Genome& genome) override { return inner_->evaluate(genome); }
   std::vector<DesignPoint> evaluate_batch(std::span<const Genome> genomes) override;
   [[nodiscard]] std::string name() const override {
-    return "parallel(" + inner_->name() + ")x" + std::to_string(pool_.size());
+    return "parallel(" + inner_->name() + ")x" + std::to_string(pool_->size());
   }
 
-  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+  [[nodiscard]] std::size_t threads() const { return pool_->size(); }
 
  private:
   Evaluator* inner_;
-  ThreadPool pool_;
+  std::optional<ThreadPool> owned_;  ///< absent when the pool is borrowed
+  ThreadPool* pool_;
 };
 
 /// Adapter turning a GenomeFitness callback into an Evaluator — analytic

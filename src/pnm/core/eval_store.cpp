@@ -1,0 +1,240 @@
+#include "pnm/core/eval_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "pnm/util/fileio.hpp"
+
+namespace pnm {
+namespace {
+
+constexpr char kMagic[] = "pnm-eval-store";
+constexpr std::size_t kRecordFields = 7;
+
+bool contains_separator(std::string_view s) {
+  return s.find('\t') != std::string_view::npos ||
+         s.find('\n') != std::string_view::npos ||
+         s.find('\r') != std::string_view::npos;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string serialize_record(const std::string& key, const DesignPoint& point) {
+  std::string line = key;
+  line += '\t';
+  line += point.technique;
+  line += '\t';
+  line += point.config;
+  line += '\t';
+  line += format_double_roundtrip(point.accuracy);
+  line += '\t';
+  line += format_double_roundtrip(point.area_mm2);
+  line += '\t';
+  line += format_double_roundtrip(point.power_uw);
+  line += '\t';
+  line += format_double_roundtrip(point.delay_ms);
+  line += '\n';
+  return line;
+}
+
+/// Parses one record line; false when the line is malformed (wrong field
+/// count, unparseable double) — the caller drops and counts it.
+bool parse_record(std::string_view line, std::string& key, DesignPoint& point) {
+  const std::vector<std::string_view> fields = split(line, '\t');
+  if (fields.size() != kRecordFields) return false;
+  if (fields[0].empty()) return false;
+  const auto acc = parse_double_strict(fields[3]);
+  const auto area = parse_double_strict(fields[4]);
+  const auto power = parse_double_strict(fields[5]);
+  const auto delay = parse_double_strict(fields[6]);
+  if (!acc || !area || !power || !delay) return false;
+  key.assign(fields[0]);
+  point.technique.assign(fields[1]);
+  point.config.assign(fields[2]);
+  point.accuracy = *acc;
+  point.area_mm2 = *area;
+  point.power_uw = *power;
+  point.delay_ms = *delay;
+  return true;
+}
+
+}  // namespace
+
+EvalStore::EvalStore(std::string path, std::string fingerprint)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint)) {
+  if (fingerprint_.empty() || fingerprint_.find_first_of(" \t\n\r") != std::string::npos) {
+    throw std::invalid_argument(
+        "EvalStore: fingerprint must be one non-empty whitespace-free token");
+  }
+  load_and_recover();
+  append_.open(path_, std::ios::binary | std::ios::app);
+  if (!append_) {
+    throw std::runtime_error("EvalStore: cannot open " + path_ + " for append");
+  }
+}
+
+std::string EvalStore::header_line() const {
+  return std::string(kMagic) + " v" + std::to_string(kFormatVersion) + " " +
+         fingerprint_ + "\n";
+}
+
+void EvalStore::load_and_recover() {
+  const std::optional<std::string> content = read_text_file(path_);
+  if (!content || content->empty()) {
+    // Fresh (or empty) store: stamp the header so the file is valid from
+    // the first record on.
+    if (!write_text_file_atomic(path_, header_line())) {
+      throw std::runtime_error("EvalStore: cannot create " + path_);
+    }
+    return;
+  }
+
+  // Header: "pnm-eval-store v<N> <fingerprint>".
+  const std::size_t header_end = content->find('\n');
+  const std::string_view header =
+      std::string_view(*content).substr(0, header_end == std::string::npos
+                                               ? content->size()
+                                               : header_end);
+  const std::vector<std::string_view> tokens = split(header, ' ');
+  if (tokens.size() != 3 || tokens[0] != kMagic || tokens[1].size() < 2 ||
+      tokens[1][0] != 'v') {
+    throw std::runtime_error("EvalStore: " + path_ + " is not an eval-store file");
+  }
+  int version = -1;
+  try {
+    version = std::stoi(std::string(tokens[1].substr(1)));
+  } catch (const std::exception&) {
+    throw std::runtime_error("EvalStore: " + path_ + " has an unreadable version");
+  }
+  if (version != kFormatVersion) {
+    throw std::runtime_error("EvalStore: " + path_ + " is format v" +
+                             std::to_string(version) + ", this build reads v" +
+                             std::to_string(kFormatVersion) +
+                             " — refusing to reuse or overwrite it");
+  }
+  const bool fingerprint_matches = (tokens[2] == fingerprint_);
+  // A truncated header (no newline yet) means no records either way.
+  bool needs_compaction = !fingerprint_matches;
+  if (header_end != std::string::npos) {
+    std::string_view body = std::string_view(*content).substr(header_end + 1);
+    while (!body.empty()) {
+      const std::size_t eol = body.find('\n');
+      if (eol == std::string_view::npos) {
+        // Trailing record without newline: the write it belonged to was
+        // interrupted.  Drop it and compact below.
+        ++corrupt_dropped_;
+        needs_compaction = true;
+        break;
+      }
+      const std::string_view line = body.substr(0, eol);
+      body.remove_prefix(eol + 1);
+      if (line.empty()) continue;
+      std::string key;
+      DesignPoint point;
+      if (!parse_record(line, key, point)) {
+        ++corrupt_dropped_;
+        needs_compaction = true;
+        continue;
+      }
+      if (!fingerprint_matches) {
+        ++invalidated_;
+        continue;
+      }
+      if (records_.emplace(key, point).second) {
+        insertion_order_.push_back(std::move(key));
+        ++loaded_;
+      }
+    }
+  } else {
+    needs_compaction = true;
+  }
+  if (!fingerprint_matches) {
+    corrupt_dropped_ = 0;  // a foreign-fingerprint file is invalid wholesale,
+                           // not corrupt
+  }
+  if (needs_compaction) rewrite_compacted_locked();
+}
+
+void EvalStore::rewrite_compacted_locked() {
+  std::string content = header_line();
+  for (const std::string& key : insertion_order_) {
+    content += serialize_record(key, records_.at(key));
+  }
+  if (!write_text_file_atomic(path_, content)) {
+    throw std::runtime_error("EvalStore: cannot rewrite " + path_);
+  }
+}
+
+std::optional<DesignPoint> EvalStore::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EvalStore::put(const std::string& key, const DesignPoint& point) {
+  if (key.empty() || contains_separator(key)) {
+    throw std::invalid_argument("EvalStore::put: key must be non-empty, tab/newline-free");
+  }
+  if (contains_separator(point.technique) || contains_separator(point.config)) {
+    throw std::invalid_argument(
+        "EvalStore::put: technique/config must be tab/newline-free");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.contains(key)) return;  // deterministic duplicate
+  // Append + flush one record: a crash can lose at most this line, and a
+  // partially written line is dropped (and compacted away) on next load.
+  // A failed write throws — and skips the in-memory insert, so memory
+  // never claims a record the disk does not have.
+  append_ << serialize_record(key, point);
+  append_.flush();
+  if (!append_) {
+    throw std::runtime_error("EvalStore: failed to append a record to " + path_);
+  }
+  records_.emplace(key, point);
+  insertion_order_.push_back(key);
+}
+
+std::vector<std::pair<std::string, DesignPoint>> EvalStore::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, DesignPoint>> all(records_.begin(),
+                                                       records_.end());
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return all;
+}
+
+std::size_t EvalStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::size_t EvalStore::loaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_;
+}
+
+std::size_t EvalStore::corrupt_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_dropped_;
+}
+
+std::size_t EvalStore::invalidated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidated_;
+}
+
+}  // namespace pnm

@@ -1,0 +1,128 @@
+#ifndef PNM_CORE_EVAL_STORE_HPP
+#define PNM_CORE_EVAL_STORE_HPP
+
+/// \file eval_store.hpp
+/// \brief Persistent, crash-safe backing store for evaluation results:
+///        an append-only on-disk record of genome key -> DesignPoint.
+///
+/// Every pipeline evaluation is deterministic in (prepared state, config,
+/// genome) and keyed by the stable Genome::key() string, so its result
+/// can outlive the process: a store file preloads a CachedEvaluator at
+/// construction and receives every fresh miss as an appended record,
+/// turning repeated GA runs, parameter sweeps, and resumed campaigns from
+/// recompute-everything into mostly cache hits — with results guaranteed
+/// byte-identical to a cold run (doubles round-trip through text exactly;
+/// see pnm/util/fileio.hpp).
+///
+/// On-disk format (one record per line, tab-separated, human-greppable):
+///
+///     pnm-eval-store v1 <fingerprint>
+///     <key> \t <technique> \t <config> \t <acc> \t <area> \t <power> \t <delay>
+///     ...
+///
+/// Safety properties:
+///   * append-only + per-record flush: a crash loses at most the record
+///     being written, never previously stored ones;
+///   * a truncated or otherwise corrupt line is dropped (and counted) at
+///     load, then the file is compacted atomically, so one bad record
+///     never poisons the rest;
+///   * the header is versioned: a file with a different format version is
+///     rejected (std::runtime_error) rather than guessed at;
+///   * the header carries the caller's config fingerprint: results from a
+///     different dataset/config/backend are never loaded — a fingerprint
+///     mismatch empties the store and rewrites it under the new
+///     fingerprint (a config change invalidates the cache, by design);
+///   * all member functions are thread-safe (one internal mutex), so the
+///     store can back a CachedEvaluator shared by a thread pool.
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pnm/core/pareto.hpp"
+
+namespace pnm {
+
+/// Append-only persistent map from evaluation key to DesignPoint.
+class EvalStore {
+ public:
+  /// On-disk format version; bumped on any incompatible layout change.
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens (creating if absent) the store at `path` for the given config
+  /// fingerprint and loads every valid record.
+  ///
+  /// \param path         store file location; the parent directory must
+  ///                     already exist.
+  /// \param fingerprint  opaque identity of the evaluation context
+  ///                     (dataset/config/backend; see eval_fingerprint()
+  ///                     in pnm/core/campaign.hpp).  Must be one
+  ///                     whitespace-free token.
+  /// \throws std::runtime_error  if the file exists but is not an eval
+  ///                     store or carries a different format version.
+  /// \throws std::invalid_argument  if `fingerprint` is empty or contains
+  ///                     whitespace.
+  EvalStore(std::string path, std::string fingerprint);
+
+  /// Looks up a previously stored result; std::nullopt on miss.
+  [[nodiscard]] std::optional<DesignPoint> lookup(const std::string& key) const;
+
+  /// Stores one result and appends + flushes it to disk.  A key already
+  /// present is ignored (evaluations are deterministic, so the stored
+  /// record is already the correct one).  Keys must be free of tabs and
+  /// newlines (Genome::key() always is); violations throw
+  /// std::invalid_argument.
+  /// \throws std::runtime_error  if the record cannot be written to disk
+  ///         (full disk, deleted directory, lost permissions) — a silent
+  ///         failure here would defeat the store's purpose, so a result
+  ///         that cannot be persisted is not held in memory either.
+  void put(const std::string& key, const DesignPoint& point);
+
+  /// All records, sorted by key (deterministic iteration for preloads and
+  /// reports).
+  [[nodiscard]] std::vector<std::pair<std::string, DesignPoint>> entries() const;
+
+  /// Number of records currently held (loaded + freshly put).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Records successfully loaded from disk at construction.
+  [[nodiscard]] std::size_t loaded() const;
+
+  /// Malformed or truncated lines dropped at construction.  The file is
+  /// compacted after such a load, so a reopened store reports 0.
+  [[nodiscard]] std::size_t corrupt_dropped() const;
+
+  /// Records discarded at construction because the on-disk fingerprint
+  /// did not match the caller's (config-change invalidation).
+  [[nodiscard]] std::size_t invalidated() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& fingerprint() const { return fingerprint_; }
+
+ private:
+  void load_and_recover();
+  void rewrite_compacted_locked();
+  [[nodiscard]] std::string header_line() const;
+
+  std::string path_;
+  std::string fingerprint_;
+  /// Held open for the store's lifetime (reopening per record would put
+  /// an open/close syscall pair on every fresh evaluation); writes are
+  /// serialized by mutex_.
+  std::ofstream append_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, DesignPoint> records_;
+  std::vector<std::string> insertion_order_;  ///< append order, for compaction
+  std::size_t loaded_ = 0;
+  std::size_t corrupt_dropped_ = 0;
+  std::size_t invalidated_ = 0;
+};
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_EVAL_STORE_HPP

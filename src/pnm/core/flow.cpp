@@ -215,6 +215,17 @@ std::vector<DesignPoint> MinimizationFlow::sweep_truncation(
   return run_sweep(exact, std::move(genomes), "truncate", configs);
 }
 
+namespace {
+
+std::vector<Genome> front_genomes(const GaResult& raw) {
+  std::vector<Genome> genomes;
+  genomes.reserve(raw.front.size());
+  for (const auto& member : raw.front) genomes.push_back(member.genome);
+  return genomes;
+}
+
+}  // namespace
+
 MinimizationFlow::GaOutcome MinimizationFlow::run_ga(Evaluator& fitness,
                                                      const GaConfig& ga) {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
@@ -224,13 +235,24 @@ MinimizationFlow::GaOutcome MinimizationFlow::run_ga(Evaluator& fitness,
   outcome.raw = nsga2_search(ga, model_.layer_count(), fitness, rng);
 
   // Re-evaluate the front with exact netlist costs and test accuracy,
-  // fanned across cores (bit-identical to serial; see eval.hpp).
-  std::vector<Genome> genomes;
-  genomes.reserve(outcome.raw.front.size());
-  for (const auto& member : outcome.raw.front) genomes.push_back(member.genome);
+  // fanned across cores (bit-identical to serial; see eval.hpp).  Built
+  // only now, after the search: no idle worker pool or pre-quantized
+  // test split is held alive while the GA runs.
   NetlistEvaluator exact = netlist_evaluator(config_.finetune_epochs, true);
   ParallelEvaluator parallel(exact);
-  outcome.front = pareto_front(parallel.evaluate_batch(genomes));
+  outcome.front = pareto_front(parallel.evaluate_batch(front_genomes(outcome.raw)));
+  return outcome;
+}
+
+MinimizationFlow::GaOutcome MinimizationFlow::run_ga(Evaluator& fitness,
+                                                     Evaluator& front_eval,
+                                                     const GaConfig& ga) {
+  if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  Rng rng(config_.seed + 0x9A);
+
+  GaOutcome outcome;
+  outcome.raw = nsga2_search(ga, model_.layer_count(), fitness, rng);
+  outcome.front = pareto_front(front_eval.evaluate_batch(front_genomes(outcome.raw)));
   return outcome;
 }
 

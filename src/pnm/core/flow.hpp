@@ -157,6 +157,15 @@ class MinimizationFlow {
   /// how the evaluator stack is composed.
   GaOutcome run_ga(Evaluator& fitness, const GaConfig& ga = {});
 
+  /// Same search, but the front re-evaluation also goes through a
+  /// caller-built stack.  `front_eval` must measure exact netlist cost on
+  /// the test split — i.e. wrap netlist_evaluator(config().finetune_epochs,
+  /// /*use_test_set=*/true) in any decorators you like.  This is how the
+  /// campaign layer persists and parallelizes the exact re-evaluation too
+  /// (CachedEvaluator over an EvalStore); results are bit-identical to the
+  /// two-argument overload by evaluator-composition determinism.
+  GaOutcome run_ga(Evaluator& fitness, Evaluator& front_eval, const GaConfig& ga);
+
   /// Convenience wrapper: runs run_ga with a plain proxy backend (or the
   /// full netlist with exact_area_fitness — ~65x slower per candidate) on
   /// the validation split.  Distinct designs are still evaluated once per

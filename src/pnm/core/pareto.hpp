@@ -25,6 +25,10 @@ struct DesignPoint {
   double area_mm2 = 0.0;  ///< exact bespoke netlist area
   double power_uw = 0.0;
   double delay_ms = 0.0;
+
+  /// Exact (bit-level) equality on every field — what "byte-identical
+  /// fronts" means in the persistent-store and campaign-resume tests.
+  bool operator==(const DesignPoint&) const = default;
 };
 
 /// True if a is at least as good as b in both objectives (accuracy up,

@@ -72,17 +72,24 @@ struct McmPlan {
 };
 
 /// Plans the shared DAG for a set of positive coefficients (duplicates
-/// are collapsed; zero or negative coefficients throw — callers pass
-/// |weight| magnitudes and handle signs in the accumulate stage).  The
-/// initial decompositions use the same per-coefficient recoding choice as
-/// const_mult (options.use_csd), so the plan's adder_count() is <= the
-/// sum of const_mult_adder_count() over the set, with equality when no
-/// subexpression repeats.
+/// are collapsed — callers pass |weight| magnitudes and handle signs in
+/// the accumulate stage).  The initial decompositions use the same
+/// per-coefficient recoding choice as const_mult (options.use_csd), so
+/// the plan's adder_count() is <= the sum of const_mult_adder_count()
+/// over the set, with equality when no subexpression repeats.
+///
+/// \param coefficients  strictly positive multiplier magnitudes; order
+///                      and multiplicity are irrelevant to the result.
+/// \param options       recoding choice shared with hw/constmult.hpp.
+/// \return the planned DAG; deterministic for a given input set.
+/// \throws std::invalid_argument  on a zero or negative coefficient.
 McmPlan plan_mcm(const std::vector<std::int64_t>& coefficients,
                  const MultOptions& options = {});
 
 /// Convenience: plan_mcm(...).adder_count() — the shared-DAG analog of
 /// summing const_mult_adder_count over the coefficient set.
+///
+/// \return total add/sub rows of the planned shared DAG.
 int mcm_adder_count(const std::vector<std::int64_t>& coefficients,
                     const MultOptions& options = {});
 

@@ -15,15 +15,19 @@
 ///  * pnm/core  — the paper's contribution: quantization/QAT, pruning,
 ///                weight clustering, integer golden model, Pareto tools,
 ///                the composable Evaluator backends (proxy/netlist/
-///                cached/parallel), the hardware-aware NSGA-II, and
-///                MinimizationFlow
+///                cached/parallel), the persistent evaluation store, the
+///                hardware-aware NSGA-II, MinimizationFlow, and the
+///                multi-dataset CampaignRunner
 ///  * pnm/hw    — bespoke printed hardware: netlists, EGT technology,
 ///                constant multipliers, circuit generation, analysis,
 ///                Verilog/testbench export
-///  * pnm/util  — deterministic RNG, bit helpers, text tables
+///  * pnm/util  — deterministic RNG, bit helpers, text tables, thread
+///                pool, file/serialization helpers
 
+#include "pnm/core/campaign.hpp"
 #include "pnm/core/cluster.hpp"
 #include "pnm/core/eval.hpp"
+#include "pnm/core/eval_store.hpp"
 #include "pnm/core/flow.hpp"
 #include "pnm/core/ga.hpp"
 #include "pnm/core/pareto.hpp"
@@ -49,6 +53,7 @@
 #include "pnm/nn/mlp.hpp"
 #include "pnm/nn/trainer.hpp"
 #include "pnm/util/bits.hpp"
+#include "pnm/util/fileio.hpp"
 #include "pnm/util/rng.hpp"
 #include "pnm/util/table.hpp"
 #include "pnm/util/thread_pool.hpp"

@@ -1,0 +1,113 @@
+#include "pnm/util/fileio.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace pnm {
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+bool write_text_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string format_double_roundtrip(double v) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << v;
+  return out.str();
+}
+
+std::optional<double> parse_double_strict(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  // Non-finite spellings first: ostream prints them, but istream >> double
+  // refuses to parse them back.
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  if (token == "-inf") return -std::numeric_limits<double>::infinity();
+  if (token == "nan" || token == "-nan") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // istream extraction skips leading whitespace; a stored field never
+  // legitimately has any, so treat it as corruption instead.
+  if (token.find_first_of(" \t\n\r") != std::string_view::npos) return std::nullopt;
+  // Requiring EOF after the extraction rejects trailing garbage.
+  std::istringstream in{std::string(token)};
+  in.imbue(std::locale::classic());
+  double value = 0.0;
+  in >> value;
+  if (in.fail()) return std::nullopt;
+  in.peek();
+  if (!in.eof()) return std::nullopt;
+  return value;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string fnv1a64_hex(std::string_view s) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::uint64_t h = fnv1a64(s);
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return hex;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static constexpr char kDigits[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kDigits[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+          out += kDigits[static_cast<unsigned char>(ch) & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pnm

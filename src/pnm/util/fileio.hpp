@@ -1,0 +1,61 @@
+#ifndef PNM_UTIL_FILEIO_HPP
+#define PNM_UTIL_FILEIO_HPP
+
+/// \file fileio.hpp
+/// \brief Small file + serialization helpers shared by the persistent
+///        evaluation store and the campaign report writers.
+///
+/// Everything the on-disk layer needs reduces to four primitives: read a
+/// whole text file, replace a file atomically (write-temp + rename, so a
+/// crash never leaves a half-written file under the final name), format a
+/// double so it round-trips bit-exactly through text (the byte-identical
+/// warm-vs-cold guarantee of the evaluation store depends on this), and
+/// parse such a double back strictly.  A stable 64-bit string hash is
+/// included for config fingerprints and deterministic file naming.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pnm {
+
+/// Reads an entire file into a string.  Returns std::nullopt when the
+/// file cannot be opened (missing, unreadable); an empty file yields an
+/// empty string.
+std::optional<std::string> read_text_file(const std::string& path);
+
+/// Atomically replaces `path` with `content`: writes `path + ".tmp"`,
+/// flushes it, then renames over the target.  Returns false (leaving any
+/// existing file untouched) if the temporary cannot be written or the
+/// rename fails.  POSIX rename is atomic, so readers see either the old
+/// or the new complete file — never a torn one.
+bool write_text_file_atomic(const std::string& path, std::string_view content);
+
+/// Formats `v` with max_digits10 significant digits (classic-locale "C"
+/// formatting, no locale-dependent separators): the shortest standard
+/// representation guaranteed to parse back to the identical IEEE-754
+/// double.  Inf/NaN render as "inf"/"-inf"/"nan".
+std::string format_double_roundtrip(double v);
+
+/// Parses a double previously written by format_double_roundtrip()
+/// (including the "inf"/"-inf"/"nan" spellings).  Returns std::nullopt
+/// unless the *entire* token is consumed — trailing garbage, any
+/// whitespace, empty input, or out-of-range values all fail, so
+/// corrupted store records are detected instead of silently truncated.
+std::optional<double> parse_double_strict(std::string_view token);
+
+/// FNV-1a 64-bit hash of a byte string.  Stable across platforms and
+/// runs (unlike std::hash) — usable as an on-disk fingerprint.
+std::uint64_t fnv1a64(std::string_view s);
+
+/// fnv1a64 rendered as 16 lowercase hex digits (fingerprints, filenames).
+std::string fnv1a64_hex(std::string_view s);
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).  ASCII-transparent otherwise.
+std::string json_escape(std::string_view s);
+
+}  // namespace pnm
+
+#endif  // PNM_UTIL_FILEIO_HPP

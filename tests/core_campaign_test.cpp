@@ -1,0 +1,161 @@
+/// Tests for the multi-dataset GA campaign runner: spec validation,
+/// config fingerprints, report rendering, and the resume guarantee — a
+/// warm rerun against a populated store produces byte-identical Pareto
+/// fronts while re-evaluating zero previously-seen genomes.
+
+#include "pnm/core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "pnm/core/eval_store.hpp"
+
+namespace pnm {
+namespace {
+
+/// Tiny-but-real campaign spec: small models, short training, small GA.
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.datasets = {"seeds"};
+  spec.seeds = {5};
+  spec.base.train.epochs = 12;
+  spec.base.finetune_epochs = 3;
+  spec.ga_finetune_epochs = 1;
+  spec.ga.population = 8;
+  spec.ga.generations = 3;
+  return spec;
+}
+
+/// Fresh store directory under the test temp dir.
+std::string fresh_store_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pnm_campaign_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(Campaign, SpecValidation) {
+  CampaignSpec spec = tiny_spec();
+  spec.datasets = {};
+  EXPECT_THROW(CampaignRunner{spec}, std::invalid_argument);
+  spec = tiny_spec();
+  spec.datasets = {"seeds", "seeds"};
+  EXPECT_THROW(CampaignRunner{spec}, std::invalid_argument);
+  spec = tiny_spec();
+  spec.seeds = {};
+  EXPECT_THROW(CampaignRunner{spec}, std::invalid_argument);
+  spec = tiny_spec();
+  spec.seeds = {3, 3};
+  EXPECT_THROW(CampaignRunner{spec}, std::invalid_argument);
+  spec = tiny_spec();
+  spec.ga.population = 1;  // GaConfig::validate rejects
+  EXPECT_THROW(CampaignRunner{spec}, std::invalid_argument);
+}
+
+TEST(Campaign, FingerprintSeparatesConfigsAndBackends) {
+  FlowConfig flow;
+  flow.dataset_name = "seeds";
+  EvalConfig eval;
+  const std::string base = eval_fingerprint(flow, eval, "proxy");
+  EXPECT_EQ(base, eval_fingerprint(flow, eval, "proxy"));  // deterministic
+  EXPECT_NE(base, eval_fingerprint(flow, eval, "netlist"));
+  FlowConfig other_data = flow;
+  other_data.dataset_name = "redwine";
+  EXPECT_NE(base, eval_fingerprint(other_data, eval, "proxy"));
+  FlowConfig other_seed = flow;
+  other_seed.seed += 1;
+  EXPECT_NE(base, eval_fingerprint(other_seed, eval, "proxy"));
+  EvalConfig other_eval = eval;
+  other_eval.finetune_epochs += 1;
+  EXPECT_NE(base, eval_fingerprint(flow, other_eval, "proxy"));
+  EvalConfig test_split = eval;
+  test_split.use_test_set = true;
+  EXPECT_NE(base, eval_fingerprint(flow, test_split, "proxy"));
+  // Defaulted hidden widths fingerprint like the explicit default.
+  FlowConfig explicit_hidden = flow;
+  explicit_hidden.hidden = MinimizationFlow::default_hidden("seeds");
+  EXPECT_EQ(base, eval_fingerprint(explicit_hidden, eval, "proxy"));
+}
+
+TEST(Campaign, WarmRerunIsByteIdenticalAndFullyCached) {
+  CampaignSpec spec = tiny_spec();
+  spec.datasets = {"seeds", "redwine"};
+  spec.store_dir = fresh_store_dir("warm");
+
+  CampaignResult cold = CampaignRunner(spec).run();
+  ASSERT_EQ(cold.runs.size(), 2u);
+  EXPECT_GT(cold.total_cache_misses(), 0u);  // everything evaluated fresh
+  EXPECT_EQ(cold.total_store_loaded(), 0u);
+  for (const CampaignRunResult& run : cold.runs) {
+    EXPECT_FALSE(run.front.empty());
+    EXPECT_GT(run.distinct_evaluations, 0u);
+  }
+
+  // A second runner (a "new process" as far as the cache is concerned):
+  // everything must come from the store.
+  CampaignResult warm = CampaignRunner(spec).run();
+  EXPECT_EQ(warm.total_cache_misses(), 0u);  // zero re-evaluations
+  EXPECT_GT(warm.total_cache_hits(), 0u);
+  EXPECT_GT(warm.total_store_loaded(), 0u);
+  EXPECT_EQ(cold.fronts_json(), warm.fronts_json());  // byte-identical
+  ASSERT_EQ(cold.runs.size(), warm.runs.size());
+  for (std::size_t i = 0; i < cold.runs.size(); ++i) {
+    EXPECT_EQ(cold.runs[i].front, warm.runs[i].front);
+    EXPECT_EQ(cold.runs[i].baseline, warm.runs[i].baseline);
+  }
+}
+
+TEST(Campaign, StoredRunMatchesUncachedRun) {
+  // The persistence layer must be invisible in the results: a campaign
+  // with a store produces exactly the bytes of one without.
+  CampaignSpec stored = tiny_spec();
+  stored.store_dir = fresh_store_dir("uncached_ref");
+  CampaignSpec unstored = tiny_spec();
+  ASSERT_TRUE(unstored.store_dir.empty());
+
+  const CampaignResult with_store = CampaignRunner(stored).run();
+  const CampaignResult without_store = CampaignRunner(unstored).run();
+  EXPECT_EQ(with_store.fronts_json(), without_store.fronts_json());
+  // And an unstored campaign is deterministic run to run.
+  const CampaignResult again = CampaignRunner(unstored).run();
+  EXPECT_EQ(without_store.fronts_json(), again.fronts_json());
+}
+
+TEST(Campaign, MergedFrontIsNonDominatedAcrossSeeds) {
+  CampaignSpec spec = tiny_spec();
+  spec.seeds = {5, 6};
+  const CampaignResult result = CampaignRunner(spec).run();
+  ASSERT_EQ(result.runs.size(), 2u);
+  const std::vector<DesignPoint> merged = result.merged_front("seeds");
+  ASSERT_FALSE(merged.empty());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].area_mm2, merged[i - 1].area_mm2);  // ascending area
+  }
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    for (std::size_t j = 0; j < merged.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(merged[i], merged[j]));
+      }
+    }
+  }
+  EXPECT_TRUE(result.merged_front("no_such_dataset").empty());
+}
+
+TEST(Campaign, ReportsNameDatasetsAndStats) {
+  CampaignSpec spec = tiny_spec();
+  const CampaignResult result = CampaignRunner(spec).run();
+  const std::string md = result.report_markdown();
+  EXPECT_NE(md.find("## seeds"), std::string::npos);
+  EXPECT_NE(md.find("Merged front"), std::string::npos);
+  EXPECT_NE(md.find("Evaluation cache"), std::string::npos);
+  const std::string fronts = result.fronts_json();
+  EXPECT_NE(fronts.find("\"dataset\": \"seeds\""), std::string::npos);
+  EXPECT_NE(fronts.find("\"merged_front\""), std::string::npos);
+  const std::string report = result.report_json();
+  EXPECT_NE(report.find("\"total_cache_hits\""), std::string::npos);
+  EXPECT_NE(report.find("\"baseline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnm

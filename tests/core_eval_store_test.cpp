@@ -1,0 +1,279 @@
+/// Tests for the persistent evaluation store: exact round-trips,
+/// corruption/truncation recovery, version and fingerprint handling,
+/// concurrent writers, and the CachedEvaluator backing integration.
+
+#include "pnm/core/eval_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "pnm/core/eval.hpp"
+#include "pnm/util/fileio.hpp"
+
+namespace pnm {
+namespace {
+
+/// Fresh per-test store path under the test temp dir.
+std::string store_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "pnm_" + name + ".evalstore";
+  std::filesystem::remove(path);
+  return path;
+}
+
+DesignPoint make_point(double accuracy, double area) {
+  DesignPoint p;
+  p.technique = "ga";
+  p.config = "b4,3|s20,40|c0,4";
+  p.accuracy = accuracy;
+  p.area_mm2 = area;
+  p.power_uw = accuracy * 3.0;
+  p.delay_ms = area / 7.0;
+  return p;
+}
+
+TEST(EvalStore, RoundTripIsBitExact) {
+  const std::string path = store_path("roundtrip");
+  // Doubles that don't have short decimal forms must still round-trip
+  // exactly — the byte-identical-front guarantee rests on this.
+  const std::vector<double> values = {1.0 / 3.0,
+                                      0.1,
+                                      6.02214076e23,
+                                      5e-324,
+                                      -0.0,
+                                      2.0,
+                                      0.8571428571428571,
+                                      std::numeric_limits<double>::infinity(),
+                                      -std::numeric_limits<double>::infinity()};
+  {
+    EvalStore store(path, "fpA");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      store.put("k" + std::to_string(i), make_point(values[i], values[i] * 2.0));
+    }
+    EXPECT_EQ(store.size(), values.size());
+    EXPECT_EQ(store.loaded(), 0u);
+  }
+  EvalStore reopened(path, "fpA");
+  EXPECT_EQ(reopened.loaded(), values.size());
+  EXPECT_EQ(reopened.corrupt_dropped(), 0u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto point = reopened.lookup("k" + std::to_string(i));
+    ASSERT_TRUE(point.has_value());
+    EXPECT_EQ(*point, make_point(values[i], values[i] * 2.0));
+  }
+  EXPECT_FALSE(reopened.lookup("missing").has_value());
+}
+
+TEST(EvalStore, ParseDoubleStrictCoversNonFiniteAndRejectsGarbage) {
+  // ostream renders non-finite doubles as inf/-inf/nan; the strict
+  // parser must take them back (istream >> double refuses them).
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(parse_double_strict(format_double_roundtrip(inf)), inf);
+  EXPECT_EQ(parse_double_strict(format_double_roundtrip(-inf)), -inf);
+  const auto nan = parse_double_strict(
+      format_double_roundtrip(std::numeric_limits<double>::quiet_NaN()));
+  ASSERT_TRUE(nan.has_value());
+  EXPECT_TRUE(std::isnan(*nan));
+  EXPECT_FALSE(parse_double_strict("").has_value());
+  EXPECT_FALSE(parse_double_strict("infx").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5garbage").has_value());
+  EXPECT_FALSE(parse_double_strict("  2.0").has_value());
+}
+
+TEST(EvalStore, TruncatedFinalLineIsDroppedAndCompacted) {
+  const std::string path = store_path("truncated");
+  {
+    EvalStore store(path, "fp");
+    store.put("a", make_point(0.9, 10.0));
+    store.put("b", make_point(0.8, 8.0));
+  }
+  // Simulate a crash mid-append: a final record missing its newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "c\tga\tcfg\t0.5\t5";
+  }
+  EvalStore recovered(path, "fp");
+  EXPECT_EQ(recovered.loaded(), 2u);
+  EXPECT_EQ(recovered.corrupt_dropped(), 1u);
+  EXPECT_TRUE(recovered.lookup("a").has_value());
+  EXPECT_TRUE(recovered.lookup("b").has_value());
+  EXPECT_FALSE(recovered.lookup("c").has_value());
+  // Recovery compacted the file: a third open sees a clean store.
+  EvalStore clean(path, "fp");
+  EXPECT_EQ(clean.loaded(), 2u);
+  EXPECT_EQ(clean.corrupt_dropped(), 0u);
+}
+
+TEST(EvalStore, CorruptMiddleLinesAreSkippedNotFatal) {
+  const std::string path = store_path("corrupt");
+  {
+    EvalStore store(path, "fp");
+    store.put("good1", make_point(0.9, 10.0));
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "bad line without enough fields\n";
+    out << "badnum\tga\tcfg\tNOTANUMBER\t1\t2\t3\n";
+    out << "good2\tga\tcfg\t0.5\t5\t0\t0\n";
+  }
+  EvalStore store(path, "fp");
+  EXPECT_EQ(store.corrupt_dropped(), 2u);
+  EXPECT_EQ(store.loaded(), 2u);
+  EXPECT_TRUE(store.lookup("good1").has_value());
+  ASSERT_TRUE(store.lookup("good2").has_value());
+  EXPECT_EQ(store.lookup("good2")->accuracy, 0.5);
+  // And the rewrite healed the file.
+  EvalStore healed(path, "fp");
+  EXPECT_EQ(healed.corrupt_dropped(), 0u);
+  EXPECT_EQ(healed.loaded(), 2u);
+}
+
+TEST(EvalStore, VersionMismatchIsRejected) {
+  const std::string path = store_path("version");
+  ASSERT_TRUE(write_text_file_atomic(
+      path, "pnm-eval-store v999 fp\nk\tga\tcfg\t1\t2\t3\t4\n"));
+  EXPECT_THROW(EvalStore(path, "fp"), std::runtime_error);
+  // The refused file is left untouched for the newer tool that wrote it.
+  EXPECT_EQ(read_text_file(path)->substr(0, 20), "pnm-eval-store v999 ");
+}
+
+TEST(EvalStore, NonStoreFileIsRejected) {
+  const std::string path = store_path("notastore");
+  ASSERT_TRUE(write_text_file_atomic(path, "just some text\nmore text\n"));
+  EXPECT_THROW(EvalStore(path, "fp"), std::runtime_error);
+}
+
+TEST(EvalStore, FingerprintMismatchInvalidatesButIsolates) {
+  const std::string path = store_path("fingerprint");
+  {
+    EvalStore store(path, "configA");
+    store.put("a1", make_point(0.9, 10.0));
+    store.put("a2", make_point(0.8, 8.0));
+  }
+  // Same path, different config: nothing may be reused.
+  EvalStore other(path, "configB");
+  EXPECT_EQ(other.loaded(), 0u);
+  EXPECT_EQ(other.invalidated(), 2u);
+  EXPECT_FALSE(other.lookup("a1").has_value());
+  other.put("b1", make_point(0.7, 7.0));
+  // The file now belongs to configB: reopening under it sees only b1.
+  EvalStore reopened(path, "configB");
+  EXPECT_EQ(reopened.loaded(), 1u);
+  EXPECT_TRUE(reopened.lookup("b1").has_value());
+  EXPECT_FALSE(reopened.lookup("a1").has_value());
+}
+
+TEST(EvalStore, RejectsMalformedKeysAndFingerprints) {
+  const std::string path = store_path("malformed");
+  EXPECT_THROW(EvalStore(path, ""), std::invalid_argument);
+  EXPECT_THROW(EvalStore(path, "two tokens"), std::invalid_argument);
+  EvalStore store(store_path("malformed2"), "fp");
+  EXPECT_THROW(store.put("", make_point(1, 1)), std::invalid_argument);
+  EXPECT_THROW(store.put("tab\tkey", make_point(1, 1)), std::invalid_argument);
+  DesignPoint bad = make_point(1, 1);
+  bad.technique = "has\nnewline";
+  EXPECT_THROW(store.put("ok", bad), std::invalid_argument);
+}
+
+TEST(EvalStore, DuplicatePutKeepsFirstRecord) {
+  const std::string path = store_path("duplicate");
+  EvalStore store(path, "fp");
+  store.put("k", make_point(0.9, 10.0));
+  store.put("k", make_point(0.1, 1.0));  // deterministic pipeline: same key
+                                         // can only mean the same result
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.lookup("k")->accuracy, 0.9);
+  EvalStore reopened(path, "fp");
+  EXPECT_EQ(reopened.loaded(), 1u);
+  EXPECT_EQ(reopened.lookup("k")->accuracy, 0.9);
+}
+
+TEST(EvalStore, ConcurrentWritersAllFlushed) {
+  const std::string path = store_path("concurrent");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 25;
+  {
+    EvalStore store(path, "fp");
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&store, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::string key =
+              "t" + std::to_string(t) + "_" + std::to_string(i);
+          store.put(key, make_point(0.5 + static_cast<double>(i) * 1e-3,
+                                    static_cast<double>(t)));
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    EXPECT_EQ(store.size(), kThreads * kPerThread);
+  }
+  EvalStore reopened(path, "fp");
+  EXPECT_EQ(reopened.corrupt_dropped(), 0u);
+  EXPECT_EQ(reopened.loaded(), kThreads * kPerThread);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(reopened
+                      .lookup("t" + std::to_string(t) + "_" + std::to_string(i))
+                      .has_value());
+    }
+  }
+}
+
+// ---- CachedEvaluator integration ----------------------------------------
+
+Genome tiny_genome(int bits) {
+  Genome g;
+  g.weight_bits = {bits};
+  g.sparsity_pct = {10};
+  g.clusters = {0};
+  return g;
+}
+
+TEST(EvalStore, CachedEvaluatorPreloadsAndWritesThrough) {
+  const std::string path = store_path("cached");
+  std::atomic<int> calls{0};
+  FunctionEvaluator inner([&calls](const Genome& g) {
+    ++calls;
+    GenomeFitness f;
+    f.accuracy = 0.5 + 0.01 * static_cast<double>(g.weight_bits[0]);
+    f.area_mm2 = 10.0 * static_cast<double>(g.weight_bits[0]);
+    return f;
+  });
+
+  std::vector<DesignPoint> cold_points;
+  {
+    EvalStore store(path, "fp");
+    CachedEvaluator cached(inner, store);
+    EXPECT_EQ(cached.loaded(), 0u);
+    for (int bits : {2, 3, 4}) cold_points.push_back(cached.evaluate(tiny_genome(bits)));
+    cached.evaluate(tiny_genome(2));  // in-memory hit, no extra inner call
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(cached.hits(), 1u);
+    EXPECT_EQ(cached.misses(), 3u);
+    EXPECT_EQ(store.size(), 3u);
+  }
+  // A new process: the store preloads the cache, the inner evaluator is
+  // never called again, and results are bit-identical.
+  EvalStore store(path, "fp");
+  CachedEvaluator warm(inner, store);
+  EXPECT_EQ(warm.loaded(), 3u);
+  const std::vector<Genome> batch = {tiny_genome(2), tiny_genome(3), tiny_genome(4)};
+  const std::vector<DesignPoint> warm_points = warm.evaluate_batch(batch);
+  EXPECT_EQ(calls.load(), 3);  // unchanged: zero re-evaluations
+  EXPECT_EQ(warm.hits(), 3u);
+  EXPECT_EQ(warm.misses(), 0u);
+  ASSERT_EQ(warm_points.size(), cold_points.size());
+  for (std::size_t i = 0; i < warm_points.size(); ++i) {
+    EXPECT_EQ(warm_points[i], cold_points[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pnm
