@@ -1,0 +1,196 @@
+/// \file shard_bench.cpp
+/// \brief Sharded-campaign benchmark and determinism gate: runs the same
+///        tiny two-dataset GA campaign once serially and once drained by
+///        two real worker *processes* sharing one store directory, and
+///        records both wall times in BENCH_shard.json.
+///
+/// The headline invariant of the cross-process scheduler is measured,
+/// not assumed: the two-worker run must produce a merged fronts_json
+/// byte-identical to the serial run's, the shared store must contain
+/// zero duplicate evaluation records, and the workers' total fresh
+/// evaluations must equal the serial run's (a duplicated cell or a
+/// claim-protocol hole would show up as extra misses).  Exit status is
+/// nonzero when any of these fails — CI treats that as a red build — so
+/// the record in BENCH_shard.json is always a verified one.
+///
+/// Wall-time note: on a single-core container the two-worker time is
+/// expected to be *worse* than serial (two processes time-slicing one
+/// core); the record exists to track the trajectory on real multi-core
+/// hosts, where the cells parallelize.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "pnm/core/campaign.hpp"
+#include "pnm/core/eval_store.hpp"
+#include "pnm/util/fileio.hpp"
+
+namespace {
+
+pnm::CampaignSpec bench_spec(const std::string& store_dir) {
+  pnm::CampaignSpec spec;
+  spec.datasets = {"seeds", "redwine"};
+  spec.seeds = {7};
+  spec.base.train.epochs = 20;
+  spec.base.finetune_epochs = 5;
+  spec.ga.population = 12;
+  spec.ga.generations = 6;
+  spec.store_dir = store_dir;
+  return spec;
+}
+
+/// Total duplicate records across every eval store in the campaign's
+/// store directory.
+std::size_t store_duplicates(const std::string& store_dir) {
+  std::size_t duplicates = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(store_dir, ec);
+  if (ec) return duplicates;
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (!entry.is_directory(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 10 || name.substr(name.size() - 10) != ".evalstore") continue;
+    duplicates += pnm::EvalStore::count_duplicate_records(entry.path().string());
+  }
+  return duplicates;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pnm;
+
+  const std::string serial_store = "shard_bench_store_serial";
+  const std::string shard_store = "shard_bench_store_2worker";
+  std::error_code ec;
+  std::filesystem::remove_all(serial_store, ec);
+  std::filesystem::remove_all(shard_store, ec);
+
+  // Serial reference: every cell in this process.
+  std::string serial_fronts;
+  std::size_t serial_misses = 0;
+  double serial_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    CampaignResult serial = CampaignRunner(bench_spec(serial_store)).run();
+    serial_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    serial_fronts = serial.fronts_json();
+    serial_misses = serial.total_cache_misses();
+  }
+  std::cout << "-- serial: " << serial_seconds << " s, " << serial_misses
+            << " fresh evaluations --\n";
+
+  // Two worker processes drain the same campaign into one shared store.
+  // Forked before any runner exists in this process, so no thread pool
+  // crosses the fork; each child claims cells dynamically (no static
+  // shard) to exercise the work-queue path.
+  std::fflush(nullptr);
+  const auto shard_start = std::chrono::steady_clock::now();
+  pid_t children[2] = {0, 0};
+  for (std::size_t j = 0; j < 2; ++j) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      CampaignSpec spec = bench_spec(shard_store);
+      spec.writer_id = j;  // preferred store segment (probing makes any id safe)
+      int status = 0;
+      try {
+        CampaignRunner worker(std::move(spec));
+        worker.run_worker();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "worker %zu: %s\n", j, e.what());
+        status = 1;
+      }
+      std::fflush(nullptr);
+      _exit(status);
+    }
+    children[j] = pid;
+  }
+  bool worker_failed = false;
+  for (pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      worker_failed = true;
+    }
+  }
+  const std::optional<CampaignResult> sharded =
+      worker_failed ? std::nullopt : collect_campaign(bench_spec(shard_store));
+  const double shard_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - shard_start)
+          .count();
+  if (worker_failed || !sharded) {
+    std::cerr << "FAIL: " << (worker_failed ? "a worker process exited abnormally"
+                                            : "collect found missing/stale cells")
+              << "\n";
+    return 1;
+  }
+
+  const std::string shard_fronts = sharded->fronts_json();
+  const std::size_t shard_misses = sharded->total_cache_misses();
+  const std::size_t duplicates = store_duplicates(shard_store);
+  const bool fronts_identical = (shard_fronts == serial_fronts);
+  const bool no_duplicate_evals = (shard_misses == serial_misses);
+  const double speedup = shard_seconds > 0.0 ? serial_seconds / shard_seconds : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::cout << "-- 2-worker: " << shard_seconds << " s, " << shard_misses
+            << " fresh evaluations across both workers --\n"
+            << "  fronts byte-identical to serial: "
+            << (fronts_identical ? "yes" : "NO (BUG)") << '\n'
+            << "  duplicate records in shared store: " << duplicates << '\n'
+            << "  speedup vs serial: " << speedup << "x (on " << cores
+            << " core(s))\n";
+
+  std::ofstream json("BENCH_shard.json");
+  if (!json) {
+    std::cerr << "error: cannot write BENCH_shard.json\n";
+    return 1;
+  }
+  json << "[\n  {\"bench\": \"campaign_shard_2worker\""
+       << ", \"datasets\": " << sharded->datasets.size()
+       << ", \"seeds\": 1"
+       << ", \"cells\": " << sharded->runs.size()
+       << ", \"workers\": 2"
+       << ", \"machine_cores\": " << cores
+       << ", \"serial_seconds\": " << format_double_roundtrip(serial_seconds)
+       << ", \"two_worker_seconds\": " << format_double_roundtrip(shard_seconds)
+       << ", \"speedup_two_worker_vs_serial\": " << format_double_roundtrip(speedup)
+       << ", \"serial_misses\": " << serial_misses
+       << ", \"two_worker_misses\": " << shard_misses
+       << ", \"duplicate_store_records\": " << duplicates
+       << ", \"fronts_identical\": " << (fronts_identical ? "true" : "false")
+       << "}\n]\n";
+  std::cout << "(wrote BENCH_shard.json)\n";
+
+  if (!fronts_identical) {
+    std::cerr << "FAIL: 2-worker merged fronts differ from the serial run\n";
+    return 1;
+  }
+  if (duplicates != 0) {
+    std::cerr << "FAIL: " << duplicates
+              << " duplicate evaluation record(s) in the shared store\n";
+    return 1;
+  }
+  if (!no_duplicate_evals) {
+    std::cerr << "FAIL: workers evaluated " << shard_misses
+              << " genomes fresh, serial evaluated " << serial_misses
+              << " — a cell ran twice or a claim leaked\n";
+    return 1;
+  }
+  return 0;
+}

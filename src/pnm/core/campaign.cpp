@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -21,6 +22,33 @@ void append_kv(std::string& out, const char* key, const std::string& value) {
 }
 
 std::string bool_str(bool b) { return b ? "1" : "0"; }
+
+constexpr char kCellMagic[] = "pnm-campaign-cell";
+constexpr int kCellVersion = 1;
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines = split_fields(text, '\n');
+  // A trailing newline (every well-formed cell file has one) is not an
+  // empty final line.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+/// parse_u64_strict (util/fileio.hpp) narrowed to the size_t counters.
+std::optional<std::size_t> parse_size_strict(std::string_view token) {
+  const std::optional<std::uint64_t> v = parse_u64_strict(token);
+  if (!v || *v > std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+std::string cell_name(const std::string& dataset, std::uint64_t seed) {
+  return dataset + "_s" + std::to_string(seed);
+}
+
+std::string cell_file_path(const std::string& store_dir, const std::string& dataset,
+                           std::uint64_t seed) {
+  return store_dir + "/cells/" + cell_name(dataset, seed) + ".cell";
+}
 
 /// One JSON object per design point; doubles round-trip exactly, so the
 /// same DesignPoint always renders to the same bytes.
@@ -119,6 +147,129 @@ void CampaignSpec::validate() const {
   }
   require_unique_nonempty(seeds, "seed");
   ga.validate();
+}
+
+std::string cell_fingerprint(const CampaignSpec& spec, const std::string& dataset,
+                             std::uint64_t seed) {
+  FlowConfig cell = spec.base;
+  cell.dataset_name = dataset;
+  cell.seed = seed;
+  // The two store fingerprints already cover everything evaluation-side
+  // (dataset, seed, topology, recipe, bits, sharing, backend, split); the
+  // GA knobs on top decide which genomes get evaluated and in what
+  // order, so they shape the front too.
+  std::string canon;
+  canon.reserve(512);
+  append_kv(canon, "cell_version", std::to_string(kCellVersion));
+  append_kv(canon, "proxy_fp",
+            eval_fingerprint(cell,
+                             MinimizationFlow::eval_config_for(
+                                 cell, spec.ga_finetune_epochs, false),
+                             "proxy"));
+  append_kv(canon, "netlist_fp",
+            eval_fingerprint(cell,
+                             MinimizationFlow::eval_config_for(
+                                 cell, cell.finetune_epochs, true),
+                             "netlist"));
+  append_kv(canon, "population", std::to_string(spec.ga.population));
+  append_kv(canon, "generations", std::to_string(spec.ga.generations));
+  append_kv(canon, "crossover", format_double_roundtrip(spec.ga.crossover_prob));
+  append_kv(canon, "mutation", format_double_roundtrip(spec.ga.mutation_prob));
+  append_kv(canon, "min_bits", std::to_string(spec.ga.min_bits));
+  append_kv(canon, "max_bits", std::to_string(spec.ga.max_bits));
+  std::string choices;
+  for (int s : spec.ga.sparsity_choices) choices += std::to_string(s) + ",";
+  append_kv(canon, "sparsity_choices", choices);
+  choices.clear();
+  for (int c : spec.ga.cluster_choices) choices += std::to_string(c) + ",";
+  append_kv(canon, "cluster_choices", choices);
+  choices.clear();
+  for (int t : spec.ga.acc_shift_choices) choices += std::to_string(t) + ",";
+  append_kv(canon, "acc_shift_choices", choices);
+  append_kv(canon, "ga_finetune", std::to_string(spec.ga_finetune_epochs));
+  return fnv1a64_hex(canon);
+}
+
+// ---- Cell result files --------------------------------------------------
+
+std::string format_cell_result(const CampaignRunResult& run,
+                               const std::string& cell_fp) {
+  std::string out = std::string(kCellMagic) + " v" + std::to_string(kCellVersion) +
+                    " " + cell_fp + "\n";
+  out += "dataset\t" + run.dataset + "\n";
+  out += "seed\t" + std::to_string(run.seed) + "\n";
+  out += "stats\t" + std::to_string(run.distinct_evaluations) + "\t" +
+         std::to_string(run.cache_hits) + "\t" + std::to_string(run.cache_misses) +
+         "\t" + std::to_string(run.store_loaded) + "\t" +
+         format_double_roundtrip(run.seconds) + "\n";
+  out += format_eval_record("baseline", run.baseline);
+  out += "front\t" + std::to_string(run.front.size()) + "\n";
+  for (const DesignPoint& p : run.front) out += format_eval_record("point", p);
+  return out;
+}
+
+std::optional<CampaignRunResult> parse_cell_result(std::string_view text,
+                                                   const std::string& cell_fp) {
+  const std::vector<std::string_view> lines = split_lines(text);
+  // Header, dataset, seed, stats, baseline, front count — then the front.
+  if (lines.size() < 6) return std::nullopt;
+  {
+    const std::vector<std::string_view> tokens = split_fields(lines[0], ' ');
+    if (tokens.size() != 3 || tokens[0] != kCellMagic ||
+        tokens[1] != "v" + std::to_string(kCellVersion) || tokens[2] != cell_fp) {
+      return std::nullopt;
+    }
+  }
+  CampaignRunResult run;
+  constexpr std::string_view kDatasetTag = "dataset\t";
+  if (lines[1].substr(0, kDatasetTag.size()) != kDatasetTag) return std::nullopt;
+  run.dataset.assign(lines[1].substr(kDatasetTag.size()));
+  if (run.dataset.empty()) return std::nullopt;
+
+  constexpr std::string_view kSeedTag = "seed\t";
+  if (lines[2].substr(0, kSeedTag.size()) != kSeedTag) return std::nullopt;
+  const auto seed = parse_u64_strict(lines[2].substr(kSeedTag.size()));
+  if (!seed) return std::nullopt;
+  run.seed = *seed;
+
+  constexpr std::string_view kStatsTag = "stats\t";
+  if (lines[3].substr(0, kStatsTag.size()) != kStatsTag) return std::nullopt;
+  {
+    const std::vector<std::string_view> fields =
+        split_fields(lines[3].substr(kStatsTag.size()), '\t');
+    if (fields.size() != 5) return std::nullopt;
+    const auto distinct = parse_size_strict(fields[0]);
+    const auto hits = parse_size_strict(fields[1]);
+    const auto misses = parse_size_strict(fields[2]);
+    const auto loaded = parse_size_strict(fields[3]);
+    const auto seconds = parse_double_strict(fields[4]);
+    if (!distinct || !hits || !misses || !loaded || !seconds) return std::nullopt;
+    run.distinct_evaluations = *distinct;
+    run.cache_hits = *hits;
+    run.cache_misses = *misses;
+    run.store_loaded = *loaded;
+    run.seconds = *seconds;
+  }
+
+  std::string tag;
+  if (!parse_eval_record(lines[4], tag, run.baseline) || tag != "baseline") {
+    return std::nullopt;
+  }
+
+  constexpr std::string_view kFrontTag = "front\t";
+  if (lines[5].substr(0, kFrontTag.size()) != kFrontTag) return std::nullopt;
+  const auto front_size = parse_size_strict(lines[5].substr(kFrontTag.size()));
+  if (!front_size) return std::nullopt;
+  if (lines.size() != 6 + *front_size) return std::nullopt;
+  run.front.reserve(*front_size);
+  for (std::size_t i = 0; i < *front_size; ++i) {
+    DesignPoint point;
+    if (!parse_eval_record(lines[6 + i], tag, point) || tag != "point") {
+      return std::nullopt;
+    }
+    run.front.push_back(std::move(point));
+  }
+  return run;
 }
 
 // ---- CampaignResult -----------------------------------------------------
@@ -300,9 +451,10 @@ CampaignRunResult CampaignRunner::run_cell(const std::string& dataset,
         config, flow.eval_config(config.finetune_epochs, true), "netlist");
     const std::string stem =
         spec_.store_dir + "/" + dataset + "_s" + std::to_string(seed);
-    proxy_store.emplace(stem + "_proxy_" + proxy_fp + ".evalstore", proxy_fp);
+    proxy_store.emplace(stem + "_proxy_" + proxy_fp + ".evalstore", proxy_fp,
+                        spec_.writer_id);
     netlist_store.emplace(stem + "_netlist_" + netlist_fp + ".evalstore",
-                          netlist_fp);
+                          netlist_fp, spec_.writer_id);
     fitness.emplace(proxy_parallel, *proxy_store);
     front_eval.emplace(netlist_parallel, *netlist_store);
   } else {
@@ -326,6 +478,96 @@ CampaignRunResult CampaignRunner::run_cell(const std::string& dataset,
                                               start)
                     .count();
   return run;
+}
+
+CampaignWorkerResult CampaignRunner::run_worker(std::size_t shard_id,
+                                                std::size_t num_shards) {
+  if (spec_.store_dir.empty()) {
+    throw std::invalid_argument(
+        "CampaignRunner::run_worker: a store_dir is required — the claim "
+        "files, cell results, and eval stores all live there");
+  }
+  if (num_shards == 0 || shard_id >= num_shards) {
+    throw std::invalid_argument(
+        "CampaignRunner::run_worker: need num_shards >= 1 and shard_id < "
+        "num_shards");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::string claims_dir = spec_.store_dir + "/claims";
+  if (!create_directories(claims_dir) ||
+      !create_directories(spec_.store_dir + "/cells")) {
+    throw std::runtime_error("CampaignRunner::run_worker: cannot create " +
+                             spec_.store_dir + "/{claims,cells}");
+  }
+
+  CampaignWorkerResult out;
+  std::size_t index = 0;
+  for (const std::string& dataset : spec_.datasets) {
+    for (std::uint64_t seed : spec_.seeds) {
+      const std::size_t cell_index = index++;
+      if (cell_index % num_shards != shard_id) {
+        ++out.cells_skipped_other_shard;
+        continue;
+      }
+      const std::string cell_path = cell_file_path(spec_.store_dir, dataset, seed);
+      const std::string fp = cell_fingerprint(spec_, dataset, seed);
+      const auto published = [&] {
+        const std::optional<std::string> text = read_text_file(cell_path);
+        return text && parse_cell_result(*text, fp).has_value();
+      };
+      if (published()) {
+        ++out.cells_skipped_done;
+        continue;
+      }
+      const std::optional<FileLock> claim = FileLock::try_exclusive(
+          claims_dir + "/" + cell_name(dataset, seed) + ".claim");
+      if (!claim) {
+        // A *live* process holds the claim (a dead one's flock would have
+        // been released by the kernel); it will publish the cell itself.
+        ++out.cells_skipped_claimed;
+        continue;
+      }
+      if (published()) {
+        // Raced: the previous owner published between our check and our
+        // claim.  Nothing to recompute.
+        ++out.cells_skipped_done;
+        continue;
+      }
+      const CampaignRunResult run = run_cell(dataset, seed);
+      if (!write_text_file_atomic(cell_path, format_cell_result(run, fp))) {
+        throw std::runtime_error(
+            "CampaignRunner::run_worker: cannot publish cell result " +
+            cell_path);
+      }
+      ++out.cells_run;
+    }
+  }
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  return out;
+}
+
+std::optional<CampaignResult> collect_campaign(const CampaignSpec& spec) {
+  spec.validate();
+  if (spec.store_dir.empty()) {
+    throw std::invalid_argument(
+        "collect_campaign: a store_dir is required — cell results live there");
+  }
+  CampaignResult result;
+  result.datasets = spec.datasets;
+  for (const std::string& dataset : spec.datasets) {
+    for (std::uint64_t seed : spec.seeds) {
+      const std::optional<std::string> text =
+          read_text_file(cell_file_path(spec.store_dir, dataset, seed));
+      if (!text) return std::nullopt;
+      std::optional<CampaignRunResult> run =
+          parse_cell_result(*text, cell_fingerprint(spec, dataset, seed));
+      if (!run) return std::nullopt;
+      result.runs.push_back(std::move(*run));
+    }
+  }
+  return result;
 }
 
 }  // namespace pnm

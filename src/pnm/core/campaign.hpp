@@ -4,8 +4,9 @@
 /// \file campaign.hpp
 /// \brief Multi-dataset GA campaigns: the Fig. 2 hardware-aware search
 ///        run as a declarative N-datasets x M-seeds spec, with shared
-///        evaluation workers, persistent result stores, and a merged
-///        per-dataset Pareto-front report.
+///        evaluation workers, persistent result stores, a merged
+///        per-dataset Pareto-front report — and a cross-process work
+///        queue so N worker processes drain one campaign together.
 ///
 /// A campaign is the ROADMAP's "multi-dataset GA campaigns" workload made
 /// first-class.  For every (dataset, seed) cell the runner prepares a
@@ -24,14 +25,32 @@
 /// the store round-trips doubles exactly — asserted in
 /// tests/core_campaign_test.cpp and in CI).
 ///
+/// Cross-process scheduling: run() executes every cell in-process, in
+/// spec order.  run_worker() instead treats each cell as a *claimable
+/// unit* in the shared store directory — a worker flock-claims
+/// `claims/<cell>.claim`, runs the cell, and atomically publishes its
+/// result as `cells/<cell>.cell`; cells already published are skipped,
+/// cells claimed by a *live* worker are left to it, and a crashed
+/// worker's claim evaporates with its process (kernel-released flock),
+/// so the next pass simply recomputes the unpublished cell.  Because
+/// every cell is deterministic, N workers draining one campaign — on one
+/// machine, or on hosts sharing a filesystem with working flock()
+/// semantics (local disks / NFSv4-class mounts) — produce cell files
+/// byte-identical to a serial run's in-memory results, and
+/// collect_campaign() reassembles them into the same CampaignResult
+/// (gated in tests, bench/shard_bench.cpp, and CI).
+///
 /// Reports: CampaignResult renders the merged per-dataset Pareto fronts
-/// as deterministic JSON (fronts_json — stable across warm/cold runs, the
-/// artifact CI byte-compares), a full JSON report with cache/timing stats
-/// (report_json), and a human-readable markdown table (report_markdown).
+/// as deterministic JSON (fronts_json — stable across warm/cold runs and
+/// across process counts, the artifact CI byte-compares), a full JSON
+/// report with cache/timing stats (report_json), and a human-readable
+/// markdown table (report_markdown).
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pnm/core/eval.hpp"
@@ -56,6 +75,11 @@ namespace pnm {
 /// is NOT distinguished by its content — if you persist results for
 /// such a flow, mix your own content hash (e.g. fnv1a64_hex over the
 /// raw samples) into the dataset_name before fingerprinting.
+///
+/// \param flow     the cell's flow configuration (dataset, seed, recipe).
+/// \param eval     the evaluation-side knobs (bits, budget, sharing).
+/// \param backend  cost backend name ("proxy" or "netlist").
+/// \return a 16-hex-digit whitespace-free token.
 std::string eval_fingerprint(const FlowConfig& flow, const EvalConfig& eval,
                              const std::string& backend);
 
@@ -87,10 +111,30 @@ struct CampaignSpec {
   /// Shared worker-pool size; 0 selects the hardware concurrency.
   std::size_t threads = 0;
 
+  /// Preferred EvalStore segment id for this *process* (see
+  /// EvalStore::EvalStore): cooperating worker processes pass distinct
+  /// ids (e.g. their shard id) so each lands on its preferred segment
+  /// without probing.  Collisions are still safe — the store probes to
+  /// the next free segment — so the default 0 is always correct.
+  std::size_t writer_id = 0;
+
   /// \throws std::invalid_argument on an empty/duplicated dataset or
   /// seed list (GaConfig::validate covers the GA fields).
   void validate() const;
 };
+
+/// Stable identity of one (dataset, seed) cell under a spec: a hash over
+/// both backend eval_fingerprint()s plus every GA knob that shapes the
+/// search.  Stamped into the cell's published result file, so a result
+/// computed under a different spec is treated as absent (stale) rather
+/// than merged — the campaign-level analog of the store fingerprint.
+///
+/// \param spec     the campaign the cell belongs to.
+/// \param dataset  the cell's dataset name.
+/// \param seed     the cell's flow seed.
+/// \return a 16-hex-digit whitespace-free token.
+std::string cell_fingerprint(const CampaignSpec& spec, const std::string& dataset,
+                             std::uint64_t seed);
 
 /// Outcome of one (dataset, seed) cell.
 struct CampaignRunResult {
@@ -103,6 +147,37 @@ struct CampaignRunResult {
   std::size_t cache_misses = 0;        ///< fresh evaluations actually run
   std::size_t store_loaded = 0;        ///< records preloaded from disk
   double seconds = 0.0;                ///< wall time of the cell
+};
+
+/// Serializes one cell outcome as the deterministic text published under
+/// `cells/` by run_worker() (doubles round-trip exactly, so a collected
+/// campaign renders byte-identical fronts to an in-process one).
+///
+/// \param run      the cell outcome to serialize.
+/// \param cell_fp  the cell's cell_fingerprint(), stamped in the header.
+/// \return the full file content.
+std::string format_cell_result(const CampaignRunResult& run,
+                               const std::string& cell_fp);
+
+/// Parses a published cell file back.
+///
+/// \param text     full file content.
+/// \param cell_fp  the expected cell_fingerprint(); a mismatch (spec
+///                 changed since the cell was computed) fails the parse.
+/// \return the cell outcome; std::nullopt when the text is malformed,
+///         truncated, or carries a different fingerprint — callers treat
+///         all three as "cell not done yet" and recompute (the scheduler's
+///         retry semantics).
+std::optional<CampaignRunResult> parse_cell_result(std::string_view text,
+                                                   const std::string& cell_fp);
+
+/// Outcome of one run_worker() pass over the campaign's cells.
+struct CampaignWorkerResult {
+  std::size_t cells_run = 0;            ///< claimed, computed, published
+  std::size_t cells_skipped_done = 0;   ///< already published (valid file)
+  std::size_t cells_skipped_claimed = 0;  ///< held by another live worker
+  std::size_t cells_skipped_other_shard = 0;  ///< outside this static shard
+  double seconds = 0.0;                 ///< wall time of the pass
 };
 
 /// Aggregated campaign outcome + report rendering.
@@ -147,10 +222,37 @@ class CampaignRunner {
   /// Runs every (dataset, seed) cell in spec order and returns the
   /// aggregated result.  With a store_dir, creates the directory and
   /// resumes from any fingerprint-matching stores inside it.
+  /// \return the aggregated campaign outcome (all cells, spec order).
   CampaignResult run();
+
+  /// One work-queue pass: walks the cells in spec order, claims each
+  /// available one (flock on `claims/<cell>.claim` under the store
+  /// directory), runs it, and atomically publishes `cells/<cell>.cell`.
+  /// Cells already published under the current cell_fingerprint() are
+  /// skipped; cells whose claim is held by a live process are left to
+  /// that process.  With `num_shards > 1` the pass additionally
+  /// restricts itself to cells whose index modulo `num_shards` equals
+  /// `shard_id` (static sharding — no two shards ever contend).
+  ///
+  /// One pass by each of N cooperating workers covers every cell unless
+  /// a worker died mid-cell; its claim is already released, so any later
+  /// pass (or a collect-retry loop) picks the orphan up.  Requires a
+  /// non-empty CampaignSpec::store_dir — the claim files, cell files,
+  /// and eval stores all live there.
+  ///
+  /// \param shard_id    this worker's static shard (< num_shards).
+  /// \param num_shards  static shard count; 1 = pure dynamic claiming.
+  /// \return per-pass counters (cells run / skipped and why).
+  /// \throws std::invalid_argument  when store_dir is empty or
+  ///         shard_id >= num_shards or num_shards == 0.
+  /// \throws std::runtime_error  when a computed cell cannot be
+  ///         published to disk.
+  CampaignWorkerResult run_worker(std::size_t shard_id = 0,
+                                  std::size_t num_shards = 1);
 
   [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
   /// Shared evaluation workers (reused by every run of the campaign).
+  /// \return the pool size.
   [[nodiscard]] std::size_t threads() const { return pool_.size(); }
 
  private:
@@ -159,6 +261,20 @@ class CampaignRunner {
   CampaignSpec spec_;
   ThreadPool pool_;
 };
+
+/// Reassembles a (possibly multi-process) worker campaign from the cell
+/// files under `spec.store_dir` into the same CampaignResult a serial
+/// run() returns — fronts byte-identical, cache/timing stats as measured
+/// by whichever worker ran each cell.  Does not spawn a worker pool, so
+/// it is safe to call from a supervisor that just forked workers.
+///
+/// \param spec  the campaign to collect; must name a store_dir.
+/// \return the merged result; std::nullopt when any cell file is
+///         missing, malformed, or stale (fingerprint mismatch) — run
+///         another worker pass and collect again.
+/// \throws std::invalid_argument  via spec validation, or when
+///         spec.store_dir is empty.
+std::optional<CampaignResult> collect_campaign(const CampaignSpec& spec);
 
 }  // namespace pnm
 

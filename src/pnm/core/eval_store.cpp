@@ -1,8 +1,13 @@
 #include "pnm/core/eval_store.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
+#include <unordered_set>
 
 #include "pnm/util/fileio.hpp"
 
@@ -11,6 +16,12 @@ namespace {
 
 constexpr char kMagic[] = "pnm-eval-store";
 constexpr std::size_t kRecordFields = 7;
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".log";
+/// Upper bound on segment-id probing; far above any real writer count,
+/// it only exists to turn "the directory cannot be opened at all" into
+/// an error instead of an infinite probe loop.
+constexpr std::size_t kMaxSegmentProbes = 65536;
 
 bool contains_separator(std::string_view s) {
   return s.find('\t') != std::string_view::npos ||
@@ -18,21 +29,42 @@ bool contains_separator(std::string_view s) {
          s.find('\r') != std::string_view::npos;
 }
 
-std::vector<std::string_view> split(std::string_view line, char sep) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = line.find(sep, start);
-    if (pos == std::string_view::npos) {
-      fields.push_back(line.substr(start));
-      return fields;
-    }
-    fields.push_back(line.substr(start, pos - start));
-    start = pos + 1;
+/// Parsed "pnm-eval-store v<N> <fingerprint>" header, or nullopt when the
+/// line is not an eval-store header at all.
+struct Header {
+  int version = -1;
+  std::string fingerprint;
+};
+
+std::optional<Header> parse_header(std::string_view line) {
+  const std::vector<std::string_view> tokens = split_fields(line, ' ');
+  if (tokens.size() != 3 || tokens[0] != kMagic || tokens[1].size() < 2 ||
+      tokens[1][0] != 'v') {
+    return std::nullopt;
   }
+  // Strict digits only: "v2junk" is a mangled header, not version 2.
+  const std::optional<std::uint64_t> version = parse_u64_strict(tokens[1].substr(1));
+  if (!version || *version > 1000) return std::nullopt;
+  Header header;
+  header.version = static_cast<int>(*version);
+  header.fingerprint.assign(tokens[2]);
+  return header;
 }
 
-std::string serialize_record(const std::string& key, const DesignPoint& point) {
+/// Numeric id of "seg-<N>.log"; nullopt for anything else.
+std::optional<std::size_t> segment_id_of(std::string_view name) {
+  const std::size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const std::size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix + suffix) return std::nullopt;
+  const std::optional<std::uint64_t> id =
+      parse_u64_strict(name.substr(prefix, name.size() - prefix - suffix));
+  if (!id) return std::nullopt;
+  return static_cast<std::size_t>(*id);
+}
+
+}  // namespace
+
+std::string format_eval_record(const std::string& key, const DesignPoint& point) {
   std::string line = key;
   line += '\t';
   line += point.technique;
@@ -50,10 +82,8 @@ std::string serialize_record(const std::string& key, const DesignPoint& point) {
   return line;
 }
 
-/// Parses one record line; false when the line is malformed (wrong field
-/// count, unparseable double) — the caller drops and counts it.
-bool parse_record(std::string_view line, std::string& key, DesignPoint& point) {
-  const std::vector<std::string_view> fields = split(line, '\t');
+bool parse_eval_record(std::string_view line, std::string& key, DesignPoint& point) {
+  const std::vector<std::string_view> fields = split_fields(line, '\t');
   if (fields.size() != kRecordFields) return false;
   if (fields[0].empty()) return false;
   const auto acc = parse_double_strict(fields[3]);
@@ -71,18 +101,31 @@ bool parse_record(std::string_view line, std::string& key, DesignPoint& point) {
   return true;
 }
 
-}  // namespace
-
-EvalStore::EvalStore(std::string path, std::string fingerprint)
-    : path_(std::move(path)), fingerprint_(std::move(fingerprint)) {
+EvalStore::EvalStore(std::string dir, std::string fingerprint, std::size_t writer_id)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint)) {
   if (fingerprint_.empty() || fingerprint_.find_first_of(" \t\n\r") != std::string::npos) {
     throw std::invalid_argument(
         "EvalStore: fingerprint must be one non-empty whitespace-free token");
   }
-  load_and_recover();
-  append_.open(path_, std::ios::binary | std::ios::app);
+  const std::string migrated = migrate_legacy_file();
+  if (!create_directories(dir_)) {
+    throw std::runtime_error("EvalStore: cannot create store directory " + dir_);
+  }
+  acquire_segment(writer_id);
+  if (!migrated.empty() &&
+      !write_text_file_atomic(segment_path_, header_line() + migrated)) {
+    // Migrated records land in *this* writer's segment — the only one
+    // whose lock we hold, so no concurrent opener can be appending to it.
+    throw std::runtime_error("EvalStore: cannot write migrated segment in " + dir_);
+  }
+  load_segments();
+  if (own_needs_compaction_ || !path_is_regular_file(segment_path_)) {
+    compact_own_segment();
+  }
+  append_.open(segment_path_, std::ios::binary | std::ios::app);
   if (!append_) {
-    throw std::runtime_error("EvalStore: cannot open " + path_ + " for append");
+    throw std::runtime_error("EvalStore: cannot open " + segment_path_ +
+                             " for append");
   }
 }
 
@@ -91,52 +134,202 @@ std::string EvalStore::header_line() const {
          fingerprint_ + "\n";
 }
 
-void EvalStore::load_and_recover() {
-  const std::optional<std::string> content = read_text_file(path_);
-  if (!content || content->empty()) {
-    // Fresh (or empty) store: stamp the header so the file is valid from
-    // the first record on.
-    if (!write_text_file_atomic(path_, header_line())) {
-      throw std::runtime_error("EvalStore: cannot create " + path_);
-    }
-    return;
-  }
+std::string EvalStore::segment_file(std::size_t id) const {
+  return dir_ + "/" + kSegmentPrefix + std::to_string(id) + kSegmentSuffix;
+}
 
-  // Header: "pnm-eval-store v<N> <fingerprint>".
-  const std::size_t header_end = content->find('\n');
-  const std::string_view header =
-      std::string_view(*content).substr(0, header_end == std::string::npos
-                                               ? content->size()
-                                               : header_end);
-  const std::vector<std::string_view> tokens = split(header, ' ');
-  if (tokens.size() != 3 || tokens[0] != kMagic || tokens[1].size() < 2 ||
-      tokens[1][0] != 'v') {
-    throw std::runtime_error("EvalStore: " + path_ + " is not an eval-store file");
+std::string EvalStore::segment_lock(std::size_t id) const {
+  return dir_ + "/" + kSegmentPrefix + std::to_string(id) + ".lock";
+}
+
+std::string EvalStore::migrate_legacy_file() {
+  // PR 4 stored everything in one file exactly where the segment
+  // directory now lives.  Parse it, remove it, and hand the surviving
+  // record lines back to the constructor, which parks them in the
+  // segment this writer claims — records are only ever written to a
+  // segment whose lock the writer holds, so old stores keep resuming
+  // without any user action and without write races.
+  if (!path_is_regular_file(dir_)) return {};
+  // Concurrent openers of the same legacy file would race the
+  // check/parse/remove sequence; a sibling lock file (the store path
+  // itself is about to change from file to directory, so it cannot host
+  // the lock) serializes them.  A loser is done the moment the path
+  // stops being a regular file: all later writes happen under segment
+  // locks, so there is nothing else to wait for.
+  std::optional<FileLock> migration_lock;
+  for (int attempt = 0; !(migration_lock = FileLock::try_exclusive(
+            dir_ + ".migrate.lock"));
+       ++attempt) {
+    if (!path_is_regular_file(dir_)) return {};  // the winner finished
+    if (attempt > 5000) {
+      throw std::runtime_error("EvalStore: stuck waiting to migrate " + dir_);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  int version = -1;
-  try {
-    version = std::stoi(std::string(tokens[1].substr(1)));
-  } catch (const std::exception&) {
-    throw std::runtime_error("EvalStore: " + path_ + " has an unreadable version");
+  if (!path_is_regular_file(dir_)) return {};  // lost the race, work is done
+  const std::optional<std::string> content = read_text_file(dir_);
+  if (!content) {
+    throw std::runtime_error("EvalStore: cannot read legacy store file " + dir_);
   }
-  if (version != kFormatVersion) {
-    throw std::runtime_error("EvalStore: " + path_ + " is format v" +
-                             std::to_string(version) + ", this build reads v" +
-                             std::to_string(kFormatVersion) +
-                             " — refusing to reuse or overwrite it");
+  std::string migrated;  // surviving records, original order, first-wins
+  if (!content->empty()) {
+    const std::size_t header_end = content->find('\n');
+    const std::string_view header_text =
+        std::string_view(*content).substr(0, header_end == std::string::npos
+                                                 ? content->size()
+                                                 : header_end);
+    const std::optional<Header> header = parse_header(header_text);
+    if (!header) {
+      throw std::runtime_error("EvalStore: " + dir_ + " is not an eval-store file");
+    }
+    if (header->version != kLegacyFormatVersion) {
+      throw std::runtime_error(
+          "EvalStore: " + dir_ + " is format v" + std::to_string(header->version) +
+          ", this build reads v" + std::to_string(kFormatVersion) +
+          " segment directories (and migrates v" +
+          std::to_string(kLegacyFormatVersion) +
+          " files) — refusing to reuse or overwrite it");
+    }
+    const bool fingerprint_matches = (header->fingerprint == fingerprint_);
+    std::unordered_set<std::string> seen;
+    if (header_end != std::string::npos) {
+      std::string_view body = std::string_view(*content).substr(header_end + 1);
+      while (!body.empty()) {
+        const std::size_t eol = body.find('\n');
+        if (eol == std::string_view::npos) {
+          if (fingerprint_matches) ++corrupt_dropped_;  // torn final write
+          break;
+        }
+        const std::string_view line = body.substr(0, eol);
+        body.remove_prefix(eol + 1);
+        if (line.empty()) continue;
+        std::string key;
+        DesignPoint point;
+        if (!parse_eval_record(line, key, point)) {
+          if (fingerprint_matches) ++corrupt_dropped_;
+          continue;
+        }
+        if (!fingerprint_matches) {
+          ++invalidated_;
+          continue;
+        }
+        if (seen.insert(key).second) migrated += format_eval_record(key, point);
+      }
+    }
   }
-  const bool fingerprint_matches = (tokens[2] == fingerprint_);
-  // A truncated header (no newline yet) means no records either way.
-  bool needs_compaction = !fingerprint_matches;
-  if (header_end != std::string::npos) {
+  std::error_code ec;
+  if (!std::filesystem::remove(dir_, ec) || ec) {
+    throw std::runtime_error("EvalStore: cannot replace legacy store file " + dir_);
+  }
+  return migrated;
+}
+
+void EvalStore::acquire_segment(std::size_t preferred_id) {
+  for (std::size_t probe = 0; probe < kMaxSegmentProbes; ++probe) {
+    const std::size_t id = preferred_id + probe;
+    std::optional<FileLock> lock = FileLock::try_exclusive(segment_lock(id));
+    if (lock) {
+      lock_ = std::move(*lock);
+      writer_id_ = id;
+      segment_path_ = segment_file(id);
+      return;
+    }
+  }
+  throw std::runtime_error("EvalStore: cannot claim a writer segment in " + dir_);
+}
+
+void EvalStore::load_segments() {
+  std::vector<std::string> names = list_files(dir_, kSegmentPrefix, kSegmentSuffix);
+  // Numeric segment order (seg-2 before seg-10): the deterministic merge
+  // order behind last-write-wins.
+  std::sort(names.begin(), names.end(), [](const std::string& a, const std::string& b) {
+    const auto ia = segment_id_of(a);
+    const auto ib = segment_id_of(b);
+    if (ia && ib && *ia != *ib) return *ia < *ib;
+    if (ia != ib) return ia.has_value();  // well-formed names first
+    return a < b;
+  });
+
+  for (const std::string& name : names) {
+    const std::string path = dir_ + "/" + name;
+    const bool is_own = (path == segment_path_);
+    const std::optional<std::string> content = read_text_file(path);
+    if (!content) continue;  // raced removal by another process
+    if (content->empty()) {
+      if (is_own) own_needs_compaction_ = true;
+      continue;
+    }
+    const std::size_t header_end = content->find('\n');
+    const std::string_view header_text =
+        std::string_view(*content).substr(0, header_end == std::string::npos
+                                                 ? content->size()
+                                                 : header_end);
+    const std::optional<Header> header = parse_header(header_text);
+    if (!header) {
+      throw std::runtime_error("EvalStore: " + path + " is not an eval-store segment");
+    }
+    if (header->version != kFormatVersion) {
+      throw std::runtime_error("EvalStore: " + path + " is format v" +
+                               std::to_string(header->version) +
+                               ", this build reads v" +
+                               std::to_string(kFormatVersion) +
+                               " — refusing to reuse or overwrite it");
+    }
+    if (header->fingerprint != fingerprint_) {
+      // Foreign-config segment: nothing in it may be loaded.  Reclaim the
+      // space when no live writer owns it; otherwise just skip — its
+      // owner will rewrite it under its own fingerprint.
+      if (header_end != std::string::npos) {
+        std::string_view body = std::string_view(*content).substr(header_end + 1);
+        while (!body.empty()) {
+          const std::size_t eol = body.find('\n');
+          const std::string_view line = body.substr(0, eol == std::string_view::npos
+                                                           ? body.size()
+                                                           : eol);
+          if (!line.empty()) ++invalidated_;
+          if (eol == std::string_view::npos) break;
+          body.remove_prefix(eol + 1);
+        }
+      }
+      if (is_own) {
+        own_needs_compaction_ = true;  // rewrite fresh under our fingerprint
+      } else {
+        const auto id = segment_id_of(name);
+        std::optional<FileLock> reaper =
+            id ? FileLock::try_exclusive(segment_lock(*id)) : std::nullopt;
+        if (reaper) {
+          // Between our read and this lock, a short-lived writer may
+          // have claimed the segment and rewritten it under the current
+          // fingerprint; re-read before deleting anything.
+          const std::optional<std::string> now = read_text_file(path);
+          const std::optional<Header> now_header =
+              now ? parse_header(std::string_view(*now).substr(
+                        0, std::min(now->find('\n'), now->size())))
+                  : std::nullopt;
+          if (now_header && now_header->fingerprint != fingerprint_) {
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+          }
+        }
+      }
+      continue;
+    }
+
+    ++segments_loaded_;
+    if (header_end == std::string::npos) {
+      // Header without newline: the very first write was torn.
+      ++corrupt_dropped_;
+      if (is_own) own_needs_compaction_ = true;
+      continue;
+    }
     std::string_view body = std::string_view(*content).substr(header_end + 1);
     while (!body.empty()) {
       const std::size_t eol = body.find('\n');
       if (eol == std::string_view::npos) {
         // Trailing record without newline: the write it belonged to was
-        // interrupted.  Drop it and compact below.
+        // interrupted.  Drop it; compact if it is ours to heal.
         ++corrupt_dropped_;
-        needs_compaction = true;
+        if (is_own) own_needs_compaction_ = true;
         break;
       }
       const std::string_view line = body.substr(0, eol);
@@ -144,38 +337,40 @@ void EvalStore::load_and_recover() {
       if (line.empty()) continue;
       std::string key;
       DesignPoint point;
-      if (!parse_record(line, key, point)) {
+      if (!parse_eval_record(line, key, point)) {
         ++corrupt_dropped_;
-        needs_compaction = true;
+        if (is_own) own_needs_compaction_ = true;
         continue;
       }
-      if (!fingerprint_matches) {
-        ++invalidated_;
-        continue;
+      if (is_own) {
+        const auto [it, inserted] = own_records_.emplace(key, point);
+        if (inserted) {
+          own_order_.push_back(key);
+        } else {
+          it->second = point;
+          own_needs_compaction_ = true;
+        }
       }
-      if (records_.emplace(key, point).second) {
-        insertion_order_.push_back(std::move(key));
+      const auto [it, inserted] = records_.emplace(key, point);
+      if (inserted) {
         ++loaded_;
+      } else {
+        it->second = point;  // last-write-wins across segments
+        ++duplicates_;
       }
     }
-  } else {
-    needs_compaction = true;
   }
-  if (!fingerprint_matches) {
-    corrupt_dropped_ = 0;  // a foreign-fingerprint file is invalid wholesale,
-                           // not corrupt
-  }
-  if (needs_compaction) rewrite_compacted_locked();
 }
 
-void EvalStore::rewrite_compacted_locked() {
+void EvalStore::compact_own_segment() {
   std::string content = header_line();
-  for (const std::string& key : insertion_order_) {
-    content += serialize_record(key, records_.at(key));
+  for (const std::string& key : own_order_) {
+    content += format_eval_record(key, own_records_.at(key));
   }
-  if (!write_text_file_atomic(path_, content)) {
-    throw std::runtime_error("EvalStore: cannot rewrite " + path_);
+  if (!write_text_file_atomic(segment_path_, content)) {
+    throw std::runtime_error("EvalStore: cannot rewrite " + segment_path_);
   }
+  own_needs_compaction_ = false;
 }
 
 std::optional<DesignPoint> EvalStore::lookup(const std::string& key) const {
@@ -195,17 +390,20 @@ void EvalStore::put(const std::string& key, const DesignPoint& point) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (records_.contains(key)) return;  // deterministic duplicate
-  // Append + flush one record: a crash can lose at most this line, and a
-  // partially written line is dropped (and compacted away) on next load.
-  // A failed write throws — and skips the in-memory insert, so memory
-  // never claims a record the disk does not have.
-  append_ << serialize_record(key, point);
+  // Append + flush one record to the owned segment: a crash can lose at
+  // most this line, and a partially written line is dropped (and
+  // compacted away) on next load.  A failed write throws — and skips the
+  // in-memory insert, so memory never claims a record the disk does not
+  // have.
+  append_ << format_eval_record(key, point);
   append_.flush();
   if (!append_) {
-    throw std::runtime_error("EvalStore: failed to append a record to " + path_);
+    throw std::runtime_error("EvalStore: failed to append a record to " +
+                             segment_path_);
   }
   records_.emplace(key, point);
-  insertion_order_.push_back(key);
+  own_records_.emplace(key, point);
+  own_order_.push_back(key);
 }
 
 std::vector<std::pair<std::string, DesignPoint>> EvalStore::entries() const {
@@ -235,6 +433,43 @@ std::size_t EvalStore::corrupt_dropped() const {
 std::size_t EvalStore::invalidated() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return invalidated_;
+}
+
+std::size_t EvalStore::duplicates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return duplicates_;
+}
+
+std::size_t EvalStore::segments_loaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_loaded_;
+}
+
+std::size_t EvalStore::count_duplicate_records(const std::string& dir) {
+  std::size_t duplicates = 0;
+  std::unordered_set<std::string> seen;  // "<fingerprint>\n<key>"
+  for (const std::string& name : list_files(dir, kSegmentPrefix, kSegmentSuffix)) {
+    const std::optional<std::string> content = read_text_file(dir + "/" + name);
+    if (!content || content->empty()) continue;
+    const std::size_t header_end = content->find('\n');
+    if (header_end == std::string::npos) continue;
+    const std::optional<Header> header =
+        parse_header(std::string_view(*content).substr(0, header_end));
+    if (!header) continue;
+    std::string_view body = std::string_view(*content).substr(header_end + 1);
+    while (!body.empty()) {
+      const std::size_t eol = body.find('\n');
+      if (eol == std::string_view::npos) break;
+      const std::string_view line = body.substr(0, eol);
+      body.remove_prefix(eol + 1);
+      if (line.empty()) continue;
+      std::string key;
+      DesignPoint point;
+      if (!parse_eval_record(line, key, point)) continue;
+      if (!seen.insert(header->fingerprint + "\n" + key).second) ++duplicates;
+    }
+  }
+  return duplicates;
 }
 
 }  // namespace pnm

@@ -84,14 +84,20 @@ const DesignPoint& MinimizationFlow::baseline() const {
 EvalConfig MinimizationFlow::eval_config(std::size_t finetune_epochs,
                                          bool use_test_set) const {
   if (!prepared_) throw std::logic_error("MinimizationFlow: call prepare() first");
+  return eval_config_for(config_, finetune_epochs, use_test_set);
+}
+
+EvalConfig MinimizationFlow::eval_config_for(const FlowConfig& config,
+                                             std::size_t finetune_epochs,
+                                             bool use_test_set) {
   EvalConfig eval;
-  eval.seed = config_.seed;
-  eval.input_bits = config_.input_bits;
-  eval.train = config_.train;
+  eval.seed = config.seed;
+  eval.input_bits = config.input_bits;
+  eval.train = config.train;
   eval.finetune_epochs = finetune_epochs;
-  eval.cluster_scope = config_.cluster_scope;
-  eval.share_only_when_clustered = config_.share_only_when_clustered;
-  eval.bespoke = config_.bespoke;
+  eval.cluster_scope = config.cluster_scope;
+  eval.share_only_when_clustered = config.share_only_when_clustered;
+  eval.bespoke = config.bespoke;
   eval.use_test_set = use_test_set;
   return eval;
 }

@@ -117,6 +117,20 @@ class MinimizationFlow {
   [[nodiscard]] EvalConfig eval_config(std::size_t finetune_epochs,
                                        bool use_test_set) const;
 
+  /// The same derivation from a bare FlowConfig, without requiring a
+  /// prepared flow — the single source of truth behind eval_config()
+  /// and the campaign layer's fingerprints (eval_fingerprint /
+  /// cell_fingerprint must hash exactly the config the evaluators will
+  /// run under, so both call this).
+  ///
+  /// \param config           the flow configuration to derive from.
+  /// \param finetune_epochs  fitness-pipeline fine-tuning budget.
+  /// \param use_test_set     reporting split (GA fitness uses validation).
+  /// \return the evaluation-side configuration.
+  [[nodiscard]] static EvalConfig eval_config_for(const FlowConfig& config,
+                                                  std::size_t finetune_epochs,
+                                                  bool use_test_set);
+
   /// Fast analytic-proxy backend (the GA inner loop's default fitness).
   [[nodiscard]] ProxyEvaluator proxy_evaluator(std::size_t finetune_epochs,
                                                bool use_test_set = false) const;

@@ -1,9 +1,16 @@
 #include "pnm/util/fileio.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 namespace pnm {
 
@@ -66,6 +73,34 @@ std::optional<double> parse_double_strict(std::string_view token) {
   return value;
 }
 
+std::vector<std::string_view> split_fields(std::string_view text, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::optional<std::uint64_t> parse_u64_strict(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char ch : token) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // would overflow
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 std::uint64_t fnv1a64(std::string_view s) {
   std::uint64_t h = 1469598103934665603ULL;
   for (char ch : s) {
@@ -108,6 +143,79 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+bool create_directories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  // create_directories returns false (no error) when the directory is
+  // already there; what callers care about is "does it exist now".
+  return !ec && std::filesystem::is_directory(path, ec) && !ec;
+}
+
+bool path_is_regular_file(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec) && !ec;
+}
+
+std::vector<std::string> list_files(const std::string& dir,
+                                    std::string_view prefix,
+                                    std::string_view suffix) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return names;
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---- FileLock -----------------------------------------------------------
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    unlock();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { unlock(); }
+
+std::optional<FileLock> FileLock::try_exclusive(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) return std::nullopt;
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  return FileLock(fd, path);
+}
+
+void FileLock::unlock() {
+  if (fd_ >= 0) {
+    // Closing the descriptor releases the flock; no explicit LOCK_UN
+    // needed.  The lock file itself is left in place on purpose: it is
+    // the stable inode every future writer locks against.
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 }  // namespace pnm

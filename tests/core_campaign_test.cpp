@@ -1,16 +1,23 @@
 /// Tests for the multi-dataset GA campaign runner: spec validation,
-/// config fingerprints, report rendering, and the resume guarantee — a
-/// warm rerun against a populated store produces byte-identical Pareto
-/// fronts while re-evaluating zero previously-seen genomes.
+/// config fingerprints, report rendering, the resume guarantee — a warm
+/// rerun against a populated store produces byte-identical Pareto fronts
+/// while re-evaluating zero previously-seen genomes — and the
+/// cross-process scheduler: claim lifecycle, stale-claim recovery,
+/// cell-result round-trips, and worker processes matching a serial run.
 
 #include "pnm/core/campaign.hpp"
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "pnm/core/eval_store.hpp"
+#include "pnm/util/fileio.hpp"
 
 namespace pnm {
 namespace {
@@ -140,6 +147,233 @@ TEST(Campaign, MergedFrontIsNonDominatedAcrossSeeds) {
     }
   }
   EXPECT_TRUE(result.merged_front("no_such_dataset").empty());
+}
+
+TEST(Campaign, CellFingerprintSeparatesSpecs) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string base = cell_fingerprint(spec, "seeds", 5);
+  EXPECT_EQ(base, cell_fingerprint(spec, "seeds", 5));  // deterministic
+  EXPECT_NE(base, cell_fingerprint(spec, "seeds", 6));
+  EXPECT_NE(base, cell_fingerprint(spec, "redwine", 5));
+  CampaignSpec other = tiny_spec();
+  other.ga.generations += 1;
+  EXPECT_NE(base, cell_fingerprint(other, "seeds", 5));
+  other = tiny_spec();
+  other.ga_finetune_epochs += 1;
+  EXPECT_NE(base, cell_fingerprint(other, "seeds", 5));
+  other = tiny_spec();
+  other.base.train.epochs += 1;
+  EXPECT_NE(base, cell_fingerprint(other, "seeds", 5));
+}
+
+TEST(Campaign, CellResultRoundTripsExactly) {
+  CampaignRunResult run;
+  run.dataset = "seeds";
+  // 20 decimal digits: the full uint64 seed range must survive the
+  // round trip (a rejected seed would make the cell permanently stale).
+  run.seed = 18446744073709551615ULL;
+  run.distinct_evaluations = 42;
+  run.cache_hits = 7;
+  run.cache_misses = 35;
+  run.store_loaded = 3;
+  run.seconds = 1.0 / 3.0;
+  run.baseline.technique = "baseline";
+  run.baseline.config = "b8";
+  run.baseline.accuracy = 0.8571428571428571;
+  run.baseline.area_mm2 = 123.456;
+  DesignPoint p;
+  p.technique = "ga";
+  p.config = "b4,3|s20,40|c0,4";
+  p.accuracy = 0.1;
+  p.area_mm2 = 6.02214076e23;
+  run.front = {p, run.baseline};
+
+  const std::string text = format_cell_result(run, "fp123");
+  const std::optional<CampaignRunResult> parsed = parse_cell_result(text, "fp123");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dataset, run.dataset);
+  EXPECT_EQ(parsed->seed, run.seed);
+  EXPECT_EQ(parsed->distinct_evaluations, run.distinct_evaluations);
+  EXPECT_EQ(parsed->cache_hits, run.cache_hits);
+  EXPECT_EQ(parsed->cache_misses, run.cache_misses);
+  EXPECT_EQ(parsed->store_loaded, run.store_loaded);
+  EXPECT_EQ(parsed->seconds, run.seconds);
+  EXPECT_EQ(parsed->baseline, run.baseline);
+  EXPECT_EQ(parsed->front, run.front);
+
+  // A different fingerprint (spec changed) means the cell is stale.
+  EXPECT_FALSE(parse_cell_result(text, "fp_other").has_value());
+  // Truncation never yields a half-parsed cell.
+  EXPECT_FALSE(parse_cell_result(text.substr(0, text.size() / 2), "fp123")
+                   .has_value());
+  EXPECT_FALSE(parse_cell_result("", "fp123").has_value());
+}
+
+TEST(Campaign, WorkerModeNeedsStoreAndValidShard) {
+  CampaignSpec spec = tiny_spec();
+  ASSERT_TRUE(spec.store_dir.empty());
+  EXPECT_THROW(CampaignRunner(spec).run_worker(), std::invalid_argument);
+  spec.store_dir = fresh_store_dir("badshard");
+  EXPECT_THROW(CampaignRunner(spec).run_worker(0, 0), std::invalid_argument);
+  EXPECT_THROW(CampaignRunner(spec).run_worker(2, 2), std::invalid_argument);
+  EXPECT_THROW(collect_campaign(tiny_spec()), std::invalid_argument);
+}
+
+TEST(Campaign, WorkerPassesMatchSerialAndSkipDoneCells) {
+  CampaignSpec spec = tiny_spec();
+  spec.datasets = {"seeds", "redwine"};
+  spec.store_dir = fresh_store_dir("worker");
+
+  // First pass drains every cell; nothing is collectable before it.
+  EXPECT_FALSE(collect_campaign(spec).has_value());
+  const CampaignWorkerResult first = CampaignRunner(spec).run_worker();
+  EXPECT_EQ(first.cells_run, 2u);
+  EXPECT_EQ(first.cells_skipped_done, 0u);
+  EXPECT_EQ(first.cells_skipped_claimed, 0u);
+  const std::optional<CampaignResult> collected = collect_campaign(spec);
+  ASSERT_TRUE(collected.has_value());
+
+  // The collected result is the serial result, byte for byte.
+  CampaignSpec serial_spec = tiny_spec();
+  serial_spec.datasets = {"seeds", "redwine"};
+  serial_spec.store_dir = fresh_store_dir("worker_serial_ref");
+  const CampaignResult serial = CampaignRunner(serial_spec).run();
+  EXPECT_EQ(collected->fronts_json(), serial.fronts_json());
+
+  // A second pass finds every cell published and runs nothing.
+  const CampaignWorkerResult second = CampaignRunner(spec).run_worker();
+  EXPECT_EQ(second.cells_run, 0u);
+  EXPECT_EQ(second.cells_skipped_done, 2u);
+
+  // Static sharding partitions the cells without overlap.
+  CampaignSpec shard_spec = spec;
+  shard_spec.store_dir = fresh_store_dir("worker_static");
+  const CampaignWorkerResult shard0 = CampaignRunner(shard_spec).run_worker(0, 2);
+  const CampaignWorkerResult shard1 = CampaignRunner(shard_spec).run_worker(1, 2);
+  EXPECT_EQ(shard0.cells_run, 1u);
+  EXPECT_EQ(shard0.cells_skipped_other_shard, 1u);
+  EXPECT_EQ(shard1.cells_run, 1u);
+  const std::optional<CampaignResult> sharded = collect_campaign(shard_spec);
+  ASSERT_TRUE(sharded.has_value());
+  EXPECT_EQ(sharded->fronts_json(), serial.fronts_json());
+}
+
+TEST(Campaign, StaleCellFileIsRecomputed) {
+  CampaignSpec spec = tiny_spec();
+  spec.store_dir = fresh_store_dir("stale");
+  ASSERT_EQ(CampaignRunner(spec).run_worker().cells_run, 1u);
+  // The spec changes: the published cell is now stale and must be
+  // recomputed under the new fingerprint (retry semantics), not merged.
+  spec.ga.generations += 1;
+  EXPECT_FALSE(collect_campaign(spec).has_value());
+  const CampaignWorkerResult redo = CampaignRunner(spec).run_worker();
+  EXPECT_EQ(redo.cells_run, 1u);
+  EXPECT_TRUE(collect_campaign(spec).has_value());
+}
+
+TEST(Campaign, LiveClaimSkipsCellAndDeadClaimIsReclaimed) {
+  CampaignSpec spec = tiny_spec();
+  spec.store_dir = fresh_store_dir("claims");
+  ASSERT_TRUE(create_directories(spec.store_dir + "/claims"));
+  const std::string claim_path =
+      spec.store_dir + "/claims/" + spec.datasets[0] + "_s" +
+      std::to_string(spec.seeds[0]) + ".claim";
+
+  // A child process holds the cell's claim (a live worker, as far as the
+  // scheduler can tell) until told to exit.
+  int to_child[2];
+  int to_parent[2];
+  ASSERT_EQ(pipe(to_child), 0);
+  ASSERT_EQ(pipe(to_parent), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(to_child[1]);
+    close(to_parent[0]);
+    int status = 0;
+    std::optional<FileLock> claim = FileLock::try_exclusive(claim_path);
+    if (!claim) status = 1;
+    char byte = 'r';
+    if (write(to_parent[1], &byte, 1) != 1) status = 2;
+    if (read(to_child[0], &byte, 1) < 0) status = 3;  // hold until signalled
+    _exit(status);
+  }
+  close(to_child[0]);
+  close(to_parent[1]);
+  char byte = 0;
+  ASSERT_EQ(read(to_parent[0], &byte, 1), 1);  // the claim is held now
+
+  // The worker pass must leave the claimed cell alone and terminate.
+  const CampaignWorkerResult contended = CampaignRunner(spec).run_worker();
+  EXPECT_EQ(contended.cells_run, 0u);
+  EXPECT_EQ(contended.cells_skipped_claimed, 1u);
+  EXPECT_FALSE(collect_campaign(spec).has_value());
+
+  // The "worker" dies without publishing: its claim evaporates with the
+  // process, so the next pass recomputes the cell — stale-claim recovery
+  // with no lease files or timeouts.
+  close(to_child[1]);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+  const CampaignWorkerResult recovered = CampaignRunner(spec).run_worker();
+  EXPECT_EQ(recovered.cells_run, 1u);
+  EXPECT_TRUE(collect_campaign(spec).has_value());
+}
+
+TEST(Campaign, TwoWorkerProcessesMatchSerial) {
+  // The acceptance invariant at unit level: two real worker processes
+  // draining one campaign produce byte-identical merged fronts to the
+  // serial run, with zero duplicate evaluations in the shared store.
+  CampaignSpec spec = tiny_spec();
+  spec.seeds = {5, 6};  // two cells on one dataset
+  spec.store_dir = fresh_store_dir("twoproc");
+
+  pid_t children[2] = {0, 0};
+  for (std::size_t j = 0; j < 2; ++j) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      int status = 0;
+      try {
+        CampaignSpec child_spec = spec;
+        child_spec.writer_id = j;
+        CampaignRunner worker(std::move(child_spec));
+        worker.run_worker();
+      } catch (const std::exception&) {
+        status = 1;
+      }
+      _exit(status);
+    }
+    children[j] = pid;
+  }
+  for (pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  const std::optional<CampaignResult> sharded = collect_campaign(spec);
+  ASSERT_TRUE(sharded.has_value());
+  ASSERT_EQ(sharded->runs.size(), 2u);
+
+  CampaignSpec serial_spec = spec;
+  serial_spec.store_dir.clear();  // persistence-free reference
+  const CampaignResult serial = CampaignRunner(serial_spec).run();
+  EXPECT_EQ(sharded->fronts_json(), serial.fronts_json());
+  EXPECT_EQ(sharded->total_cache_misses(), serial.total_cache_misses());
+
+  // Zero duplicate evaluations recorded anywhere in the shared store.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(spec.store_dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name == "cells" || name == "claims") continue;
+    EXPECT_EQ(EvalStore::count_duplicate_records(entry.path().string()), 0u)
+        << entry.path();
+  }
 }
 
 TEST(Campaign, ReportsNameDatasetsAndStats) {
