@@ -20,8 +20,13 @@
 #include "pnm/core/flow.hpp"
 #include "pnm/core/pareto.hpp"
 #include "pnm/util/table.hpp"
+#include "pnm/util/thread_pool.hpp"
 
 namespace pnm::bench {
+
+/// Core count stamped into BENCH_*.json records so perf numbers carry
+/// their machine context (the CI runner and a laptop are not comparable).
+inline std::size_t machine_cores() { return ThreadPool::default_thread_count(); }
 
 /// The flow configuration used by all figure benches (full-size runs; the
 /// unit tests use reduced budgets instead).

@@ -1,0 +1,248 @@
+/// serve_bench — latency/throughput measurement and machine-checked
+/// correctness gates for the serving layer; writes BENCH_serve.json.
+///
+/// The bench is a test first and a benchmark second: it exits nonzero
+/// unless
+///   1. every server response over real loopback TCP is bit-identical to
+///      the offline `predict_quantized_into` on the full test split;
+///   2. every open-loop rate run answers every request with zero
+///      mismatches (responses verified per the version that served them);
+///   3. two hot-swaps performed *under load* lose or mis-serve nothing —
+///      responses spanning three model versions all verify against the
+///      design their version tag names;
+///   4. the server's own counters account for every batch and response.
+///
+/// What it records per offered rate: client-side exact p50/p99/mean
+/// latency, offered vs achieved throughput, and the serving config
+/// (workers, batch bound, deadline, machine cores via bench/common.hpp).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "pnm/core/model_io.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/data/scaler.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/nn/trainer.hpp"
+#include "pnm/serve/client.hpp"
+#include "pnm/serve/server.hpp"
+#include "pnm/util/fileio.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace {
+
+using namespace pnm;
+using namespace pnm::serve;
+
+QuantizedMlp train_design(const Dataset& train, std::size_t n_classes, std::uint64_t seed,
+                          const QuantSpec& spec) {
+  Rng rng(seed);
+  Mlp model({train.n_features(), 10, n_classes}, rng);
+  TrainConfig config;
+  config.epochs = 8;
+  Trainer trainer(config);
+  trainer.set_weight_view(make_qat_view(spec));
+  trainer.fit(model, train, rng);
+  return QuantizedMlp::from_float(model, spec);
+}
+
+struct RateRow {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  std::size_t requests = 0;
+  std::size_t received = 0;
+};
+
+int fail(const std::string& why) {
+  std::cerr << "FAIL: " << why << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Two deployable designs (A serves first; B is the swap target) ----
+  const Dataset data = make_pendigits();
+  Rng rng(42);
+  DataSplit split = stratified_split(data, 0.6, 0.2, 0.2, rng);
+  MinMaxScaler scaler;
+  scale_split(split, scaler);
+  const QuantSpec spec = QuantSpec::uniform(2, 5, 4);
+
+  std::cout << "training design pair on " << data.name << " ("
+            << split.train.size() << " train samples)...\n";
+  const QuantizedMlp design_a = train_design(split.train, data.n_classes, 1, spec);
+  const QuantizedMlp design_b = train_design(split.train, data.n_classes, 2, spec);
+
+  const std::string path_a = "serve_bench_model_a.pnm";
+  const std::string path_b = "serve_bench_model_b.pnm";
+  if (!save_quantized_mlp(design_a, path_a, "bench-a") ||
+      !save_quantized_mlp(design_b, path_b, "bench-b")) {
+    return fail("cannot write model files");
+  }
+
+  ServeConfig config;
+  config.batch_max = 32;
+  config.batch_deadline_us = 200;
+  config.worker_threads = 2;
+  Server server(config, {design_a, 0, path_a});
+  server.start();
+  std::cout << "server up on port " << server.port() << " ("
+            << config.worker_threads << " workers, batch<=" << config.batch_max
+            << ", " << config.batch_deadline_us << "us deadline)\n";
+
+  // ---- Gate 1: bit-exactness on the full test split over TCP -----------
+  std::size_t checked = 0;
+  {
+    ServeClient client;
+    if (!client.connect("127.0.0.1", server.port())) return fail("connect");
+    InferScratch scratch;
+    std::vector<std::int64_t> xq;
+    PredictResponse resp;
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      if (!client.send_predict(static_cast<std::uint32_t>(i), split.test.x[i])) {
+        return fail("send");
+      }
+      if (!client.read_predict(resp)) return fail("no response");
+      quantize_input_into(split.test.x[i], design_a.input_bits(), xq);
+      const std::size_t expect = design_a.predict_quantized_into(xq, scratch);
+      if (resp.predicted_class != expect || resp.model_version != 1) {
+        return fail("response differs from offline predict at sample " +
+                    std::to_string(i));
+      }
+      ++checked;
+    }
+  }
+  std::cout << "bit-exact gate: " << checked << "/" << split.test.size()
+            << " test samples identical to offline inference\n";
+
+  // ---- Open-loop samples (shared by the rate and swap runs) ------------
+  std::vector<std::vector<double>> samples(split.test.x.begin(),
+                                           split.test.x.begin() +
+                                               static_cast<long>(std::min(
+                                                   split.test.size(), std::size_t{64})));
+
+  // ---- Gate 2: latency/throughput at three offered rates ---------------
+  std::vector<RateRow> rows;
+  for (const double rate : {2000.0, 8000.0, 20000.0}) {
+    LoadGenConfig load;
+    load.port = server.port();
+    load.rate = rate;
+    load.total_requests = static_cast<std::size_t>(rate / 4.0);  // ~250ms each
+    load.samples = &samples;
+    load.verify[server.current_model()->version] = &design_a;
+    const LoadGenReport report = run_load(load);
+    if (!report.ok()) {
+      return fail("rate " + std::to_string(rate) + ": sent=" + std::to_string(report.sent) +
+                  " received=" + std::to_string(report.received) + " mismatches=" +
+                  std::to_string(report.mismatches));
+    }
+    RateRow row;
+    row.offered_rps = report.offered_rps;
+    row.achieved_rps = report.achieved_rps;
+    row.p50_us = report.p50_us;
+    row.p99_us = report.p99_us;
+    row.mean_us = report.mean_us;
+    row.requests = report.sent;
+    row.received = report.received;
+    rows.push_back(row);
+    std::cout << "rate " << rate << " rps: achieved " << report.achieved_rps
+              << " rps, p50 " << report.p50_us << "us, p99 " << report.p99_us
+              << "us (" << report.received << "/" << report.sent << " verified)\n";
+  }
+
+  // ---- Gate 3: two hot-swaps under load, zero loss, bit-exact ----------
+  LoadGenConfig swap_load;
+  swap_load.port = server.port();
+  swap_load.rate = 8000.0;
+  swap_load.total_requests = 4000;
+  swap_load.samples = &samples;
+  swap_load.swaps[1000] = path_b;  // -> version 2
+  swap_load.swaps[2500] = path_a;  // -> version 3
+  swap_load.verify[1] = &design_a;
+  swap_load.verify[2] = &design_b;
+  swap_load.verify[3] = &design_a;
+  const LoadGenReport swap_report = run_load(swap_load);
+  if (!swap_report.ok()) {
+    return fail("hot-swap run: received=" + std::to_string(swap_report.received) + "/" +
+                std::to_string(swap_report.sent) + " mismatches=" +
+                std::to_string(swap_report.mismatches) + " unknown=" +
+                std::to_string(swap_report.unknown_version) + " swap_failures=" +
+                std::to_string(swap_report.swap_failures));
+  }
+  if (swap_report.responses_by_version.size() < 2) {
+    return fail("hot-swap run never served the swapped design");
+  }
+  std::cout << "hot-swap under load: " << swap_report.received << "/"
+            << swap_report.sent << " responses verified across "
+            << swap_report.responses_by_version.size() << " model versions, p99 "
+            << swap_report.p99_us << "us\n";
+
+  // ---- Gate 4: the server's own accounting -----------------------------
+  const MetricsSnapshot stats = server.stats();
+  std::uint64_t hist_batches = 0;
+  std::uint64_t hist_responses = 0;
+  for (std::size_t s = 1; s < stats.batch_size_hist.size(); ++s) {
+    hist_batches += stats.batch_size_hist[s];
+    hist_responses += stats.batch_size_hist[s] * s;
+  }
+  if (hist_batches != stats.batches_total || hist_responses != stats.responses_total) {
+    return fail("batch histogram does not account for every response");
+  }
+  if (stats.swaps_ok != 2 || stats.model_version != 3) {
+    return fail("swap accounting wrong");
+  }
+  if (stats.dropped_responses != 0 || stats.predict_errors != 0 ||
+      stats.protocol_errors != 0) {
+    return fail("server reported errors during a clean run");
+  }
+  std::cout << "server accounting: " << stats.responses_total << " responses in "
+            << stats.batches_total << " batches, mean batch "
+            << stats.mean_batch_size() << ", server-side p99 "
+            << stats.latency_percentile_us(99) << "us\n";
+
+  server.stop();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  // ---- BENCH_serve.json -------------------------------------------------
+  std::ofstream json("BENCH_serve.json");
+  if (!json) return fail("cannot write BENCH_serve.json");
+  json << "[\n";
+  for (const RateRow& row : rows) {
+    json << "  {\"bench\": \"serve_latency\", \"offered_rps\": "
+         << format_double_roundtrip(row.offered_rps) << ", \"achieved_rps\": "
+         << format_double_roundtrip(row.achieved_rps) << ", \"p50_us\": "
+         << format_double_roundtrip(row.p50_us) << ", \"p99_us\": "
+         << format_double_roundtrip(row.p99_us) << ", \"mean_us\": "
+         << format_double_roundtrip(row.mean_us) << ", \"requests\": " << row.requests
+         << ", \"received\": " << row.received << ", \"bit_exact\": true"
+         << ", \"worker_threads\": " << config.worker_threads
+         << ", \"batch_max\": " << config.batch_max
+         << ", \"batch_deadline_us\": " << config.batch_deadline_us
+         << ", \"machine_cores\": " << bench::machine_cores() << "},\n";
+  }
+  json << "  {\"bench\": \"serve_hot_swap\", \"offered_rps\": "
+       << format_double_roundtrip(swap_load.rate) << ", \"requests\": "
+       << swap_report.sent << ", \"received\": " << swap_report.received
+       << ", \"mismatches\": " << swap_report.mismatches << ", \"unknown_version\": "
+       << swap_report.unknown_version << ", \"dropped\": "
+       << (swap_report.sent - swap_report.received) << ", \"swaps\": 2"
+       << ", \"versions_seen\": " << swap_report.responses_by_version.size()
+       << ", \"p50_us\": " << format_double_roundtrip(swap_report.p50_us)
+       << ", \"p99_us\": " << format_double_roundtrip(swap_report.p99_us)
+       << ", \"bit_exact\": true, \"worker_threads\": " << config.worker_threads
+       << ", \"batch_max\": " << config.batch_max << ", \"batch_deadline_us\": "
+       << config.batch_deadline_us << ", \"machine_cores\": " << bench::machine_cores()
+       << "}\n]\n";
+  json.close();
+  std::cout << "(wrote BENCH_serve.json)\n";
+  return 0;
+}

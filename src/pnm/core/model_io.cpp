@@ -1,0 +1,231 @@
+#include "pnm/core/model_io.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "pnm/nn/activation.hpp"
+#include "pnm/util/fileio.hpp"
+
+namespace pnm {
+namespace {
+
+constexpr std::string_view kHeader = "pnm-model";
+constexpr std::string_view kVersion = "v1";
+
+/// Strict signed-integer parse built on parse_u64_strict: optional single
+/// leading '-', no other deviations, no i64 overflow.
+std::optional<std::int64_t> parse_i64_strict(std::string_view token) {
+  bool neg = false;
+  if (!token.empty() && token.front() == '-') {
+    neg = true;
+    token.remove_prefix(1);
+  }
+  const std::optional<std::uint64_t> mag = parse_u64_strict(token);
+  if (!mag) return std::nullopt;
+  if (neg) {
+    if (*mag > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1) {
+      return std::nullopt;
+    }
+    return static_cast<std::int64_t>(0 - *mag);
+  }
+  if (*mag > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(*mag);
+}
+
+/// Whitespace-delimited token cursor over the whole file with positional
+/// error messages — the format is a token stream, so this keeps the
+/// parser free of per-line bookkeeping while still rejecting every
+/// deviation (missing or extra tokens both surface as mismatches).
+class TokenCursor {
+ public:
+  explicit TokenCursor(const std::string& text) : stream_(text) {}
+
+  std::string next(const char* what) {
+    std::string token;
+    if (!(stream_ >> token)) {
+      throw std::runtime_error(std::string("pnm-model: truncated file, expected ") + what);
+    }
+    return token;
+  }
+
+  void expect(std::string_view literal) {
+    const std::string token = next(std::string(literal).c_str());
+    if (token != literal) {
+      throw std::runtime_error("pnm-model: expected '" + std::string(literal) + "', got '" +
+                               token + "'");
+    }
+  }
+
+  std::uint64_t next_u64(const char* what, std::uint64_t max_value) {
+    const std::string token = next(what);
+    const auto v = parse_u64_strict(token);
+    if (!v || *v > max_value) {
+      throw std::runtime_error(std::string("pnm-model: bad ") + what + ": '" + token + "'");
+    }
+    return *v;
+  }
+
+  std::int64_t next_i64(const char* what) {
+    const std::string token = next(what);
+    const auto v = parse_i64_strict(token);
+    if (!v) {
+      throw std::runtime_error(std::string("pnm-model: bad ") + what + ": '" + token + "'");
+    }
+    return *v;
+  }
+
+  double next_double(const char* what) {
+    const std::string token = next(what);
+    const auto v = parse_double_strict(token);
+    if (!v) {
+      throw std::runtime_error(std::string("pnm-model: bad ") + what + ": '" + token + "'");
+    }
+    return *v;
+  }
+
+  bool at_end() {
+    std::string token;
+    return !(stream_ >> token);
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+}  // namespace
+
+std::string save_quantized_mlp_text(const QuantizedMlp& model, const std::string& name) {
+  std::string clean = name.empty() ? "model" : name;
+  for (char& c : clean) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '-';
+  }
+  std::ostringstream out;
+  out << kHeader << ' ' << kVersion << '\n';
+  out << "name " << clean << '\n';
+  out << "input_bits " << model.input_bits() << '\n';
+  out << "layers " << model.layer_count() << '\n';
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    const QuantizedLayer& l = model.layer(li);
+    out << "layer " << li << ' ' << l.out_features() << ' ' << l.in_features() << ' '
+        << l.weight_bits << ' ' << l.acc_shift << ' ' << activation_name(l.act) << ' '
+        << format_double_roundtrip(l.weight_scale) << '\n';
+    out << "bias " << li;
+    for (const std::int64_t b : l.bias) out << ' ' << b;
+    out << '\n';
+    for (std::size_t r = 0; r < l.out_features(); ++r) {
+      out << "row " << li << ' ' << r << ' ' << (l.row_offset[r + 1] - l.row_offset[r]);
+      for (std::size_t k = l.row_offset[r]; k < l.row_offset[r + 1]; ++k) {
+        out << ' ' << l.w_col[k] << ' ' << l.w_val[k];
+      }
+      out << '\n';
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool save_quantized_mlp(const QuantizedMlp& model, const std::string& path,
+                        const std::string& name) {
+  return write_text_file_atomic(path, save_quantized_mlp_text(model, name));
+}
+
+QuantizedMlp parse_quantized_mlp_text(const std::string& text) {
+  TokenCursor cur(text);
+  cur.expect(kHeader);
+  const std::string version = cur.next("format version");
+  if (version != kVersion) {
+    throw std::runtime_error("pnm-model: unsupported version '" + version + "'");
+  }
+  cur.expect("name");
+  (void)cur.next("model name");
+  cur.expect("input_bits");
+  const int input_bits = static_cast<int>(cur.next_u64("input_bits", 16));
+  cur.expect("layers");
+  const std::size_t n_layers = cur.next_u64("layer count", 64);
+
+  std::vector<QuantizedLayer> layers(n_layers);
+  for (std::size_t li = 0; li < n_layers; ++li) {
+    QuantizedLayer& l = layers[li];
+    cur.expect("layer");
+    if (cur.next_u64("layer index", n_layers) != li) {
+      throw std::runtime_error("pnm-model: layer records out of order");
+    }
+    const std::size_t out_f = cur.next_u64("layer out width", 1u << 20);
+    const std::size_t in_f = cur.next_u64("layer in width", 1u << 20);
+    if (out_f == 0 || in_f == 0) {
+      throw std::runtime_error("pnm-model: zero-width layer");
+    }
+    l.weight_bits = static_cast<int>(cur.next_u64("weight_bits", 16));
+    l.acc_shift = static_cast<int>(cur.next_u64("acc_shift", 12));
+    const std::string act_name = cur.next("activation name");
+    try {
+      l.act = activation_from_name(act_name);
+    } catch (const std::exception&) {
+      throw std::runtime_error("pnm-model: unknown activation '" + act_name + "'");
+    }
+    l.weight_scale = cur.next_double("weight scale");
+
+    cur.expect("bias");
+    if (cur.next_u64("bias layer index", n_layers) != li) {
+      throw std::runtime_error("pnm-model: bias record out of order");
+    }
+    l.bias.resize(out_f);
+    for (std::size_t r = 0; r < out_f; ++r) l.bias[r] = cur.next_i64("bias code");
+
+    // Rows arrive sparse; rebuild through set_dense so the CSR arrays are
+    // derived by the same code path from_float uses.
+    std::vector<int> codes(out_f * in_f, 0);
+    for (std::size_t r = 0; r < out_f; ++r) {
+      cur.expect("row");
+      if (cur.next_u64("row layer index", n_layers) != li ||
+          cur.next_u64("row index", out_f) != r) {
+        throw std::runtime_error("pnm-model: row records out of order");
+      }
+      const std::size_t nnz = cur.next_u64("row nonzero count", in_f);
+      for (std::size_t k = 0; k < nnz; ++k) {
+        const std::size_t col = cur.next_u64("weight column", in_f - 1);
+        const std::int64_t val = cur.next_i64("weight code");
+        if (val == 0 || val < -(std::int64_t{1} << 20) || val > (std::int64_t{1} << 20)) {
+          throw std::runtime_error("pnm-model: weight code out of range");
+        }
+        if (codes[r * in_f + col] != 0) {
+          throw std::runtime_error("pnm-model: duplicate weight column");
+        }
+        codes[r * in_f + col] = static_cast<int>(val);
+      }
+    }
+    l.set_dense(out_f, in_f, codes);
+  }
+  cur.expect("end");
+  if (!cur.at_end()) {
+    throw std::runtime_error("pnm-model: trailing content after 'end'");
+  }
+  return QuantizedMlp::from_layers(std::move(layers), input_bits);
+}
+
+QuantizedMlp load_quantized_mlp(const std::string& path) {
+  const std::optional<std::string> text = read_text_file(path);
+  if (!text) {
+    throw std::runtime_error("pnm-model: cannot read '" + path + "'");
+  }
+  return parse_quantized_mlp_text(*text);
+}
+
+std::string quantized_mlp_file_name(const std::string& path) {
+  const std::optional<std::string> text = read_text_file(path);
+  if (!text) return "";
+  std::istringstream stream(*text);
+  std::string header, version, key, name;
+  if (!(stream >> header >> version >> key >> name)) return "";
+  if (header != kHeader || version != kVersion || key != "name") return "";
+  return name;
+}
+
+}  // namespace pnm

@@ -1,0 +1,88 @@
+#ifndef PNM_CORE_MODEL_IO_HPP
+#define PNM_CORE_MODEL_IO_HPP
+
+/// \file model_io.hpp
+/// \brief On-disk serialization of trained front designs (QuantizedMlp).
+///
+/// The serving layer (pnm/serve) loads models from files — at startup and
+/// again on every hot-swap — so the integer model needs a durable format.
+/// Like the evaluation store, it is a versioned line-oriented text format
+/// ("pnm-model v1") with strict parsing: any truncation, stray token,
+/// out-of-range field, or structural inconsistency is rejected with a
+/// diagnostic instead of producing a silently-wrong classifier.  The
+/// weight scale round-trips bit-exactly (format_double_roundtrip), and
+/// integer codes are stored sparse (column/value pairs per row) in the
+/// same CSR order the engine iterates, so save -> load -> save is
+/// byte-identical.
+///
+/// Format (one token stream, line-oriented):
+///
+///     pnm-model v1
+///     name <token>
+///     input_bits <u>
+///     layers <L>
+///     layer <li> <out> <in> <weight_bits> <acc_shift> <act-name> <scale>
+///     bias <li> <b_0> ... <b_out-1>
+///     row <li> <r> <nnz> <col_0> <val_0> ... <col_nnz-1> <val_nnz-1>
+///     ...                                  (one row line per output row)
+///     end
+///
+/// The `name` token is informational (source dataset); it may not contain
+/// whitespace.  All other fields are validated by QuantizedMlp::from_layers
+/// after parsing.
+
+#include <string>
+
+#include "pnm/core/qmlp.hpp"
+
+namespace pnm {
+
+/// Renders the model in the pnm-model v1 text format.
+///
+/// \param model  the model to serialize (any valid QuantizedMlp).
+/// \param name   informational model/dataset name; whitespace is replaced
+///               with '-' so the format stays token-clean.
+/// \return the serialized bytes (deterministic for a given model).
+std::string save_quantized_mlp_text(const QuantizedMlp& model,
+                                    const std::string& name = "model");
+
+/// Serializes `model` and writes it to `path` atomically (temp + rename),
+/// so a reader — e.g. a server hot-swapping mid-write — never sees a torn
+/// file.
+///
+/// \param model  the model to save.
+/// \param path   destination file.
+/// \param name   informational name stored in the header.
+/// \return false if the file cannot be written.
+bool save_quantized_mlp(const QuantizedMlp& model, const std::string& path,
+                        const std::string& name = "model");
+
+/// Parses a pnm-model v1 byte stream.
+///
+/// \param text  the full file contents.
+/// \return the reconstructed model (bit-identical integer behaviour).
+/// \throws std::runtime_error     on any format violation: bad header or
+///         version, missing/duplicated/trailing fields, malformed numbers,
+///         or counts that disagree with the declared shapes.
+/// \throws std::invalid_argument  when the fields parse but describe an
+///         inconsistent model (QuantizedMlp::from_layers validation).
+QuantizedMlp parse_quantized_mlp_text(const std::string& text);
+
+/// Loads a model file.
+///
+/// \param path  file to read.
+/// \return the reconstructed model.
+/// \throws std::runtime_error  when the file cannot be read, plus
+///         everything parse_quantized_mlp_text throws.
+QuantizedMlp load_quantized_mlp(const std::string& path);
+
+/// The informational name stored in a model file's header ("" on any
+/// read/parse problem) — cheap peek without full validation.
+///
+/// \param path  file to read.
+/// \return the header name token, or "" when unavailable.
+std::string quantized_mlp_file_name(const std::string& path);
+
+}  // namespace pnm
+
+#endif  // PNM_CORE_MODEL_IO_HPP

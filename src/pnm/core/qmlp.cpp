@@ -111,6 +111,66 @@ QuantizedMlp QuantizedMlp::from_float(const Mlp& model, const QuantSpec& spec) {
   return q;
 }
 
+QuantizedMlp QuantizedMlp::from_layers(std::vector<QuantizedLayer> layers,
+                                       int input_bits) {
+  if (layers.empty()) throw std::invalid_argument("QuantizedMlp::from_layers: empty model");
+  if (input_bits < 1 || input_bits > 16) {
+    throw std::invalid_argument("QuantizedMlp::from_layers: input_bits out of range");
+  }
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const QuantizedLayer& l = layers[li];
+    const std::string where = "QuantizedMlp::from_layers: layer " + std::to_string(li);
+    if (l.out_features() == 0 || l.in_features() == 0) {
+      throw std::invalid_argument(where + ": empty layer");
+    }
+    if (li > 0 && l.in_features() != layers[li - 1].out_features()) {
+      throw std::invalid_argument(where + ": input width does not match previous layer");
+    }
+    if (l.weight_bits < 2 || l.weight_bits > 16) {
+      throw std::invalid_argument(where + ": weight_bits out of range");
+    }
+    if (l.acc_shift < 0 || l.acc_shift > 12) {
+      throw std::invalid_argument(where + ": acc_shift out of range");
+    }
+    if (!hardware_lowerable(l.act)) {
+      throw std::invalid_argument(where + ": activation not lowerable");
+    }
+    if (l.bias.size() != l.out_features()) {
+      throw std::invalid_argument(where + ": bias width mismatch");
+    }
+    const std::size_t nnz = l.w_mag.size();
+    if (l.w_neg.size() != nnz || l.w_val.size() != nnz || l.w_col.size() != nnz) {
+      throw std::invalid_argument(where + ": CSR array sizes disagree");
+    }
+    if (l.row_offset.size() != l.out_features() + 1 || l.row_offset.front() != 0 ||
+        l.row_offset.back() != nnz) {
+      throw std::invalid_argument(where + ": bad row offsets");
+    }
+    const std::int64_t max_mag = (std::int64_t{1} << (l.weight_bits - 1)) - 1;
+    for (std::size_t r = 0; r < l.out_features(); ++r) {
+      if (l.row_offset[r] > l.row_offset[r + 1]) {
+        throw std::invalid_argument(where + ": non-monotone row offsets");
+      }
+      for (std::size_t k = l.row_offset[r]; k < l.row_offset[r + 1]; ++k) {
+        if (l.w_mag[k] <= 0 || l.w_mag[k] > max_mag) {
+          throw std::invalid_argument(where + ": weight magnitude out of range");
+        }
+        if (l.w_neg[k] > 1 || l.w_val[k] != (l.w_neg[k] ? -l.w_mag[k] : l.w_mag[k])) {
+          throw std::invalid_argument(where + ": sign/value disagreement");
+        }
+        if (l.w_col[k] >= l.in_features() ||
+            (k > l.row_offset[r] && l.w_col[k] <= l.w_col[k - 1])) {
+          throw std::invalid_argument(where + ": columns not ascending in-range");
+        }
+      }
+    }
+  }
+  QuantizedMlp q;
+  q.input_bits_ = input_bits;
+  q.layers_ = std::move(layers);
+  return q;
+}
+
 std::size_t QuantizedMlp::input_size() const {
   return layers_.empty() ? 0 : layers_.front().in_features();
 }

@@ -117,6 +117,19 @@ class QuantizedMlp {
   /// be ReLU and the output layer identity, or lowering is impossible.
   static QuantizedMlp from_float(const Mlp& model, const QuantSpec& spec);
 
+  /// Builds a model from already-quantized layers (deserialization; see
+  /// core/model_io.hpp).  Validates structural consistency: a non-empty
+  /// layer stack with matching in/out widths, well-formed CSR arrays
+  /// (parallel array sizes, monotone row offsets, in-range ascending
+  /// columns, magnitude/sign/value agreement), per-layer bias width,
+  /// lowerable activations, and sane bit-width/shift ranges.
+  ///
+  /// \param layers      the integer layers, input-first.
+  /// \param input_bits  unsigned sensor precision the model expects.
+  /// \return the assembled model.
+  /// \throws std::invalid_argument  on any structural violation.
+  static QuantizedMlp from_layers(std::vector<QuantizedLayer> layers, int input_bits);
+
   [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
   [[nodiscard]] const QuantizedLayer& layer(std::size_t i) const { return layers_.at(i); }
   [[nodiscard]] const std::vector<QuantizedLayer>& layers() const { return layers_; }

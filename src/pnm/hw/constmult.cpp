@@ -1,6 +1,7 @@
 #include "pnm/hw/constmult.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -120,7 +121,10 @@ std::map<std::int64_t, Word> const_mult_shared(Netlist& nl, const Word& x,
     return products;
   }
 
-  const McmPlan plan = plan_mcm(coefficients, options);
+  // Memoized: the netlist generator and the area proxy lower/price the
+  // same per-column coefficient multisets, so the DAG plans once.
+  const std::shared_ptr<const McmPlan> plan_ptr = plan_mcm_cached(coefficients, options);
+  const McmPlan& plan = *plan_ptr;
   if (plan_out != nullptr) *plan_out = plan;
 
   // Word per available DAG value, the column input first.

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <tuple>
+#include <unordered_map>
 
 namespace pnm::hw {
 namespace {
@@ -258,6 +262,85 @@ McmPlan plan_mcm(const std::vector<std::int64_t>& coefficients,
 int mcm_adder_count(const std::vector<std::int64_t>& coefficients,
                     const MultOptions& options) {
   return plan_mcm(coefficients, options).adder_count();
+}
+
+namespace {
+
+/// Process-wide memo of planned DAGs.  Keyed by the canonical form of the
+/// input — plan_mcm collapses duplicates and ignores order, so the sorted
+/// distinct coefficient list plus the recoding flag identifies the result
+/// exactly.  Guarded by a plain mutex: a lookup is a hash + compare of a
+/// short string, far below the cost of even one planner iteration, and
+/// both the parallel evaluator's workers and the serve layer may race
+/// here.
+struct McmPlanCache {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const McmPlan>> plans;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+McmPlanCache& plan_cache() {
+  static McmPlanCache cache;
+  return cache;
+}
+
+/// Hard cap on retained plans: coefficient sets are tiny (printed-MLP
+/// columns hold a handful of small magnitudes), so this is far above any
+/// realistic working set; it only bounds degenerate sweeps.
+constexpr std::size_t kMaxCachedPlans = 1 << 16;
+
+}  // namespace
+
+std::shared_ptr<const McmPlan> plan_mcm_cached(const std::vector<std::int64_t>& coefficients,
+                                               const MultOptions& options) {
+  std::set<std::int64_t> distinct;
+  for (const std::int64_t c : coefficients) {
+    if (c <= 0) throw std::invalid_argument("plan_mcm: coefficients must be positive");
+    distinct.insert(c);
+  }
+  std::string key = options.use_csd ? "c" : "b";
+  for (const std::int64_t c : distinct) {
+    key += ',';
+    key += std::to_string(c);
+  }
+
+  McmPlanCache& cache = plan_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.plans.find(key);
+    if (it != cache.plans.end()) {
+      ++cache.hits;
+      return it->second;
+    }
+  }
+  // Plan outside the lock — the planner is the expensive part, and two
+  // threads racing on the same fresh key just do the (deterministic,
+  // identical) work twice, once ever.
+  auto plan = std::make_shared<const McmPlan>(plan_mcm(coefficients, options));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  ++cache.misses;
+  if (cache.plans.size() >= kMaxCachedPlans) cache.plans.clear();
+  const auto [it, inserted] = cache.plans.emplace(std::move(key), std::move(plan));
+  return it->second;
+}
+
+McmCacheStats mcm_plan_cache_stats() {
+  McmPlanCache& cache = plan_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  McmCacheStats stats;
+  stats.hits = cache.hits;
+  stats.misses = cache.misses;
+  stats.entries = cache.plans.size();
+  return stats;
+}
+
+void mcm_plan_cache_reset() {
+  McmPlanCache& cache = plan_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.plans.clear();
+  cache.hits = 0;
+  cache.misses = 0;
 }
 
 }  // namespace pnm::hw

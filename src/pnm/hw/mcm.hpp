@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "pnm/hw/constmult.hpp"
@@ -92,6 +93,44 @@ McmPlan plan_mcm(const std::vector<std::int64_t>& coefficients,
 /// \return total add/sub rows of the planned shared DAG.
 int mcm_adder_count(const std::vector<std::int64_t>& coefficients,
                     const MultOptions& options = {});
+
+/// Hit/miss statistics of the process-wide memoized planner (see
+/// plan_mcm_cached).  `entries` is the current number of cached plans.
+struct McmCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+
+  /// hits / (hits + misses); 0 when nothing was looked up yet.
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Memoized plan_mcm: plans for the same coefficient *multiset* (order and
+/// multiplicity are irrelevant to plan_mcm, so the key is the sorted
+/// distinct-value set) and recoding options are computed once per process
+/// and shared.  The GA re-evaluates near-identical genomes constantly —
+/// every repeated column (and every repeated genome the eval cache cannot
+/// see, e.g. across netlist generation and proxy pricing) now costs one
+/// hash lookup instead of a fresh CSE search.  Thread-safe; the returned
+/// plan is immutable and may be retained across calls.
+///
+/// \param coefficients  strictly positive multiplier magnitudes.
+/// \param options       recoding choice shared with hw/constmult.hpp.
+/// \return shared ownership of the (cached) plan, bit-identical to
+///         plan_mcm(coefficients, options).
+/// \throws std::invalid_argument  on a zero or negative coefficient.
+std::shared_ptr<const McmPlan> plan_mcm_cached(const std::vector<std::int64_t>& coefficients,
+                                               const MultOptions& options = {});
+
+/// Snapshot of the memoized planner's counters.
+/// \return hits/misses/entries at this instant (thread-safe).
+McmCacheStats mcm_plan_cache_stats();
+
+/// Empties the plan cache and zeroes its counters (tests, benchmarks).
+void mcm_plan_cache_reset();
 
 }  // namespace pnm::hw
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -54,7 +55,10 @@ double estimate_area_mm2(const QuantizedMlp& model, const TechLibrary& tech,
       for (std::size_t c = 0; c < layer.in_features(); ++c) {
         const std::vector<std::int64_t>& mags = col_mags[c];
         if (mags.empty()) continue;
-        const McmPlan plan = plan_mcm(mags, mult_options);
+        // Memoized: repeated columns (and re-evaluated genomes) reuse the
+        // planned DAG instead of re-running the CSE search.
+        const std::shared_ptr<const McmPlan> plan_ptr = plan_mcm_cached(mags, mult_options);
+        const McmPlan& plan = *plan_ptr;
         for (const McmNode& node : plan.nodes) {
           const int nw = range_width(0, checked_mul(node.value, in_hi[c]));
           area += static_cast<double>(nw) * fa * kProductRowFill;

@@ -1,0 +1,122 @@
+#ifndef PNM_SERVE_METRICS_HPP
+#define PNM_SERVE_METRICS_HPP
+
+/// \file metrics.hpp
+/// \brief Built-in latency/throughput observability for the serve layer.
+///
+/// Counters are plain relaxed atomics bumped on the hot path; histograms
+/// (batch size, end-to-end request latency) use fixed pre-allocated
+/// bucket arrays of atomics, so recording a served request allocates
+/// nothing and takes no lock.  The admin kStats endpoint renders a
+/// snapshot as JSON; p50/p99 are derived from the latency histogram
+/// (log-scale buckets, 4 per octave — ~19% worst-case bucket error,
+/// plenty for an operator dashboard; the bench computes exact client-side
+/// percentiles separately).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnm::serve {
+
+/// Log-scale histogram: bucket index = 4*floor(log2 v) + next-2-bits.
+constexpr std::size_t kLatencyBuckets = 256;
+
+/// Plain-value snapshot of ServeMetrics (see ServeMetrics::snapshot).
+struct MetricsSnapshot {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_total = 0;
+  std::uint64_t batches_total = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t oversized_rejected = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t dropped_responses = 0;  ///< write failed (client went away)
+  std::uint64_t predict_errors = 0;     ///< e.g. feature-width mismatch
+  std::uint64_t swaps_ok = 0;
+  std::uint64_t swaps_failed = 0;
+  std::uint64_t queue_depth = 0;        ///< admission queue, at snapshot time
+  std::uint32_t model_version = 0;
+  std::string model_path;
+  std::vector<std::uint64_t> batch_size_hist;  ///< index = batch size (0 unused)
+  std::vector<std::uint64_t> latency_hist;     ///< log-scale buckets (us)
+
+  /// Latency percentile in microseconds estimated from the histogram.
+  /// \param p  percentile in [0, 100].
+  /// \return the estimate; 0 when no latency was recorded.
+  [[nodiscard]] double latency_percentile_us(double p) const;
+
+  /// Mean recorded batch size (0 when no batch completed).
+  [[nodiscard]] double mean_batch_size() const;
+
+  /// Renders the snapshot as a JSON object (the kStats payload).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Shared mutable counters (one instance per Server).  All methods are
+/// thread-safe and lock-free.
+class ServeMetrics {
+ public:
+  /// \param batch_max  sizes the batch-size histogram (indices 0..batch_max).
+  explicit ServeMetrics(std::size_t batch_max);
+
+  void on_connection_opened() { connections_opened_.fetch_add(1, std::memory_order_relaxed); }
+  void on_connection_closed() { connections_closed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_request() { requests_total_.fetch_add(1, std::memory_order_relaxed); }
+  void on_protocol_error() { protocol_errors_.fetch_add(1, std::memory_order_relaxed); }
+  void on_oversized() { oversized_rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_truncated_frame() { truncated_frames_.fetch_add(1, std::memory_order_relaxed); }
+  void on_dropped_response() { dropped_responses_.fetch_add(1, std::memory_order_relaxed); }
+  void on_predict_error() { predict_errors_.fetch_add(1, std::memory_order_relaxed); }
+  void on_swap(bool ok) {
+    (ok ? swaps_ok_ : swaps_failed_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one completed batch of `batch_size` responses.
+  void on_batch(std::size_t batch_size);
+
+  /// Records one served response with its end-to-end latency (admission
+  /// to response write), in microseconds.
+  void on_response(std::uint64_t latency_us);
+
+  /// Point-in-time copy of every counter and histogram.
+  ///
+  /// \param queue_depth    current admission-queue depth (sampled by the
+  ///                       caller, which owns the queue).
+  /// \param model_version  live model version.
+  /// \param model_path     live model source path.
+  /// \return the snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t queue_depth,
+                                         std::uint32_t model_version,
+                                         const std::string& model_path) const;
+
+ private:
+  std::atomic<std::uint64_t> connections_opened_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> responses_total_{0};
+  std::atomic<std::uint64_t> batches_total_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> oversized_rejected_{0};
+  std::atomic<std::uint64_t> truncated_frames_{0};
+  std::atomic<std::uint64_t> dropped_responses_{0};
+  std::atomic<std::uint64_t> predict_errors_{0};
+  std::atomic<std::uint64_t> swaps_ok_{0};
+  std::atomic<std::uint64_t> swaps_failed_{0};
+  std::vector<std::atomic<std::uint64_t>> batch_size_hist_;
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
+};
+
+/// The log-scale bucket index for a latency of `us` microseconds.
+std::size_t latency_bucket(std::uint64_t us);
+
+/// Upper bound (inclusive, in us) of latency bucket `i` — used by the
+/// percentile estimate and by tests.
+std::uint64_t latency_bucket_upper_us(std::size_t i);
+
+}  // namespace pnm::serve
+
+#endif  // PNM_SERVE_METRICS_HPP

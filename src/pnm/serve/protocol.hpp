@@ -1,0 +1,150 @@
+#ifndef PNM_SERVE_PROTOCOL_HPP
+#define PNM_SERVE_PROTOCOL_HPP
+
+/// \file protocol.hpp
+/// \brief The serve wire protocol: length-prefixed frames over TCP.
+///
+/// Every message in either direction is one frame:
+///
+///     u32 length   | bytes that follow (type byte + payload); [1, max]
+///     u8  type     | FrameType
+///     ...payload   | type-specific, little-endian, packed
+///
+/// Request payloads:
+///   kPredict:  u32 request-id, u32 n_features, n_features x f64 (IEEE-754
+///              bits) — features min-max scaled to [0, 1]; the server
+///              quantizes with the live model's input_bits, exactly like
+///              the offline QuantizedDataset encoder.
+///   kStats:    empty — admin: metrics snapshot.
+///   kSwap:     UTF-8 path of a pnm-model file — admin: hot-swap.
+///
+/// Response payloads:
+///   kPredictResp: u32 request-id (echoed), u32 model-version, u32 class.
+///                 The version tag is what makes hot-swap verifiable: a
+///                 client can check every response bit-exactly against the
+///                 offline prediction of the *specific* design that served
+///                 it, so a misrouted or torn swap is machine-detectable.
+///   kStatsResp:   UTF-8 JSON document (see ServeMetrics::to_json).
+///   kSwapResp:    u8 ok, then a UTF-8 message (new version or the load
+///                 error; on failure the old model keeps serving).
+///   kError:       UTF-8 message; the server closes the connection after
+///                 sending it (protocol violations are not recoverable
+///                 mid-stream — framing may be lost).
+///
+/// Integers are little-endian; doubles are their IEEE-754 bit pattern,
+/// little-endian.  The decoder never trusts the peer: lengths are bounded
+/// before buffering, counts are cross-checked against the frame length,
+/// and any violation is surfaced as a typed error, not a crash.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pnm::serve {
+
+/// Frame type tags (first payload byte).
+enum class FrameType : std::uint8_t {
+  kPredict = 1,
+  kPredictResp = 2,
+  kStats = 3,
+  kStatsResp = 4,
+  kSwap = 5,
+  kSwapResp = 6,
+  kError = 7,
+};
+
+/// Default cap on one frame's post-length bytes.  Predict frames are tiny
+/// (a few hundred bytes for printed-MLP feature counts); 1 MiB leaves
+/// headroom without letting a client balloon server memory.
+constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Hard cap on kPredict feature counts (sanity bound, far above any
+/// printed classifier).
+constexpr std::size_t kMaxFeatures = 1 << 14;
+
+// ---- little-endian primitives ------------------------------------------
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void append_f64(std::vector<std::uint8_t>& out, double v);
+std::uint32_t read_u32(const std::uint8_t* p);
+double read_f64(const std::uint8_t* p);
+
+// ---- frame encoders (append one complete frame to `out`) ---------------
+
+/// kPredict frame.
+void encode_predict(std::vector<std::uint8_t>& out, std::uint32_t id,
+                    std::span<const double> features);
+/// kPredictResp frame.
+void encode_predict_resp(std::vector<std::uint8_t>& out, std::uint32_t id,
+                         std::uint32_t model_version, std::uint32_t predicted_class);
+/// kStats request frame.
+void encode_stats_req(std::vector<std::uint8_t>& out);
+/// kSwap request frame.
+void encode_swap_req(std::vector<std::uint8_t>& out, const std::string& model_path);
+/// kStatsResp / kSwapResp / kError frame with a raw byte payload.
+void encode_payload_frame(std::vector<std::uint8_t>& out, FrameType type,
+                          std::span<const std::uint8_t> payload);
+/// kSwapResp frame.
+void encode_swap_resp(std::vector<std::uint8_t>& out, bool ok, const std::string& message);
+/// kError frame.
+void encode_error(std::vector<std::uint8_t>& out, const std::string& message);
+
+// ---- payload decoders ---------------------------------------------------
+
+/// Decodes a kPredict payload (bytes after the type tag) into `id` and
+/// `features` (reused, resized).  False when the declared feature count
+/// disagrees with the payload size or exceeds kMaxFeatures.
+bool decode_predict(std::span<const std::uint8_t> payload, std::uint32_t& id,
+                    std::vector<double>& features);
+
+/// Decoded kPredictResp payload.
+struct PredictResponse {
+  std::uint32_t id = 0;
+  std::uint32_t model_version = 0;
+  std::uint32_t predicted_class = 0;
+};
+
+/// Decodes a kPredictResp payload.  False on size mismatch.
+bool decode_predict_resp(std::span<const std::uint8_t> payload, PredictResponse& out);
+
+/// Decodes a kSwapResp payload.  False on empty payload.
+bool decode_swap_resp(std::span<const std::uint8_t> payload, bool& ok, std::string& message);
+
+// ---- incremental frame reassembly ---------------------------------------
+
+/// Reassembles frames from an arbitrary byte stream (per connection).
+/// feed() buffers partial data and invokes the callback once per complete
+/// frame; a frame whose declared length is 0 or exceeds the cap poisons
+/// the reader (feed returns false and the connection must be dropped —
+/// framing is unrecoverable).
+class FrameReader {
+ public:
+  using FrameHandler = std::function<void(FrameType, std::span<const std::uint8_t>)>;
+
+  /// \param max_frame_bytes  cap on one frame's post-length byte count.
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `n` raw bytes, dispatching every completed frame.
+  ///
+  /// \param data      received bytes.
+  /// \param n         byte count.
+  /// \param on_frame  called with (type, payload-after-type) per frame.
+  /// \return false on a framing violation (reader is poisoned).
+  bool feed(const std::uint8_t* data, std::size_t n, const FrameHandler& on_frame);
+
+  /// Whether a partially-received frame is pending — at connection close
+  /// this distinguishes a clean disconnect from a truncated frame.
+  [[nodiscard]] bool mid_frame() const { return !buf_.empty(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  bool poisoned_ = false;
+};
+
+}  // namespace pnm::serve
+
+#endif  // PNM_SERVE_PROTOCOL_HPP

@@ -1,0 +1,330 @@
+#include "pnm/serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "pnm/core/model_io.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/util/socket.hpp"
+
+namespace pnm::serve {
+
+/// Per-socket connection state.  The IO thread owns the read side
+/// exclusively; the write side is shared between workers (responses) and
+/// the IO thread (admin/error replies) under `write_mu`.  The fd stays
+/// open until the last shared_ptr drops, so a worker finishing a batch
+/// after the IO thread saw the hangup writes into a dead-but-valid
+/// socket (EPIPE, counted as a dropped response) — never into a recycled
+/// descriptor.
+class Connection {
+ public:
+  Connection(int fd, std::size_t max_frame_bytes) : fd_(fd), reader_(max_frame_bytes) {}
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  FrameReader& reader() { return reader_; }
+
+  /// Marks the connection dead (no further writes are attempted).
+  void mark_closed() { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Serialized whole-frame write; false when the peer is gone.
+  bool write_frame(const std::vector<std::uint8_t>& bytes) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (closed()) return false;
+    if (send_all(fd_, bytes.data(), bytes.size())) return true;
+    mark_closed();
+    return false;
+  }
+
+ private:
+  int fd_;
+  FrameReader reader_;
+  std::atomic<bool> closed_{false};
+  std::mutex write_mu_;
+};
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+}  // namespace
+
+Server::Server(ServeConfig config, ServedModel model)
+    : config_(config),
+      metrics_(config.batch_max),
+      batcher_(config.batch_max, config.batch_deadline_us) {
+  if (config_.worker_threads == 0) {
+    throw std::invalid_argument("Server: worker_threads must be >= 1");
+  }
+  if (model.mlp.layer_count() == 0) {
+    throw std::invalid_argument("Server: empty model");
+  }
+  if (model.version == 0) model.version = 1;
+  next_version_.store(model.version + 1);
+  model_.store(std::make_shared<const ServedModel>(std::move(model)));
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  listen_fd_ = tcp_listen(config_.port, config_.loopback_only);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    throw std::runtime_error(std::string("Server: cannot listen: ") + std::strerror(errno));
+  }
+  port_ = tcp_local_port(listen_fd_);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("Server: eventfd failed");
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the IO loop; it closes the listen socket and its connections.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  if (io_thread_.joinable()) io_thread_.join();
+  // Drain what was admitted, then release the workers.
+  batcher_.shutdown();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  ::close(wake_fd_);
+  wake_fd_ = -1;
+}
+
+std::shared_ptr<const ServedModel> Server::current_model() const {
+  return model_.load(std::memory_order_acquire);
+}
+
+MetricsSnapshot Server::stats() const {
+  const std::shared_ptr<const ServedModel> m = current_model();
+  return metrics_.snapshot(batcher_.depth(), m->version, m->source_path);
+}
+
+bool Server::swap_model(const std::string& path, std::string* error) {
+  ServedModel next;
+  try {
+    next.mlp = load_quantized_mlp(path);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    metrics_.on_swap(false);
+    return false;
+  }
+  next.version = next_version_.fetch_add(1);
+  next.source_path = path;
+  model_.store(std::make_shared<const ServedModel>(std::move(next)),
+               std::memory_order_release);
+  metrics_.on_swap(true);
+  return true;
+}
+
+void Server::handle_admin_frame(const std::shared_ptr<Connection>& conn, FrameType type,
+                                std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  if (type == FrameType::kStats) {
+    const std::string json = stats().to_json();
+    encode_payload_frame(out, FrameType::kStatsResp,
+                         std::span<const std::uint8_t>(
+                             reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
+  } else {  // kSwap
+    const std::string path(reinterpret_cast<const char*>(payload.data()), payload.size());
+    std::string error;
+    if (swap_model(path, &error)) {
+      encode_swap_resp(out, true,
+                       "version " + std::to_string(current_model()->version));
+    } else {
+      encode_swap_resp(out, false, error);
+    }
+  }
+  if (!conn->write_frame(out)) metrics_.on_dropped_response();
+}
+
+void Server::io_loop() {
+  Epoll epoll;
+  // Tags: 0 = listen socket, 1 = wake eventfd, otherwise a connection id.
+  constexpr std::uint64_t kListenTag = 0;
+  constexpr std::uint64_t kWakeTag = 1;
+  epoll.add(listen_fd_, EPOLLIN, kListenTag);
+  epoll.add(wake_fd_, EPOLLIN, kWakeTag);
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns;
+  std::uint64_t next_tag = 2;
+  std::vector<epoll_event> events;
+  std::vector<std::uint8_t> rx(64 * 1024);
+  std::vector<std::uint8_t> reply;
+
+  const auto drop_connection = [&](std::uint64_t tag) {
+    const auto it = conns.find(tag);
+    if (it == conns.end()) return;
+    if (it->second->reader().mid_frame()) metrics_.on_truncated_frame();
+    epoll.remove(it->second->fd());
+    it->second->mark_closed();
+    metrics_.on_connection_closed();
+    conns.erase(it);  // fd closes when in-flight requests release the ref
+  };
+
+  bool stopping = false;
+  while (!stopping) {
+    const int n = epoll.wait(events, -1);
+    if (n < 0) break;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        stopping = true;
+        break;
+      }
+      if (tag == kListenTag) {
+        for (;;) {
+          const int fd = tcp_accept(listen_fd_);
+          if (fd < 0) break;
+          auto conn = std::make_shared<Connection>(fd, config_.max_frame_bytes);
+          epoll.add(fd, EPOLLIN | EPOLLRDHUP, next_tag);
+          conns.emplace(next_tag, std::move(conn));
+          ++next_tag;
+          metrics_.on_connection_opened();
+        }
+        continue;
+      }
+      const auto it = conns.find(tag);
+      if (it == conns.end()) continue;
+      const std::shared_ptr<Connection> conn = it->second;
+
+      bool drop = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      bool peer_done = (events[i].events & EPOLLRDHUP) != 0;
+      while (!drop) {
+        const long got = recv_some(conn->fd(), rx.data(), rx.size());
+        if (got > 0) {
+          const bool ok = conn->reader().feed(
+              rx.data(), static_cast<std::size_t>(got),
+              [&](FrameType type, std::span<const std::uint8_t> payload) {
+                switch (type) {
+                  case FrameType::kPredict: {
+                    ServeRequest* r = pool_.acquire();
+                    std::uint32_t id = 0;
+                    if (!decode_predict(payload, id, r->features)) {
+                      pool_.release(r);
+                      metrics_.on_protocol_error();
+                      reply.clear();
+                      encode_error(reply, "malformed predict frame");
+                      conn->write_frame(reply);
+                      drop = true;
+                      return;
+                    }
+                    r->id = id;
+                    r->conn = conn;
+                    metrics_.on_request();
+                    batcher_.push(r);
+                    return;
+                  }
+                  case FrameType::kStats:
+                  case FrameType::kSwap:
+                    handle_admin_frame(conn, type, payload);
+                    return;
+                  default:
+                    metrics_.on_protocol_error();
+                    reply.clear();
+                    encode_error(reply, "unexpected frame type");
+                    conn->write_frame(reply);
+                    drop = true;
+                    return;
+                }
+              });
+          if (!ok && !drop) {
+            // Framing violation (zero/oversized length): unrecoverable.
+            metrics_.on_oversized();
+            reply.clear();
+            encode_error(reply, "bad frame length");
+            conn->write_frame(reply);
+            drop = true;
+          }
+          continue;
+        }
+        if (got == 0) {
+          drop = true;  // orderly close
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          drop = true;  // hard error
+        }
+        break;  // EAGAIN: drained
+      }
+      if (drop || peer_done) drop_connection(tag);
+    }
+  }
+
+  for (auto& [tag, conn] : conns) {
+    epoll.remove(conn->fd());
+    conn->mark_closed();
+    metrics_.on_connection_closed();
+  }
+  conns.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::worker_loop() {
+  std::vector<ServeRequest*> batch;
+  std::vector<std::uint8_t> frame;
+  InferScratch scratch;
+
+  while (batcher_.pop_batch(batch)) {
+    // Pin one design for the whole batch: every member is served — and
+    // version-tagged — by the same snapshot, whatever swaps land
+    // concurrently.
+    const std::shared_ptr<const ServedModel> model = model_.load(std::memory_order_acquire);
+    const std::size_t want = model->mlp.input_size();
+    const int input_bits = model->mlp.input_bits();
+
+    metrics_.on_batch(batch.size());
+    for (ServeRequest* r : batch) {
+      if (r->features.size() != want) {
+        metrics_.on_predict_error();
+        frame.clear();
+        encode_error(frame, "feature count mismatch");
+        if (r->conn == nullptr || !r->conn->write_frame(frame)) {
+          metrics_.on_dropped_response();
+        }
+        const std::uint64_t latency = elapsed_us(r->admitted);
+        metrics_.on_response(latency);
+        pool_.release(r);
+        continue;
+      }
+      quantize_input_into(r->features, input_bits, scratch.xq);
+      const std::size_t cls = model->mlp.predict_quantized_into(scratch.xq, scratch);
+      frame.clear();
+      encode_predict_resp(frame, r->id, model->version, static_cast<std::uint32_t>(cls));
+      if (r->conn == nullptr || !r->conn->write_frame(frame)) {
+        metrics_.on_dropped_response();
+      }
+      metrics_.on_response(elapsed_us(r->admitted));
+      pool_.release(r);
+    }
+  }
+}
+
+}  // namespace pnm::serve

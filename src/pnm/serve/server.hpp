@@ -1,0 +1,131 @@
+#ifndef PNM_SERVE_SERVER_HPP
+#define PNM_SERVE_SERVER_HPP
+
+/// \file server.hpp
+/// \brief The streaming classification server: inference-as-a-service for
+///        trained printed-MLP front designs.
+///
+/// Topology: one epoll IO thread owns the listening socket and every
+/// connection's read side; decoded kPredict frames are admitted into the
+/// Batcher, and `worker_threads` inference workers drain it in
+/// micro-batches.  Each worker holds one InferScratch and streams its
+/// batch through the live model with `predict_quantized_into` — the same
+/// allocation-free kernel the offline engine uses — after quantizing the
+/// [0,1] features with `quantize_input_into` at the model's input_bits
+/// (the QuantizedDataset encoding, applied per request).
+///
+/// Hot-swap: the live model is a `std::atomic<std::shared_ptr<const
+/// ServedModel>>`.  A swap loads and validates the new design file first,
+/// then performs one atomic pointer flip; workers pin a snapshot per
+/// *batch*, so every in-flight request completes on the design it was
+/// scheduled against and every response carries that design's version tag
+/// — zero requests are dropped and none can be misrouted across the flip.
+/// A swap to an unreadable or corrupt file is rejected whole; the old
+/// design keeps serving.
+///
+/// Responses are written by the worker that computed them, directly to
+/// the connection (per-connection write lock); a client that disappeared
+/// mid-batch just has its responses counted as dropped — the batch, the
+/// other clients, and the server are unaffected.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pnm/core/qmlp.hpp"
+#include "pnm/serve/batcher.hpp"
+#include "pnm/serve/metrics.hpp"
+#include "pnm/serve/protocol.hpp"
+
+namespace pnm::serve {
+
+/// An immutable loaded front design plus its serve-side identity.
+struct ServedModel {
+  QuantizedMlp mlp;
+  std::uint32_t version = 0;  ///< monotonically increasing per swap
+  std::string source_path;    ///< file it was loaded from ("" = in-memory)
+};
+
+/// Server configuration.
+struct ServeConfig {
+  std::uint16_t port = 0;            ///< 0 = ephemeral (see Server::port)
+  bool loopback_only = true;         ///< bind 127.0.0.1 (tests/benches)
+  std::size_t batch_max = 32;        ///< micro-batch size bound
+  std::int64_t batch_deadline_us = 200;  ///< micro-batch age bound
+  std::size_t worker_threads = 2;    ///< inference workers
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The server.  start() spawns the IO thread and workers; stop() (or the
+/// destructor) shuts everything down, draining already-admitted requests.
+class Server {
+ public:
+  /// \param config  serve topology and batching policy.
+  /// \param model   initial design (from_float or load_quantized_mlp);
+  ///                its `version` is forced to 1 if left 0.
+  Server(ServeConfig config, ServedModel model);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listening socket and spawns the threads.  After it
+  /// returns, port() is final and connects succeed (the kernel backlog
+  /// holds early arrivals even before the first epoll dispatch).
+  ///
+  /// \throws std::runtime_error  when the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, drains admitted requests, joins every thread.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Loads `path` and atomically flips the live design to it.
+  ///
+  /// \param path   a pnm-model v1 file.
+  /// \param error  receives the load/validation error on failure.
+  /// \return true on success (the new design is live); false leaves the
+  ///         old design serving.
+  bool swap_model(const std::string& path, std::string* error);
+
+  /// The live design snapshot (what the next batch will be served with).
+  [[nodiscard]] std::shared_ptr<const ServedModel> current_model() const;
+
+  /// Metrics snapshot including live queue depth and model identity.
+  [[nodiscard]] MetricsSnapshot stats() const;
+
+  /// Request-pool size (tests assert the zero-steady-state-allocation
+  /// property through this).
+  [[nodiscard]] std::size_t request_pool_created() const { return pool_.created(); }
+
+ private:
+  void io_loop();
+  void worker_loop();
+  void handle_admin_frame(const std::shared_ptr<Connection>& conn, FrameType type,
+                          std::span<const std::uint8_t> payload);
+
+  ServeConfig config_;
+  std::atomic<std::shared_ptr<const ServedModel>> model_;
+  std::atomic<std::uint32_t> next_version_;
+
+  ServeMetrics metrics_;
+  RequestPool pool_;
+  Batcher batcher_;
+
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd the IO loop polls for shutdown
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pnm::serve
+
+#endif  // PNM_SERVE_SERVER_HPP

@@ -1,0 +1,92 @@
+/// Concurrency tests for the read-only sharing contracts the serve and
+/// eval layers rely on: one QuantizedDataset (and one QuantizedMlp) is
+/// shared by many threads, each with private InferScratch, and every
+/// thread must observe byte-identical data and compute identical
+/// predictions.  Run under TSan these tests also prove the sharing is
+/// race-free (all post-construction access is const).
+
+#include "pnm/core/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "pnm/core/qmlp.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+namespace {
+
+TEST(QuantizedDatasetShared, ConcurrentReadersAgreeWithSerialBaseline) {
+  Rng rng(42);
+  SynthConfig cfg;
+  cfg.name = "shared";
+  cfg.n_features = 8;
+  cfg.n_classes = 4;
+  cfg.n_samples = 400;
+  const Dataset data = make_synthetic(cfg, rng);
+  const QuantizedDataset qd = quantize_dataset(data, 4);
+
+  const Mlp net({8, 6, 4}, rng);
+  const QuantizedMlp model = QuantizedMlp::from_float(net, QuantSpec::uniform(2, 5, 4));
+
+  // Serial baseline.
+  std::vector<std::size_t> baseline(qd.size());
+  {
+    InferScratch scratch;
+    for (std::size_t i = 0; i < qd.size(); ++i) {
+      baseline[i] = model.predict_quantized_into(qd.sample(i), scratch);
+    }
+  }
+
+  // Many threads, shared dataset + model, private scratch.  Each thread
+  // sweeps the full dataset several times (overlapping reads of every
+  // cache line) and checks against the baseline.
+  constexpr std::size_t kThreads = 8;
+  constexpr int kSweeps = 3;
+  std::vector<std::size_t> disagreements(kThreads, 0);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      InferScratch scratch;
+      for (int sweep = 0; sweep < kSweeps; ++sweep) {
+        for (std::size_t i = 0; i < qd.size(); ++i) {
+          if (model.predict_quantized_into(qd.sample(i), scratch) != baseline[i]) {
+            ++disagreements[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(disagreements[t], 0U) << "thread " << t;
+  }
+}
+
+TEST(QuantizedDatasetShared, SampleViewsAliasTheFlatBuffer) {
+  Rng rng(7);
+  SynthConfig cfg;
+  cfg.n_features = 5;
+  cfg.n_classes = 3;
+  cfg.n_samples = 50;
+  const Dataset data = make_synthetic(cfg, rng);
+  const QuantizedDataset qd = quantize_dataset(data, 6);
+
+  ASSERT_EQ(qd.size(), 50U);
+  for (std::size_t i = 0; i < qd.size(); ++i) {
+    const auto view = qd.sample(i);
+    ASSERT_EQ(view.size(), qd.n_features);
+    EXPECT_EQ(view.data(), qd.x.data() + i * qd.n_features);  // zero-copy
+    for (const std::int64_t code : view) {
+      EXPECT_GE(code, 0);
+      EXPECT_LT(code, 64);  // 2^6
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnm

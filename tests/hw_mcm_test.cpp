@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "pnm/util/rng.hpp"
 
@@ -187,6 +189,67 @@ TEST(Mcm, DeterministicAcrossCallsAndInputOrder) {
 TEST(Mcm, AdderCountHelperMatchesPlan) {
   const std::vector<std::int64_t> coeffs = {5, 13, 21};
   EXPECT_EQ(mcm_adder_count(coeffs), plan_mcm(coeffs).adder_count());
+}
+
+TEST(McmCache, RepeatedColumnsPlanOnce) {
+  mcm_plan_cache_reset();
+  const std::vector<std::int64_t> coeffs = {5, 13, 27, 45};
+
+  const auto first = plan_mcm_cached(coeffs);
+  McmCacheStats stats = mcm_plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits, 0U);
+  EXPECT_EQ(stats.entries, 1U);
+
+  // Same multiset in any order, with any duplication, is the same plan
+  // object — repeated columns across a network plan exactly once.
+  const auto second = plan_mcm_cached({45, 27, 13, 5});
+  const auto third = plan_mcm_cached({5, 5, 13, 13, 27, 45, 45, 45});
+  stats = mcm_plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits, 2U);
+  EXPECT_EQ(stats.entries, 1U);
+  EXPECT_EQ(first.get(), second.get());  // pointer-identical, not re-planned
+  EXPECT_EQ(first.get(), third.get());
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+
+  // A different coefficient set or recoding option is a distinct entry.
+  const auto other = plan_mcm_cached({3, 9});
+  MultOptions binary;
+  binary.use_csd = false;
+  const auto binary_plan = plan_mcm_cached(coeffs, binary);
+  stats = mcm_plan_cache_stats();
+  EXPECT_EQ(stats.misses, 3U);
+  EXPECT_EQ(stats.entries, 3U);
+  EXPECT_NE(first.get(), other.get());
+  EXPECT_NE(first.get(), binary_plan.get());
+
+  // Cached plans match the uncached planner exactly.
+  const McmPlan& direct = plan_mcm(coeffs);
+  EXPECT_EQ(first->adder_count(), direct.adder_count());
+  EXPECT_EQ(first->nodes.size(), direct.nodes.size());
+  mcm_plan_cache_reset();
+  EXPECT_EQ(mcm_plan_cache_stats().entries, 0U);
+}
+
+TEST(McmCache, ConcurrentLookupsShareOnePlan) {
+  mcm_plan_cache_reset();
+  const std::vector<std::int64_t> coeffs = {7, 11, 19, 31, 57};
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const McmPlan>> plans(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] { plans[t] = plan_mcm_cached(coeffs); });
+  }
+  for (auto& th : pool) th.join();
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[0].get(), plans[t].get());
+  }
+  const McmCacheStats stats = mcm_plan_cache_stats();
+  EXPECT_EQ(stats.entries, 1U);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+  mcm_plan_cache_reset();
 }
 
 }  // namespace

@@ -1,0 +1,371 @@
+/// End-to-end tests for the serving layer over real loopback TCP:
+/// bit-exactness against the offline engine, micro-batch coalescing,
+/// hot-swap under load (version-tagged verification), protocol abuse
+/// (truncated / oversized / unknown frames, width mismatches, client
+/// disconnects), observability counters, and the zero-steady-state-
+/// allocation property of the request pool.
+
+#include "pnm/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pnm/core/model_io.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/serve/client.hpp"
+#include "pnm/util/fileio.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm::serve {
+namespace {
+
+QuantizedMlp make_model(std::uint64_t seed, std::vector<std::size_t> topology = {6, 5, 3}) {
+  Rng rng(seed);
+  const Mlp net(topology, rng);
+  return QuantizedMlp::from_float(net, QuantSpec::uniform(topology.size() - 1, 5, 4));
+}
+
+std::vector<std::vector<double>> make_samples(std::size_t n, std::size_t n_features,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> samples(n);
+  for (auto& s : samples) {
+    s.resize(n_features);
+    for (auto& v : s) v = rng.uniform();
+  }
+  return samples;
+}
+
+std::size_t offline_predict(const QuantizedMlp& model, const std::vector<double>& x,
+                            InferScratch& scratch) {
+  std::vector<std::int64_t> xq;
+  quantize_input_into(x, model.input_bits(), xq);
+  return model.predict_quantized_into(xq, scratch);
+}
+
+/// Polls server stats until `pred` holds or ~2s elapse (counters are
+/// bumped by the IO/worker threads, so tests wait instead of racing).
+template <typename Pred>
+bool wait_for_stats(const Server& server, Pred pred) {
+  for (int i = 0; i < 200; ++i) {
+    if (pred(server.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(ServeServer, ServesBitExactPredictions) {
+  Server server({}, {make_model(1), 0, ""});
+  server.start();
+
+  const auto samples = make_samples(60, 6, 11);
+  const QuantizedMlp reference = make_model(1);
+  InferScratch scratch;
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(client.send_predict(static_cast<std::uint32_t>(i), samples[i]));
+    PredictResponse resp;
+    ASSERT_TRUE(client.read_predict(resp));
+    EXPECT_EQ(resp.id, i);
+    EXPECT_EQ(resp.model_version, 1U);
+    EXPECT_EQ(resp.predicted_class, offline_predict(reference, samples[i], scratch));
+  }
+
+  const MetricsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.requests_total, samples.size());
+  EXPECT_EQ(stats.responses_total, samples.size());
+  EXPECT_EQ(stats.model_version, 1U);
+  server.stop();
+}
+
+TEST(ServeServer, ObservabilityCountersAreConsistent) {
+  ServeConfig config;
+  config.batch_max = 8;
+  config.batch_deadline_us = 2000;
+  Server server(config, {make_model(2), 0, ""});
+  server.start();
+
+  const auto samples = make_samples(40, 6, 12);
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  // Pipeline everything, then collect: gives the batcher a chance to
+  // coalesce (the exact batch sizes are timing-dependent; the accounting
+  // identities below are not).
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(client.send_predict(static_cast<std::uint32_t>(i), samples[i]));
+  }
+  PredictResponse resp;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(client.read_predict(resp));
+  }
+
+  const MetricsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.responses_total, samples.size());
+  ASSERT_EQ(stats.batch_size_hist.size(), config.batch_max + 1);
+  std::uint64_t batches = 0;
+  std::uint64_t responses = 0;
+  for (std::size_t s = 1; s < stats.batch_size_hist.size(); ++s) {
+    batches += stats.batch_size_hist[s];
+    responses += stats.batch_size_hist[s] * s;
+  }
+  EXPECT_EQ(batches, stats.batches_total);      // histogram covers every batch
+  EXPECT_EQ(responses, stats.responses_total);  // ...and every response
+  EXPECT_GE(stats.mean_batch_size(), 1.0);
+  EXPECT_GT(stats.latency_percentile_us(50), 0.0);
+  EXPECT_GE(stats.latency_percentile_us(99), stats.latency_percentile_us(50));
+  EXPECT_EQ(stats.queue_depth, 0U);  // drained
+
+  // The same numbers over the admin endpoint.
+  std::string json;
+  ASSERT_TRUE(client.stats(json));
+  EXPECT_NE(json.find("\"requests_total\": 40"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p50_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size_hist\":"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServeServer, HotSwapUnderLoadIsBitExactAndLossless) {
+  const QuantizedMlp model_a = make_model(3);
+  const QuantizedMlp model_b = make_model(4);
+  const std::string path_a = ::testing::TempDir() + "pnm_serve_swap_a.pnm";
+  const std::string path_b = ::testing::TempDir() + "pnm_serve_swap_b.pnm";
+  ASSERT_TRUE(save_quantized_mlp(model_a, path_a, "a"));
+  ASSERT_TRUE(save_quantized_mlp(model_b, path_b, "b"));
+
+  ServeConfig config;
+  config.worker_threads = 2;
+  Server server(config, {make_model(3), 0, path_a});
+  server.start();
+
+  const auto samples = make_samples(32, 6, 13);
+  LoadGenConfig load;
+  load.port = server.port();
+  load.rate = 3000.0;
+  load.total_requests = 360;
+  load.samples = &samples;
+  load.swaps[100] = path_b;  // version 2
+  load.swaps[220] = path_a;  // version 3
+  load.verify[1] = &model_a;
+  load.verify[2] = &model_b;
+  load.verify[3] = &model_a;
+
+  const LoadGenReport report = run_load(load);
+  EXPECT_TRUE(report.ok()) << "sent=" << report.sent << " received=" << report.received
+                           << " mismatches=" << report.mismatches
+                           << " unknown=" << report.unknown_version
+                           << " send_failures=" << report.send_failures
+                           << " swap_failures=" << report.swap_failures;
+  EXPECT_EQ(report.received, load.total_requests);
+  EXPECT_GE(report.responses_by_version.size(), 2U);  // the swap landed mid-stream
+
+  const MetricsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.swaps_ok, 2U);
+  EXPECT_EQ(stats.model_version, 3U);
+  EXPECT_EQ(stats.model_path, path_a);
+  server.stop();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ServeServer, SwapToCorruptFileIsRejectedAndKeepsServing) {
+  const std::string bad_path = ::testing::TempDir() + "pnm_serve_swap_bad.pnm";
+  ASSERT_TRUE(write_text_file_atomic(bad_path, "pnm-model v1\nname x\ngarbage\n"));
+
+  Server server({}, {make_model(5), 0, ""});
+  server.start();
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  std::string message;
+  EXPECT_FALSE(client.swap(bad_path, message));
+  EXPECT_FALSE(message.empty());
+  EXPECT_FALSE(client.swap(::testing::TempDir() + "pnm_serve_no_such_file.pnm", message));
+
+  const MetricsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.swaps_failed, 2U);
+  EXPECT_EQ(stats.swaps_ok, 0U);
+  EXPECT_EQ(stats.model_version, 1U);  // old design kept serving
+
+  // ...and it really does keep serving, bit-exactly.
+  const auto samples = make_samples(5, 6, 14);
+  const QuantizedMlp reference = make_model(5);
+  InferScratch scratch;
+  PredictResponse resp;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(client.send_predict(static_cast<std::uint32_t>(i), samples[i]));
+    ASSERT_TRUE(client.read_predict(resp));
+    EXPECT_EQ(resp.model_version, 1U);
+    EXPECT_EQ(resp.predicted_class, offline_predict(reference, samples[i], scratch));
+  }
+  server.stop();
+  std::remove(bad_path.c_str());
+}
+
+TEST(ServeServer, TruncatedFrameIsCountedOnDisconnect) {
+  Server server({}, {make_model(6), 0, ""});
+  server.start();
+
+  {
+    ServeClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    std::vector<std::uint8_t> frame;
+    encode_predict(frame, 1, std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6});
+    ASSERT_TRUE(client.send_raw(frame.data(), frame.size() - 3));  // cut short
+    client.close();  // disconnect mid-frame
+  }
+  EXPECT_TRUE(wait_for_stats(
+      server, [](const MetricsSnapshot& s) { return s.truncated_frames == 1; }));
+
+  // The server shrugs it off: a fresh client is served normally.
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto samples = make_samples(1, 6, 15);
+  ASSERT_TRUE(client.send_predict(0, samples[0]));
+  PredictResponse resp;
+  EXPECT_TRUE(client.read_predict(resp));
+  server.stop();
+}
+
+TEST(ServeServer, OversizedFrameGetsErrorAndDisconnect) {
+  ServeConfig config;
+  config.max_frame_bytes = 1 << 10;
+  Server server(config, {make_model(7), 0, ""});
+  server.start();
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  std::vector<std::uint8_t> header;
+  append_u32(header, 1 << 20);  // over the 1 KiB cap
+  ASSERT_TRUE(client.send_raw(header.data(), header.size()));
+
+  ClientFrame frame;
+  ASSERT_TRUE(client.read_frame(frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  // Server closes the connection after the error frame.
+  EXPECT_FALSE(client.read_frame(frame, 2000));
+  EXPECT_TRUE(wait_for_stats(
+      server, [](const MetricsSnapshot& s) { return s.oversized_rejected == 1; }));
+  server.stop();
+}
+
+TEST(ServeServer, UnknownFrameTypeGetsErrorAndDisconnect) {
+  Server server({}, {make_model(8), 0, ""});
+  server.start();
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  std::vector<std::uint8_t> raw;
+  append_u32(raw, 3);
+  raw.push_back(99);  // no such FrameType
+  raw.push_back(0);
+  raw.push_back(0);
+  ASSERT_TRUE(client.send_raw(raw.data(), raw.size()));
+
+  ClientFrame frame;
+  ASSERT_TRUE(client.read_frame(frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_TRUE(wait_for_stats(
+      server, [](const MetricsSnapshot& s) { return s.protocol_errors >= 1; }));
+  server.stop();
+}
+
+TEST(ServeServer, FeatureWidthMismatchIsAnErrorNotACrash) {
+  Server server({}, {make_model(9), 0, ""});  // expects 6 features
+  server.start();
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.send_predict(0, std::vector<double>{0.5, 0.5}));  // 2 != 6
+  ClientFrame frame;
+  ASSERT_TRUE(client.read_frame(frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_TRUE(wait_for_stats(
+      server, [](const MetricsSnapshot& s) { return s.predict_errors == 1; }));
+
+  // The connection survives a width mismatch (it is a request-level
+  // error, not a framing violation) — the next valid request is served.
+  const auto samples = make_samples(1, 6, 16);
+  ASSERT_TRUE(client.send_predict(1, samples[0]));
+  PredictResponse resp;
+  EXPECT_TRUE(client.read_predict(resp));
+  server.stop();
+}
+
+TEST(ServeServer, ClientDisconnectMidFlightLeavesServerHealthy) {
+  ServeConfig config;
+  config.batch_deadline_us = 20000;  // give the vanishing client time to vanish
+  Server server(config, {make_model(10), 0, ""});
+  server.start();
+
+  const auto samples = make_samples(8, 6, 17);
+  {
+    ServeClient doomed;
+    ASSERT_TRUE(doomed.connect("127.0.0.1", server.port()));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      ASSERT_TRUE(doomed.send_predict(static_cast<std::uint32_t>(i), samples[i]));
+    }
+    doomed.close();  // gone before the batch departs
+  }
+  // All admitted requests are still processed (responses may be dropped,
+  // never wedged).
+  EXPECT_TRUE(wait_for_stats(server, [&](const MetricsSnapshot& s) {
+    return s.responses_total == samples.size();
+  }));
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.send_predict(0, samples[0]));
+  PredictResponse resp;
+  EXPECT_TRUE(client.read_predict(resp));
+  server.stop();
+}
+
+TEST(ServeServer, RequestPoolStopsGrowingAtSteadyState) {
+  Server server({}, {make_model(12), 0, ""});
+  server.start();
+
+  const auto samples = make_samples(4, 6, 18);
+  ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  PredictResponse resp;
+
+  // Warm-up: one strictly sequential pass sizes the pool.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client.send_predict(static_cast<std::uint32_t>(i), samples[i % 4]));
+    ASSERT_TRUE(client.read_predict(resp));
+  }
+  const std::size_t warm = server.request_pool_created();
+  EXPECT_GE(warm, 1U);
+
+  // Steady state: same concurrency profile, zero new request objects.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client.send_predict(static_cast<std::uint32_t>(i), samples[i % 4]));
+    ASSERT_TRUE(client.read_predict(resp));
+  }
+  EXPECT_EQ(server.request_pool_created(), warm);
+  server.stop();
+}
+
+TEST(ServeServer, StartStopIsIdempotent) {
+  Server server({}, {make_model(13), 0, ""});
+  server.start();
+  const std::uint16_t port = server.port();
+  EXPECT_NE(port, 0);
+  server.stop();
+  server.stop();  // idempotent
+
+  // A stopped server's port no longer accepts.
+  ServeClient client;
+  EXPECT_FALSE(client.connect("127.0.0.1", port, 2));
+}
+
+}  // namespace
+}  // namespace pnm::serve
