@@ -24,6 +24,7 @@
 
 #include "common.hpp"
 #include "pnm/core/model_io.hpp"
+#include "pnm/util/build_info.hpp"
 #include "pnm/core/quantize.hpp"
 #include "pnm/data/scaler.hpp"
 #include "pnm/data/synth.hpp"
@@ -68,6 +69,16 @@ int fail(const std::string& why) {
 }  // namespace
 
 int main() {
+  // Sanitizer builds run this bench as a correctness gate only: offered
+  // rates and request counts are scaled down by the instrumentation
+  // slowdown so the open-loop generator does not outrun the server, and
+  // the recorded numbers are marked unrepresentative.
+  const int slow = pnm::build_info::timing_multiplier();
+  if (slow > 1) {
+    std::cout << "sanitizer build (" << pnm::build_info::sanitizer_name()
+              << "): scaling offered load down by " << slow << "x\n";
+  }
+
   // ---- Two deployable designs (A serves first; B is the swap target) ----
   const Dataset data = make_pendigits();
   Rng rng(42);
@@ -131,7 +142,8 @@ int main() {
 
   // ---- Gate 2: latency/throughput at three offered rates ---------------
   std::vector<RateRow> rows;
-  for (const double rate : {2000.0, 8000.0, 20000.0}) {
+  for (const double base_rate : {2000.0, 8000.0, 20000.0}) {
+    const double rate = base_rate / slow;
     LoadGenConfig load;
     load.port = server.port();
     load.rate = rate;
@@ -161,11 +173,11 @@ int main() {
   // ---- Gate 3: two hot-swaps under load, zero loss, bit-exact ----------
   LoadGenConfig swap_load;
   swap_load.port = server.port();
-  swap_load.rate = 8000.0;
-  swap_load.total_requests = 4000;
+  swap_load.rate = 8000.0 / slow;
+  swap_load.total_requests = 4000 / static_cast<std::size_t>(slow);
   swap_load.samples = &samples;
-  swap_load.swaps[1000] = path_b;  // -> version 2
-  swap_load.swaps[2500] = path_a;  // -> version 3
+  swap_load.swaps[swap_load.total_requests / 4] = path_b;      // -> version 2
+  swap_load.swaps[swap_load.total_requests * 5 / 8] = path_a;  // -> version 3
   swap_load.verify[1] = &design_a;
   swap_load.verify[2] = &design_b;
   swap_load.verify[3] = &design_a;
@@ -227,7 +239,8 @@ int main() {
          << ", \"worker_threads\": " << config.worker_threads
          << ", \"batch_max\": " << config.batch_max
          << ", \"batch_deadline_us\": " << config.batch_deadline_us
-         << ", \"machine_cores\": " << bench::machine_cores() << "},\n";
+         << ", \"machine_cores\": " << bench::machine_cores()
+         << ", \"sanitizer\": \"" << pnm::build_info::sanitizer_name() << "\"},\n";
   }
   json << "  {\"bench\": \"serve_hot_swap\", \"offered_rps\": "
        << format_double_roundtrip(swap_load.rate) << ", \"requests\": "

@@ -33,14 +33,18 @@
 /// needs none of the minimization stack.
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
+#include <fcntl.h>
 #include <iostream>
 #include <map>
+#include <poll.h>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "pnm/core/model_io.hpp"
@@ -54,8 +58,14 @@
 
 namespace {
 
+// Signal plumbing: the handler only sets sig_atomic_t flags and writes
+// one byte to a self-pipe (both async-signal-safe) — no allocation, no
+// locking, no iostream.  The serve loop blocks on the pipe's read end,
+// so a SIGHUP swap happens immediately instead of on the next tick of a
+// sleep poll, and the model load/logging all run in the main thread.
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_hup = 0;
+int g_wake_pipe[2] = {-1, -1};
 
 void on_signal(int sig) {
   if (sig == SIGHUP) {
@@ -63,6 +73,26 @@ void on_signal(int sig) {
   } else {
     g_stop = 1;
   }
+  const int saved_errno = errno;
+  const unsigned char byte = 0;
+  // A full pipe (EAGAIN) just means a wakeup is already pending.
+  [[maybe_unused]] const ssize_t rc = write(g_wake_pipe[1], &byte, 1);
+  errno = saved_errno;
+}
+
+bool install_signal_handlers() {
+  if (pipe(g_wake_pipe) != 0) return false;
+  for (const int fd : g_wake_pipe) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return false;
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // only the self-pipe interrupts the serve loop
+  return sigaction(SIGINT, &sa, nullptr) == 0 &&
+         sigaction(SIGTERM, &sa, nullptr) == 0 &&
+         sigaction(SIGHUP, &sa, nullptr) == 0;
 }
 
 struct Args {
@@ -192,10 +222,18 @@ int run_serve(const Args& args) {
             << "SIGHUP swaps in " << swap_file << "; SIGINT/SIGTERM stops\n"
             << std::flush;
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  std::signal(SIGHUP, on_signal);
+  if (!install_signal_handlers()) {
+    std::cerr << "error: cannot install signal handlers\n";
+    return 1;
+  }
   while (g_stop == 0) {
+    // Block until a signal pokes the self-pipe, then drain it: every
+    // pending wakeup is coalesced into one pass over the flags.
+    pollfd pfd{g_wake_pipe[0], POLLIN, 0};
+    if (poll(&pfd, 1, -1) < 0 && errno != EINTR) break;
+    unsigned char drain[64];
+    while (read(g_wake_pipe[0], drain, sizeof(drain)) > 0) {
+    }
     if (g_hup != 0) {
       g_hup = 0;
       std::string error;
@@ -207,7 +245,6 @@ int run_serve(const Args& args) {
         std::cout << "swap rejected: " << error << "\n" << std::flush;
       }
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   const pnm::serve::MetricsSnapshot stats = server.stats();
   server.stop();

@@ -1,0 +1,29 @@
+/// Fuzz target: the CSV dataset reader.
+///
+/// Any byte stream must either load to a Dataset that passes its own
+/// validate() (load_csv calls it before returning) or throw a typed
+/// std::runtime_error with a line-numbered message.  Crashes and UB are
+/// findings — this target is what forced the label-range check in
+/// load_csv (a label of "1e300" used to be an undefined float→int
+/// cast).  Both supported delimiters are exercised.
+
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "pnm/data/csv.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  for (const char delimiter : {',', ';'}) {
+    std::istringstream in(text);
+    try {
+      const pnm::CsvLoadResult result = pnm::load_csv(in, delimiter, "fuzz");
+      (void)result;
+    } catch (const std::exception&) {
+      // Typed rejection is the expected outcome for malformed input.
+    }
+  }
+  return 0;
+}

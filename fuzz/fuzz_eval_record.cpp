@@ -1,0 +1,41 @@
+/// Fuzz target: the eval-store record parser (the same code path a
+/// segment preload walks line by line).
+///
+/// The input is treated exactly like a segment body: split on '\n',
+/// each line offered to parse_eval_record.  Accepted records must
+/// satisfy format/parse closure — re-serializing must reproduce the
+/// byte-identical line (this is the property the store's byte-for-byte
+/// warm-rerun guarantee rests on), enforced with abort().  Comparing
+/// the formatted text (not the parsed doubles) keeps NaN-carrying
+/// records honest.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "pnm/core/eval_store.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string_view body(reinterpret_cast<const char*>(data), size);
+  while (!body.empty()) {
+    const std::size_t eol = body.find('\n');
+    const std::string_view line =
+        body.substr(0, eol == std::string_view::npos ? body.size() : eol);
+    body.remove_prefix(eol == std::string_view::npos ? body.size() : eol + 1);
+    if (line.empty()) continue;
+
+    std::string key;
+    pnm::DesignPoint point;
+    if (!pnm::parse_eval_record(line, key, point)) continue;
+
+    const std::string formatted = pnm::format_eval_record(key, point);
+    std::string key2;
+    pnm::DesignPoint point2;
+    const std::string_view reline =
+        std::string_view(formatted).substr(0, formatted.size() - 1);  // strip '\n'
+    if (!pnm::parse_eval_record(reline, key2, point2)) abort();
+    if (pnm::format_eval_record(key2, point2) != formatted) abort();
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+/// Replay driver for toolchains without libFuzzer (GCC).
+///
+/// Links against the same `LLVMFuzzerTestOneInput` entry point a real
+/// libFuzzer build uses, and accepts the same positional arguments:
+/// every file (or every file inside a directory) given on the command
+/// line is executed once, then each seed is re-executed under a burst of
+/// deterministic xorshift mutations — byte flips, truncations, and
+/// splices — so even the fallback engine probes the neighborhood of
+/// every checked-in input instead of just replaying it.  Dashed
+/// libFuzzer flags (-runs=, -max_total_time=, ...) are ignored so the
+/// same ctest command line drives both engines.
+///
+/// Failures are crashes: the target (or its sanitizer runtime) aborts,
+/// ctest reports the nonzero exit, and the failing input is the one
+/// named in the last "replay:" / "mutate:" line printed.
+///
+/// PNM_FUZZ_MUTATIONS overrides the per-seed mutation count (default
+/// 512; 0 disables mutation and replays only).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint8_t b : bytes) h = (h ^ b) * 1099511628211ull;
+  return h == 0 ? 1 : h;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+void run_one(const std::vector<std::uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+/// One deterministic mutation of `seed` (never mutates in place).
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed,
+                                 std::uint64_t& rng) {
+  std::vector<std::uint8_t> m = seed;
+  const std::uint64_t op = xorshift(rng) % 4;
+  if (m.empty() || op == 0) {
+    // Insert a random byte (also the only op for empty seeds).
+    const std::size_t at = m.empty() ? 0 : xorshift(rng) % (m.size() + 1);
+    m.insert(m.begin() + static_cast<std::ptrdiff_t>(at),
+             static_cast<std::uint8_t>(xorshift(rng)));
+  } else if (op == 1) {
+    m[xorshift(rng) % m.size()] = static_cast<std::uint8_t>(xorshift(rng));
+  } else if (op == 2) {
+    m.resize(xorshift(rng) % m.size());  // truncate
+  } else {
+    // Splice: overwrite a short window with bytes from elsewhere in the
+    // seed (exercises duplicated/reordered structure).
+    const std::size_t from = xorshift(rng) % m.size();
+    const std::size_t to = xorshift(rng) % m.size();
+    const std::size_t len = std::min<std::size_t>(
+        1 + xorshift(rng) % 8, m.size() - std::max(from, to));
+    std::memmove(m.data() + to, m.data() + from, len);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t mutations = 512;
+  if (const char* env = std::getenv("PNM_FUZZ_MUTATIONS")) {
+    mutations = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer flags: ignored here
+    std::error_code ec;
+    if (std::filesystem::is_directory(argv[i], ec)) {
+      std::vector<std::string> in_dir;
+      for (const auto& entry : std::filesystem::directory_iterator(argv[i], ec)) {
+        if (entry.is_regular_file()) in_dir.push_back(entry.path().string());
+      }
+      std::sort(in_dir.begin(), in_dir.end());  // deterministic replay order
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s [-libfuzzer-flags...] corpus-dir|file...\n", argv[0]);
+    return 2;
+  }
+
+  std::size_t executed = 0;
+  for (const std::string& path : files) {
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(path, bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("replay: %s (%zu bytes)\n", path.c_str(), bytes.size());
+    std::fflush(stdout);
+    run_one(bytes);
+    ++executed;
+
+    if (mutations > 0) {
+      std::printf("mutate: %s x%zu\n", path.c_str(), mutations);
+      std::fflush(stdout);
+      std::uint64_t rng = fnv1a(bytes);
+      for (std::size_t k = 0; k < mutations; ++k) {
+        run_one(mutate(bytes, rng));
+        ++executed;
+      }
+    }
+  }
+  std::printf("done: %zu executions over %zu seeds\n", executed, files.size());
+  return 0;
+}

@@ -151,6 +151,12 @@ QuantizedMlp parse_quantized_mlp_text(const std::string& text) {
   const std::size_t n_layers = cur.next_u64("layer count", 64);
 
   std::vector<QuantizedLayer> layers(n_layers);
+  // Total dense-weight budget across all layers.  Per-layer width caps
+  // alone still let a hostile header demand out_f*in_f = 2^40 ints (a
+  // multi-terabyte allocation) from a file a few hundred bytes long; the
+  // budget bounds what a parse can allocate before any weight token has
+  // been read.  16M weights is orders of magnitude above any printed MLP.
+  std::size_t weight_budget = std::size_t{1} << 24;
   for (std::size_t li = 0; li < n_layers; ++li) {
     QuantizedLayer& l = layers[li];
     cur.expect("layer");
@@ -162,6 +168,10 @@ QuantizedMlp parse_quantized_mlp_text(const std::string& text) {
     if (out_f == 0 || in_f == 0) {
       throw std::runtime_error("pnm-model: zero-width layer");
     }
+    if (in_f > weight_budget / out_f) {
+      throw std::runtime_error("pnm-model: model too large (weight budget exceeded)");
+    }
+    weight_budget -= out_f * in_f;
     l.weight_bits = static_cast<int>(cur.next_u64("weight_bits", 16));
     l.acc_shift = static_cast<int>(cur.next_u64("acc_shift", 12));
     const std::string act_name = cur.next("activation name");

@@ -1,6 +1,7 @@
 #include "pnm/data/csv.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
@@ -86,6 +87,13 @@ CsvLoadResult load_csv(std::istream& in, char delimiter, const std::string& name
     if (!parse_double(trim(fields.back()), label_d)) {
       throw std::runtime_error("load_csv: line " + std::to_string(line_no) +
                                ": bad label '" + fields.back() + "'");
+    }
+    // The cast below is UB for NaN/inf/out-of-range doubles (a label of
+    // "1e300" must be a parse error, not undefined behavior), so bound it
+    // first.  2^53 is where doubles stop being exact integers anyway.
+    if (!std::isfinite(label_d) || std::fabs(label_d) > 9007199254740992.0) {
+      throw std::runtime_error("load_csv: line " + std::to_string(line_no) +
+                               ": label out of range '" + fields.back() + "'");
     }
     rows.push_back(std::move(row));
     raw_labels.push_back(static_cast<long>(label_d));

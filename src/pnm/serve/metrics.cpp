@@ -12,7 +12,7 @@ std::size_t latency_bucket(std::uint64_t us) {
   if (us < 4) return static_cast<std::size_t>(us);  // exact tiny buckets
   // 4 sub-buckets per octave: the octave from bit_width, the sub-bucket
   // from the two bits below the leading one.
-  const int w = std::bit_width(us);  // >= 3 here
+  const int w = static_cast<int>(std::bit_width(us));  // >= 3 here
   const std::uint64_t sub = (us >> (w - 3)) & 0x3;
   const std::size_t idx = static_cast<std::size_t>(w - 2) * 4 + static_cast<std::size_t>(sub);
   return std::min(idx, kLatencyBuckets - 1);

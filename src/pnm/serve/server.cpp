@@ -76,7 +76,7 @@ Server::Server(ServeConfig config, ServedModel model)
   }
   if (model.version == 0) model.version = 1;
   next_version_.store(model.version + 1);
-  model_.store(std::make_shared<const ServedModel>(std::move(model)));
+  model_ = std::make_shared<const ServedModel>(std::move(model));
 }
 
 Server::~Server() { stop(); }
@@ -120,7 +120,8 @@ void Server::stop() {
 }
 
 std::shared_ptr<const ServedModel> Server::current_model() const {
-  return model_.load(std::memory_order_acquire);
+  const std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
 }
 
 MetricsSnapshot Server::stats() const {
@@ -139,8 +140,10 @@ bool Server::swap_model(const std::string& path, std::string* error) {
   }
   next.version = next_version_.fetch_add(1);
   next.source_path = path;
-  model_.store(std::make_shared<const ServedModel>(std::move(next)),
-               std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(model_mu_);
+    model_ = std::make_shared<const ServedModel>(std::move(next));
+  }
   metrics_.on_swap(true);
   return true;
 }
@@ -296,7 +299,7 @@ void Server::worker_loop() {
     // Pin one design for the whole batch: every member is served — and
     // version-tagged — by the same snapshot, whatever swaps land
     // concurrently.
-    const std::shared_ptr<const ServedModel> model = model_.load(std::memory_order_acquire);
+    const std::shared_ptr<const ServedModel> model = current_model();
     const std::size_t want = model->mlp.input_size();
     const int input_bits = model->mlp.input_bits();
 

@@ -14,9 +14,9 @@
 /// [0,1] features with `quantize_input_into` at the model's input_bits
 /// (the QuantizedDataset encoding, applied per request).
 ///
-/// Hot-swap: the live model is a `std::atomic<std::shared_ptr<const
-/// ServedModel>>`.  A swap loads and validates the new design file first,
-/// then performs one atomic pointer flip; workers pin a snapshot per
+/// Hot-swap: the live model is a mutex-guarded `shared_ptr<const
+/// ServedModel>`.  A swap loads and validates the new design file first,
+/// then performs one guarded pointer flip; workers pin a snapshot per
 /// *batch*, so every in-flight request completes on the design it was
 /// scheduled against and every response carries that design's version tag
 /// — zero requests are dropped and none can be misrouted across the flip.
@@ -111,7 +111,15 @@ class Server {
                           std::span<const std::uint8_t> payload);
 
   ServeConfig config_;
-  std::atomic<std::shared_ptr<const ServedModel>> model_;
+  // Guarded by model_mu_: the swap path replaces the pointer, readers
+  // copy it (one mutex hop per *batch*, amortized to noise).  Not
+  // std::atomic<shared_ptr>: libstdc++'s _Sp_atomic takes an embedded
+  // spinlock on every access anyway — same cost, but its relaxed
+  // reader-unlock makes TSan (correctly, per the C++ memory model)
+  // report the writer's pointer swap as a race.  An explicit mutex is
+  // the same speed and provably clean.
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const ServedModel> model_;
   std::atomic<std::uint32_t> next_version_;
 
   ServeMetrics metrics_;

@@ -1,0 +1,14 @@
+#include "pnm/util/build_info.hpp"
+
+namespace pnm::build_info {
+
+const char* sanitizer_name() {
+  if (kAddressSanitizer && kUndefinedSanitizer) return "address,undefined";
+  if (kAddressSanitizer) return "address";
+  if (kThreadSanitizer && kUndefinedSanitizer) return "thread,undefined";
+  if (kThreadSanitizer) return "thread";
+  if (kUndefinedSanitizer) return "undefined";
+  return "none";
+}
+
+}  // namespace pnm::build_info

@@ -1,0 +1,77 @@
+#ifndef PNM_UTIL_BUILD_INFO_HPP
+#define PNM_UTIL_BUILD_INFO_HPP
+
+/// \file build_info.hpp
+/// \brief Compile-time knowledge about how this binary was built —
+///        specifically which sanitizers are baked into it.
+///
+/// Sanitizer builds (see the PNM_SANITIZE CMake option and
+/// docs/CORRECTNESS.md) run the same test and bench binaries 2–20x
+/// slower than a plain Release build.  Anything that asserts on wall
+/// time — offered load rates, latency budgets, deadline margins — must
+/// scale its expectations instead of flaking, and the TSan-targeted
+/// stress tests skip themselves (with a note) when no sanitizer is
+/// present, because without the runtime they would only be slow, not
+/// diagnostic.  This header is the one place that knowledge lives.
+///
+/// Detection: ASan and TSan define compiler macros (GCC:
+/// __SANITIZE_ADDRESS__/__SANITIZE_THREAD__; clang: __has_feature).
+/// UBSan defines nothing, so the build system supplies PNM_SANITIZE_UB
+/// whenever "undefined" is in the PNM_SANITIZE set.
+
+namespace pnm::build_info {
+
+#if defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kAddressSanitizer = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+inline constexpr bool kAddressSanitizer = true;
+#else
+inline constexpr bool kAddressSanitizer = false;
+#endif
+#else
+inline constexpr bool kAddressSanitizer = false;
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kThreadSanitizer = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kThreadSanitizer = true;
+#else
+inline constexpr bool kThreadSanitizer = false;
+#endif
+#else
+inline constexpr bool kThreadSanitizer = false;
+#endif
+
+#if defined(PNM_SANITIZE_UB)
+inline constexpr bool kUndefinedSanitizer = true;
+#else
+inline constexpr bool kUndefinedSanitizer = false;
+#endif
+
+/// Whether any sanitizer runtime is compiled into this binary.
+inline constexpr bool any_sanitizer() {
+  return kAddressSanitizer || kThreadSanitizer || kUndefinedSanitizer;
+}
+
+/// Conservative wall-time slowdown factor for this build: multiply
+/// timing budgets by it, divide offered load rates by it.  1 in a plain
+/// build; the sanitizer values are deliberately generous (upper end of
+/// the documented slowdown ranges) because a timing test that flakes
+/// under TSan costs more than one that is merely lenient.
+inline constexpr int timing_multiplier() {
+  if (kThreadSanitizer) return 20;
+  if (kAddressSanitizer) return 8;
+  if (kUndefinedSanitizer) return 4;
+  return 1;
+}
+
+/// Human-readable sanitizer description for logs and skip notes:
+/// "address", "address,undefined", "thread", "undefined", or "none".
+const char* sanitizer_name();
+
+}  // namespace pnm::build_info
+
+#endif  // PNM_UTIL_BUILD_INFO_HPP

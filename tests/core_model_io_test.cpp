@@ -106,6 +106,32 @@ TEST(ModelIo, RejectsMalformedText) {
   EXPECT_THROW(parse_quantized_mlp_text(good + "extra\n"), std::runtime_error);
 }
 
+TEST(ModelIo, RejectsHostileLayerShapes) {
+  // Regression: a 60-byte header declaring a 1048576x1048576 layer used
+  // to reserve ~4 TiB before any row data was read.  The parser now
+  // carries a total weight budget, so the rejection must arrive from the
+  // header alone.
+  const auto expect_too_large = [](const std::string& text) {
+    try {
+      parse_quantized_mlp_text(text);
+      FAIL() << "hostile header was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("model too large"), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_too_large(
+      "pnm-model v1\nname evil\ninput_bits 4\n"
+      "layers 1\nlayer 0 1048576 1048576 5 0 relu 1\n");
+  // The budget is cumulative across layers: 16x1048576 alone is exactly
+  // the 2^24 budget, but not after a first layer already spent 4 of it.
+  expect_too_large(
+      "pnm-model v1\nname evil\ninput_bits 4\n"
+      "layers 2\n"
+      "layer 0 2 2 5 0 relu 1\nbias 0 1 -1\nrow 0 0 1 0 1\nrow 0 1 1 1 1\n"
+      "layer 1 16 1048576 5 0 relu 1\n");
+}
+
 TEST(ModelIo, RejectsCorruptedRecords) {
   const QuantizedMlp model = make_model(6);
   const std::string good = save_quantized_mlp_text(model, "m");

@@ -58,6 +58,19 @@ TEST(Csv, RejectsInconsistentColumns) {
   EXPECT_THROW(load_csv(in), std::runtime_error);
 }
 
+TEST(Csv, RejectsNonFiniteOrHugeLabels) {
+  // Regression: a label like "1e300" parses as a valid double but the
+  // subsequent double->long cast was undefined behavior.  Each of these
+  // must be a typed parse error, not UB.
+  for (const char* label : {"1e300", "-1e300", "nan", "inf", "-inf", "1e17"}) {
+    std::istringstream in(std::string("1.0,") + label + "\n");
+    EXPECT_THROW(load_csv(in), std::runtime_error) << label;
+  }
+  // The boundary itself (2^53) is still exact and accepted.
+  std::istringstream ok("1.0,9007199254740992\n2.0,0\n");
+  EXPECT_NO_THROW(load_csv(ok));
+}
+
 TEST(Csv, RejectsNonNumericFeature) {
   std::istringstream in("1,2,0\nx,2,1\n");
   EXPECT_THROW(load_csv(in), std::runtime_error);

@@ -18,6 +18,7 @@
 #include "pnm/core/model_io.hpp"
 #include "pnm/core/quantize.hpp"
 #include "pnm/serve/client.hpp"
+#include "pnm/util/build_info.hpp"
 #include "pnm/util/fileio.hpp"
 #include "pnm/util/rng.hpp"
 
@@ -50,9 +51,10 @@ std::size_t offline_predict(const QuantizedMlp& model, const std::vector<double>
 
 /// Polls server stats until `pred` holds or ~2s elapse (counters are
 /// bumped by the IO/worker threads, so tests wait instead of racing).
+/// Sanitizer builds get proportionally more patience.
 template <typename Pred>
 bool wait_for_stats(const Server& server, Pred pred) {
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < 200 * pnm::build_info::timing_multiplier(); ++i) {
     if (pred(server.stats())) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -78,10 +80,13 @@ TEST(ServeServer, ServesBitExactPredictions) {
     EXPECT_EQ(resp.predicted_class, offline_predict(reference, samples[i], scratch));
   }
 
-  const MetricsSnapshot stats = server.stats();
-  EXPECT_EQ(stats.requests_total, samples.size());
-  EXPECT_EQ(stats.responses_total, samples.size());
-  EXPECT_EQ(stats.model_version, 1U);
+  // The worker bumps responses_total *after* writing the response, so
+  // the client can hold response N while the counter still reads N-1 —
+  // poll instead of snapshotting (sanitizer builds widen that window).
+  EXPECT_TRUE(wait_for_stats(server, [&](const MetricsSnapshot& s) {
+    return s.requests_total == samples.size() && s.responses_total == samples.size();
+  }));
+  EXPECT_EQ(server.stats().model_version, 1U);
   server.stop();
 }
 
@@ -106,6 +111,11 @@ TEST(ServeServer, ObservabilityCountersAreConsistent) {
     ASSERT_TRUE(client.read_predict(resp));
   }
 
+  // Counters land after the response write — poll until they settle
+  // before snapshotting for the accounting identities.
+  ASSERT_TRUE(wait_for_stats(server, [&](const MetricsSnapshot& s) {
+    return s.responses_total == samples.size();
+  }));
   const MetricsSnapshot stats = server.stats();
   EXPECT_EQ(stats.responses_total, samples.size());
   ASSERT_EQ(stats.batch_size_hist.size(), config.batch_max + 1);
@@ -345,12 +355,17 @@ TEST(ServeServer, RequestPoolStopsGrowingAtSteadyState) {
   const std::size_t warm = server.request_pool_created();
   EXPECT_GE(warm, 1U);
 
-  // Steady state: same concurrency profile, zero new request objects.
+  // Steady state: the pool is bounded by peak concurrent demand, not by
+  // request count.  With one synchronous client that demand is 1 live
+  // request plus up to one straggling release per worker (a worker
+  // releases *after* writing the response, so the IO thread's next
+  // acquire can overtake it) — so 200 more requests may lawfully grow
+  // the pool to that bound, and not one object past it.
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(client.send_predict(static_cast<std::uint32_t>(i), samples[i % 4]));
     ASSERT_TRUE(client.read_predict(resp));
   }
-  EXPECT_EQ(server.request_pool_created(), warm);
+  EXPECT_LE(server.request_pool_created(), 1 + ServeConfig{}.worker_threads);
   server.stop();
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run the repo's clang-tidy gate (the same invocation CI hard-gates on):
+# every TU under src/ is checked against .clang-tidy with warnings as
+# errors.  Requires clang-tidy >= 15 and a compile_commands.json.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "error: $tidy not found (set CLANG_TIDY=... or install clang-tidy)" >&2
+  exit 2
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "configuring ${build_dir} with compile commands export..." >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+echo "clang-tidy gate: ${#sources[@]} TUs under src/ (config: .clang-tidy)" >&2
+
+# run-clang-tidy parallelizes when available; fall back to a plain loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy" -p "$build_dir" -quiet \
+    "$@" "${sources[@]}"
+else
+  for f in "${sources[@]}"; do
+    "$tidy" -p "$build_dir" --quiet "$@" "$f"
+  done
+fi
+echo "clang-tidy gate: clean" >&2
