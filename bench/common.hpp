@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pnm/core/flow.hpp"
+#include "pnm/core/infer_simd.hpp"
 #include "pnm/core/pareto.hpp"
 #include "pnm/util/table.hpp"
 #include "pnm/util/thread_pool.hpp"
@@ -27,6 +28,12 @@ namespace pnm::bench {
 /// Core count stamped into BENCH_*.json records so perf numbers carry
 /// their machine context (the CI runner and a laptop are not comparable).
 inline std::size_t machine_cores() { return ThreadPool::default_thread_count(); }
+
+/// Runtime-detected instruction set the inference engine dispatched to
+/// ("avx2", "neon", or "scalar" — the latter also when PNM_FORCE_SCALAR
+/// is set).  Stamped next to machine_cores so perf rows say which kernel
+/// produced them.
+inline const char* machine_isa() { return simd::isa_name(simd::active_isa()); }
 
 /// The flow configuration used by all figure benches (full-size runs; the
 /// unit tests use reduced budgets instead).

@@ -14,7 +14,10 @@
 #include "pnm/core/dense_reference.hpp"
 #include "pnm/core/eval.hpp"
 #include "pnm/core/flow.hpp"
+#include "pnm/core/infer_simd.hpp"
 #include "pnm/core/quantize.hpp"
+#include "pnm/nn/dense_simd.hpp"
+#include "pnm/util/build_info.hpp"
 #include "pnm/data/scaler.hpp"
 #include "pnm/data/synth.hpp"
 #include "pnm/hw/bespoke.hpp"
@@ -284,21 +287,39 @@ void run_eval_throughput_bench(const std::string& json_path) {
 // The quantized-inference engine is the fitness loop's hot path: every
 // candidate's accuracy is one streaming pass over the reporting split.
 // This bench realizes the netlist-backend eval batch's genomes once, then
-// measures genome-scoring throughput three ways:
-//   * seed_dense      — the seed implementation's algorithm, faithfully
-//                       reconstructed: dense [out][in] weight rows, the
-//                       dataset re-quantized sample-by-sample for every
-//                       genome, fresh scratch vectors per sample;
-//   * engine_serial   — flat CSR kernels + the dataset pre-quantized once
-//                       (QuantizedDataset) + reused InferScratch;
-//   * engine_parallel — the same engine fanned over
-//                       hardware_concurrency threads.
-// Per-sample predictions are asserted bit-identical between the seed path
-// and the engine, and the parallel accuracies bit-identical to serial —
-// the bench fails (CI-red) on any mismatch.
+// measures genome-scoring throughput five ways:
+//   * seed_dense            — the seed implementation's algorithm,
+//                             faithfully reconstructed: dense [out][in]
+//                             weight rows, the dataset re-quantized
+//                             sample-by-sample for every genome, fresh
+//                             scratch vectors per sample;
+//   * engine_single_sample  — the PR-3 flat-CSR engine: dataset
+//                             pre-quantized once, one sample per layer
+//                             pass, reused InferScratch;
+//   * engine_blocked_scalar — the multi-sample engine on the scalar
+//                             kernel: sample-blocked SoA layout, 8
+//                             samples accumulated per weight visit;
+//   * engine_blocked_simd   — the same blocked pass on the runtime-
+//                             dispatched native kernel (AVX2/NEON);
+//                             present only when a native ISA is active;
+//   * engine_parallel       — the blocked engine (active ISA) fanned
+//                             over hardware_concurrency threads.
+// Every mode's per-genome accuracies must agree bit-exactly with the
+// seed path (the engines are bit-exact by construction), and the blocked
+// modes must actually be faster than single-sample on untimed-scaled
+// builds — the bench fails (CI-red) on any violation.
+//
+// A second record family ("finetune_math") times the GA's fine-tuning
+// stage (NetlistEvaluator::realize = quantize + STE fine-tune) with the
+// libm softmax reference vs the vectorized fast-exp path, and gates on
+// front quality: mean realized-model accuracy under fast math must match
+// libm within a declared tolerance (the trajectories are not
+// bit-identical; the quality is).
 
 struct InferBenchRecord {
   std::string mode;
+  std::string isa;            ///< kernel the row dispatched to
+  std::size_t sample_block = 1;
   std::size_t threads = 1;
   std::size_t machine_cores = 1;
   std::size_t genomes = 0;
@@ -307,6 +328,7 @@ struct InferBenchRecord {
   double genomes_per_sec = 0.0;
   double samples_per_sec = 0.0;
   double speedup_vs_seed_serial = 1.0;
+  double speedup_vs_single_sample = 1.0;
 };
 
 bool run_infer_throughput_bench(const std::string& json_path) {
@@ -315,6 +337,16 @@ bool run_infer_throughput_bench(const std::string& json_path) {
   const std::vector<Genome> genomes = batch_genomes(24);
   const Dataset& val = flow.data().val;
   const QuantizedDataset qval = quantize_dataset(val, flow.config().input_bits);
+  // The PR-3 engine measured honestly: same data, no blocked layout, so
+  // accuracy() takes the single-sample path.
+  QuantizedDataset qval_single = qval;
+  qval_single.xb.clear();
+
+  const simd::Isa isa = simd::active_isa();
+  const bool native_isa = isa != simd::Isa::kScalar;
+  // Speed gates only bind on untimed-scaled builds (sanitizers distort
+  // kernel-relative timings); correctness gates always bind.
+  const bool timed_build = pnm::build_info::timing_multiplier() == 1;
 
   // Realize the eval batch's integer models once (untimed): this bench
   // isolates the inference stage the tentpole rebuilt, not the training
@@ -343,49 +375,65 @@ bool run_infer_throughput_bench(const std::string& json_path) {
 
   // Several passes so per-mode wall time is well above timer resolution.
   constexpr int kPasses = 150;
-  std::vector<double> acc_seed(models.size()), acc_serial(models.size()),
+  const auto timed_passes = [&](auto&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int p = 0; p < kPasses; ++p) body();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / kPasses;
+  };
+
+  std::vector<double> acc_seed(models.size()), acc_single(models.size()),
+      acc_bscalar(models.size()), acc_bsimd(models.size()),
       acc_parallel(models.size());
 
-  auto t0 = std::chrono::steady_clock::now();
-  for (int p = 0; p < kPasses; ++p) {
+  const double sec_seed = timed_passes([&] {
     for (std::size_t m = 0; m < models.size(); ++m) {
       acc_seed[m] = seed_models[m].accuracy(val);
     }
-  }
-  auto t1 = std::chrono::steady_clock::now();
-  const double sec_seed = std::chrono::duration<double>(t1 - t0).count() / kPasses;
-
-  t0 = std::chrono::steady_clock::now();
-  for (int p = 0; p < kPasses; ++p) {
+  });
+  const double sec_single = timed_passes([&] {
     for (std::size_t m = 0; m < models.size(); ++m) {
-      acc_serial[m] = models[m].accuracy(qval);
+      acc_single[m] = models[m].accuracy(qval_single);
     }
+  });
+  const double sec_bscalar = timed_passes([&] {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      acc_bscalar[m] = models[m].accuracy_blocked(qval, simd::Isa::kScalar);
+    }
+  });
+  double sec_bsimd = 0.0;
+  if (native_isa) {
+    sec_bsimd = timed_passes([&] {
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        acc_bsimd[m] = models[m].accuracy_blocked(qval, isa);
+      }
+    });
+  } else {
+    acc_bsimd = acc_bscalar;  // no native kernel: nothing extra to compare
   }
-  t1 = std::chrono::steady_clock::now();
-  const double sec_serial = std::chrono::duration<double>(t1 - t0).count() / kPasses;
-
   ThreadPool pool(machine_cores);
-  t0 = std::chrono::steady_clock::now();
-  for (int p = 0; p < kPasses; ++p) {
+  const double sec_parallel = timed_passes([&] {
     pool.parallel_for(models.size(), [&](std::size_t m) {
       acc_parallel[m] = models[m].accuracy(qval);
     });
-  }
-  t1 = std::chrono::steady_clock::now();
-  const double sec_parallel = std::chrono::duration<double>(t1 - t0).count() / kPasses;
+  });
 
-  // Serial-vs-parallel agreement and seed-vs-engine accuracy agreement.
+  // Every engine and the seed must score every genome identically.
   bool modes_agree = true;
   for (std::size_t m = 0; m < models.size(); ++m) {
-    if (acc_serial[m] != acc_parallel[m] || acc_serial[m] != acc_seed[m]) {
+    if (acc_single[m] != acc_seed[m] || acc_bscalar[m] != acc_seed[m] ||
+        acc_bsimd[m] != acc_seed[m] || acc_parallel[m] != acc_seed[m]) {
       modes_agree = false;
     }
   }
 
-  const auto record = [&](const std::string& mode, std::size_t threads,
+  const auto record = [&](const std::string& mode, const char* row_isa,
+                          std::size_t sample_block, std::size_t threads,
                           double seconds) {
     InferBenchRecord r;
     r.mode = mode;
+    r.isa = row_isa;
+    r.sample_block = sample_block;
     r.threads = threads;
     r.machine_cores = machine_cores;
     r.genomes = models.size();
@@ -395,17 +443,44 @@ bool run_infer_throughput_bench(const std::string& json_path) {
     r.samples_per_sec =
         static_cast<double>(r.genomes * r.samples) / seconds;
     r.speedup_vs_seed_serial = sec_seed / seconds;
+    r.speedup_vs_single_sample = sec_single / seconds;
     return r;
   };
-  const std::vector<InferBenchRecord> records = {
-      record("seed_dense", 1, sec_seed),
-      record("engine_serial", 1, sec_serial),
-      record("engine_parallel", machine_cores, sec_parallel),
+  const char* scalar_name = simd::isa_name(simd::Isa::kScalar);
+  const char* active_name = simd::isa_name(isa);
+  std::vector<InferBenchRecord> records = {
+      record("seed_dense", scalar_name, 1, 1, sec_seed),
+      record("engine_single_sample", scalar_name, 1, 1, sec_single),
+      record("engine_blocked_scalar", scalar_name, simd::kSampleBlock, 1, sec_bscalar),
   };
+  if (native_isa) {
+    records.push_back(
+        record("engine_blocked_simd", active_name, simd::kSampleBlock, 1, sec_bsimd));
+  }
+  records.push_back(record("engine_parallel", active_name, simd::kSampleBlock,
+                           machine_cores, sec_parallel));
+
+  // Perf-regression gates on the tentpole's claims (modest floors; the
+  // snapshots record the actual factors).  Blocked-scalar must not lose
+  // to single-sample, and the native kernel must add a real multiplier.
+  bool speed_ok = true;
+  if (timed_build) {
+    if (sec_bscalar > sec_single * 1.05) {
+      std::cerr << "FAIL: blocked-scalar slower than single-sample ("
+                << sec_single / sec_bscalar << "x)\n";
+      speed_ok = false;
+    }
+    if (native_isa && sec_bsimd * 1.5 > sec_single) {
+      std::cerr << "FAIL: " << active_name << " blocked speedup "
+                << sec_single / sec_bsimd << "x vs single-sample, need >= 1.5x\n";
+      speed_ok = false;
+    }
+  }
 
   std::cout << "\n-- inference throughput on the netlist-backend eval batch ("
             << models.size() << " genomes x " << val.size() << " samples, "
-            << machine_cores << " machine cores) --\n";
+            << machine_cores << " machine cores, active isa " << active_name
+            << ") --\n";
   std::ofstream json(json_path);
   if (!json) {
     std::cerr << "error: cannot write " << json_path << '\n';
@@ -414,27 +489,102 @@ bool run_infer_throughput_bench(const std::string& json_path) {
   json << "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const InferBenchRecord& r = records[i];
-    std::cout << "  " << r.mode << ": " << r.genomes_per_sec << " genomes/sec, "
-              << r.samples_per_sec << " samples/sec ("
-              << r.speedup_vs_seed_serial << "x vs seed serial)\n";
+    std::cout << "  " << r.mode << " [" << r.isa << "]: " << r.genomes_per_sec
+              << " genomes/sec, " << r.samples_per_sec << " samples/sec ("
+              << r.speedup_vs_seed_serial << "x vs seed, "
+              << r.speedup_vs_single_sample << "x vs single-sample)\n";
     json << "  {\"bench\": \"infer_throughput\", \"mode\": \"" << r.mode
-         << "\", \"threads\": " << r.threads
+         << "\", \"isa\": \"" << r.isa
+         << "\", \"sample_block\": " << r.sample_block
+         << ", \"threads\": " << r.threads
          << ", \"machine_cores\": " << r.machine_cores
          << ", \"genomes\": " << r.genomes << ", \"samples\": " << r.samples
          << ", \"seconds\": " << r.seconds
          << ", \"genomes_per_sec\": " << r.genomes_per_sec
          << ", \"samples_per_sec\": " << r.samples_per_sec
          << ", \"speedup_vs_seed_serial\": " << r.speedup_vs_seed_serial
+         << ", \"speedup_vs_single_sample\": " << r.speedup_vs_single_sample
          << ", \"bit_exact\": " << (bit_exact ? "true" : "false")
-         << ", \"modes_agree\": " << (modes_agree ? "true" : "false") << "}"
-         << (i + 1 < records.size() ? "," : "") << '\n';
+         << ", \"modes_agree\": " << (modes_agree ? "true" : "false") << "},\n";
   }
-  json << "]\n";
+
+  // ---- Fine-tuning wall time: scalar+libm baseline vs vectorized -------
+  // "scalar_libm" reconstructs the pre-SIMD trainer (per-sample backprop,
+  // scalar dense kernels, libm softmax); "simd_fast" is the shipped
+  // default (sample-blocked backprop, active-ISA dense kernels, batch
+  // fast-exp softmax).  Both fine-tune the same genome batch through
+  // NetlistEvaluator::realize; quality is gated, speed is gated on
+  // untimed-scaled native-ISA builds.
+  constexpr int kFtPasses = 3;
+  constexpr double kFrontQualityTolerance = 0.05;
+  std::vector<double> ft_acc_base, ft_acc_simd;
+  const auto timed_realizes = [&](bool vectorized, std::vector<double>& accs) {
+    const bool saved = softmax_fast_math();
+    set_softmax_fast_math(vectorized);
+    set_blocked_backprop(vectorized);
+    simd::force_dense_kernels(vectorized ? isa : simd::Isa::kScalar);
+    accs.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int p = 0; p < kFtPasses; ++p) {
+      for (const Genome& g : genomes) {
+        const QuantizedMlp q = netlist.realize(g);
+        if (p == 0) accs.push_back(q.accuracy(qval));
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    set_softmax_fast_math(saved);
+    set_blocked_backprop(true);
+    simd::reset_dense_kernels();
+    return std::chrono::duration<double>(t1 - t0).count() / kFtPasses;
+  };
+  const double sec_ft_base = timed_realizes(false, ft_acc_base);
+  const double sec_ft_simd = timed_realizes(true, ft_acc_simd);
+  const double ft_speedup = sec_ft_base / sec_ft_simd;
+
+  double mean_base = 0.0, mean_simd = 0.0;
+  for (double a : ft_acc_base) mean_base += a;
+  for (double a : ft_acc_simd) mean_simd += a;
+  mean_base /= static_cast<double>(ft_acc_base.size());
+  mean_simd /= static_cast<double>(ft_acc_simd.size());
+  const double ft_quality_delta = mean_simd - mean_base;
+  // Front-quality gate: vectorized fine-tuning must land at the same mean
+  // realized accuracy (declared accuracy-neutral, not bit-identical —
+  // fast softmax perturbs trajectories; the dense kernels do not).
+  const bool ft_quality_ok = std::abs(ft_quality_delta) <= kFrontQualityTolerance;
+  bool ft_speed_ok = true;
+  if (timed_build && native_isa && sec_ft_simd * 1.2 > sec_ft_base) {
+    std::cerr << "FAIL: vectorized fine-tuning speedup " << ft_speedup
+              << "x vs scalar+libm, need >= 1.2x\n";
+    ft_speed_ok = false;
+  }
+
+  std::cout << "  finetune_math: scalar_libm " << sec_ft_base << "s, simd_fast "
+            << sec_ft_simd << "s per pass (" << ft_speedup
+            << "x), mean realized accuracy " << mean_base << " -> " << mean_simd
+            << " (delta " << ft_quality_delta << ")\n";
+  const auto ft_row = [&](const char* mode, const char* row_isa, double seconds,
+                          double mean_acc) {
+    json << "  {\"bench\": \"finetune_math\", \"mode\": \"" << mode
+         << "\", \"isa\": \"" << row_isa
+         << "\", \"machine_cores\": " << machine_cores
+         << ", \"genomes\": " << genomes.size()
+         << ", \"finetune_epochs\": 2, \"seconds\": " << seconds
+         << ", \"speedup_vs_baseline\": " << sec_ft_base / seconds
+         << ", \"mean_realized_accuracy\": " << mean_acc
+         << ", \"quality_delta_vs_baseline\": " << ft_quality_delta
+         << ", \"quality_ok\": " << (ft_quality_ok ? "true" : "false") << "}";
+  };
+  ft_row("scalar_libm", scalar_name, sec_ft_base, mean_base);
+  json << ",\n";
+  ft_row("simd_fast", active_name, sec_ft_simd, mean_simd);
+  json << "\n]\n";
+
   std::cout << "  bit-exact vs seed path: " << (bit_exact ? "yes" : "NO (BUG)")
-            << ", serial/parallel/seed accuracies agree: "
-            << (modes_agree ? "yes" : "NO (BUG)") << '\n';
+            << ", all engine accuracies agree: "
+            << (modes_agree ? "yes" : "NO (BUG)") << ", front quality: "
+            << (ft_quality_ok ? "ok" : "NO (BUG)") << '\n';
   std::cout << "(wrote " << json_path << ")\n";
-  return bit_exact && modes_agree;
+  return bit_exact && modes_agree && speed_ok && ft_quality_ok && ft_speed_ok;
 }
 
 // ---- MCM adder-graph sharing (BENCH_mcm.json) ---------------------------

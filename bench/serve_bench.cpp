@@ -240,7 +240,8 @@ int main() {
          << ", \"batch_max\": " << config.batch_max
          << ", \"batch_deadline_us\": " << config.batch_deadline_us
          << ", \"machine_cores\": " << bench::machine_cores()
-         << ", \"sanitizer\": \"" << pnm::build_info::sanitizer_name() << "\"},\n";
+         << ", \"isa\": \"" << bench::machine_isa()
+         << "\", \"sanitizer\": \"" << pnm::build_info::sanitizer_name() << "\"},\n";
   }
   json << "  {\"bench\": \"serve_hot_swap\", \"offered_rps\": "
        << format_double_roundtrip(swap_load.rate) << ", \"requests\": "
@@ -254,7 +255,7 @@ int main() {
        << ", \"bit_exact\": true, \"worker_threads\": " << config.worker_threads
        << ", \"batch_max\": " << config.batch_max << ", \"batch_deadline_us\": "
        << config.batch_deadline_us << ", \"machine_cores\": " << bench::machine_cores()
-       << "}\n]\n";
+       << ", \"isa\": \"" << bench::machine_isa() << "\"}\n]\n";
   json.close();
   std::cout << "(wrote BENCH_serve.json)\n";
   return 0;

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "pnm/core/eval_store.hpp"
+#include "pnm/hw/mcm.hpp"
+#include "pnm/nn/trainer.hpp"
 #include "pnm/util/fileio.hpp"
 #include "pnm/util/table.hpp"
 
@@ -24,7 +26,8 @@ void append_kv(std::string& out, const char* key, const std::string& value) {
 std::string bool_str(bool b) { return b ? "1" : "0"; }
 
 constexpr char kCellMagic[] = "pnm-campaign-cell";
-constexpr int kCellVersion = 1;
+// v2: the stats line gained the cell's MCM plan-cache hit/miss counters.
+constexpr int kCellVersion = 2;
 
 std::vector<std::string_view> split_lines(std::string_view text) {
   std::vector<std::string_view> lines = split_fields(text, '\n');
@@ -137,6 +140,12 @@ std::string eval_fingerprint(const FlowConfig& flow, const EvalConfig& eval,
   append_kv(canon, "use_csd", bool_str(eval.bespoke.use_csd));
   append_kv(canon, "share_subexpr", bool_str(eval.bespoke.share_subexpressions));
   append_kv(canon, "use_test_set", bool_str(eval.use_test_set));
+  // Fine-tuning float-math generation: the fast-math softmax and the
+  // sample-blocked backprop are accuracy-neutral but not bit-identical to
+  // the libm/per-sample path, so stored results never silently mix modes.
+  append_kv(canon, "finetune_math",
+            std::string(softmax_fast_math() ? "fast" : "libm") + "-" +
+                (blocked_backprop() ? "blocked" : "persample"));
   return fnv1a64_hex(canon);
 }
 
@@ -201,7 +210,8 @@ std::string format_cell_result(const CampaignRunResult& run,
   out += "stats\t" + std::to_string(run.distinct_evaluations) + "\t" +
          std::to_string(run.cache_hits) + "\t" + std::to_string(run.cache_misses) +
          "\t" + std::to_string(run.store_loaded) + "\t" +
-         format_double_roundtrip(run.seconds) + "\n";
+         std::to_string(run.mcm_hits) + "\t" + std::to_string(run.mcm_misses) +
+         "\t" + format_double_roundtrip(run.seconds) + "\n";
   out += format_eval_record("baseline", run.baseline);
   out += "front\t" + std::to_string(run.front.size()) + "\n";
   for (const DesignPoint& p : run.front) out += format_eval_record("point", p);
@@ -237,17 +247,24 @@ std::optional<CampaignRunResult> parse_cell_result(std::string_view text,
   {
     const std::vector<std::string_view> fields =
         split_fields(lines[3].substr(kStatsTag.size()), '\t');
-    if (fields.size() != 5) return std::nullopt;
+    if (fields.size() != 7) return std::nullopt;
     const auto distinct = parse_size_strict(fields[0]);
     const auto hits = parse_size_strict(fields[1]);
     const auto misses = parse_size_strict(fields[2]);
     const auto loaded = parse_size_strict(fields[3]);
-    const auto seconds = parse_double_strict(fields[4]);
-    if (!distinct || !hits || !misses || !loaded || !seconds) return std::nullopt;
+    const auto mcm_hits = parse_size_strict(fields[4]);
+    const auto mcm_misses = parse_size_strict(fields[5]);
+    const auto seconds = parse_double_strict(fields[6]);
+    if (!distinct || !hits || !misses || !loaded || !mcm_hits || !mcm_misses ||
+        !seconds) {
+      return std::nullopt;
+    }
     run.distinct_evaluations = *distinct;
     run.cache_hits = *hits;
     run.cache_misses = *misses;
     run.store_loaded = *loaded;
+    run.mcm_hits = *mcm_hits;
+    run.mcm_misses = *mcm_misses;
     run.seconds = *seconds;
   }
 
@@ -298,6 +315,24 @@ double CampaignResult::cache_hit_rate() const {
   return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
 }
 
+std::size_t CampaignResult::total_mcm_hits() const {
+  std::size_t n = 0;
+  for (const CampaignRunResult& r : runs) n += r.mcm_hits;
+  return n;
+}
+
+std::size_t CampaignResult::total_mcm_misses() const {
+  std::size_t n = 0;
+  for (const CampaignRunResult& r : runs) n += r.mcm_misses;
+  return n;
+}
+
+double CampaignResult::mcm_plan_hit_rate() const {
+  const std::size_t hits = total_mcm_hits();
+  const std::size_t total = hits + total_mcm_misses();
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
 std::vector<DesignPoint> CampaignResult::merged_front(
     const std::string& dataset) const {
   std::vector<DesignPoint> all;
@@ -336,6 +371,10 @@ std::string CampaignResult::report_json() const {
   out += "  \"total_cache_misses\": " + std::to_string(total_cache_misses()) + ",\n";
   out += "  \"total_store_loaded\": " + std::to_string(total_store_loaded()) + ",\n";
   out += "  \"cache_hit_rate\": " + format_double_roundtrip(cache_hit_rate()) + ",\n";
+  out += "  \"total_mcm_plan_hits\": " + std::to_string(total_mcm_hits()) + ",\n";
+  out += "  \"total_mcm_plan_misses\": " + std::to_string(total_mcm_misses()) + ",\n";
+  out += "  \"mcm_plan_hit_rate\": " + format_double_roundtrip(mcm_plan_hit_rate()) +
+         ",\n";
   out += "  \"runs\": [";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const CampaignRunResult& r = runs[i];
@@ -346,6 +385,8 @@ std::string CampaignResult::report_json() const {
     out += ", \"cache_hits\": " + std::to_string(r.cache_hits);
     out += ", \"cache_misses\": " + std::to_string(r.cache_misses);
     out += ", \"store_loaded\": " + std::to_string(r.store_loaded);
+    out += ", \"mcm_plan_hits\": " + std::to_string(r.mcm_hits);
+    out += ", \"mcm_plan_misses\": " + std::to_string(r.mcm_misses);
     out += ", \"seconds\": " + format_double_roundtrip(r.seconds);
     out += ",\n     \"baseline\": " + point_json(r.baseline);
     out += ",\n     \"front\": " + front_json(r.front, "     ") + "}";
@@ -384,19 +425,25 @@ std::string CampaignResult::report_markdown() const {
     }
   }
   out += "\n## Evaluation cache\n\n";
-  out += "| dataset | seed | GA evals | hits | misses | preloaded | seconds |\n";
-  out += "| ------- | ---- | -------- | ---- | ------ | --------- | ------- |\n";
+  out += "| dataset | seed | GA evals | hits | misses | preloaded | MCM hits | "
+         "MCM misses | seconds |\n";
+  out += "| ------- | ---- | -------- | ---- | ------ | --------- | -------- | "
+         "---------- | ------- |\n";
   for (const CampaignRunResult& r : runs) {
     out += "| " + r.dataset + " | " + std::to_string(r.seed) + " | " +
            std::to_string(r.distinct_evaluations) + " | " +
            std::to_string(r.cache_hits) + " | " + std::to_string(r.cache_misses) +
            " | " + std::to_string(r.store_loaded) + " | " +
-           format_fixed(r.seconds, 2) + " |\n";
+           std::to_string(r.mcm_hits) + " | " + std::to_string(r.mcm_misses) +
+           " | " + format_fixed(r.seconds, 2) + " |\n";
   }
   out += "\nTotals: " + std::to_string(total_cache_hits()) + " hits, " +
          std::to_string(total_cache_misses()) + " misses (hit rate " +
          format_fixed(cache_hit_rate() * 100.0, 1) + "%), " +
          std::to_string(total_store_loaded()) + " records preloaded from disk.\n";
+  out += "MCM plan cache: " + std::to_string(total_mcm_hits()) + " hits, " +
+         std::to_string(total_mcm_misses()) + " misses (hit rate " +
+         format_fixed(mcm_plan_hit_rate() * 100.0, 1) + "%).\n";
   return out;
 }
 
@@ -422,6 +469,11 @@ CampaignResult CampaignRunner::run() {
 CampaignRunResult CampaignRunner::run_cell(const std::string& dataset,
                                            std::uint64_t seed) {
   const auto start = std::chrono::steady_clock::now();
+  // MCM plan-cache lookups attributed to this cell (cells run serially in
+  // a process, so counter deltas are exact): both the proxy's area pricing
+  // and the netlist generator's front re-evaluation go through
+  // hw::plan_mcm_cached.
+  const hw::McmCacheStats mcm_before = hw::mcm_plan_cache_stats();
 
   FlowConfig config = spec_.base;
   config.dataset_name = dataset;
@@ -474,6 +526,9 @@ CampaignRunResult CampaignRunner::run_cell(const std::string& dataset,
   run.cache_hits = fitness->hits() + front_eval->hits();
   run.cache_misses = fitness->misses() + front_eval->misses();
   run.store_loaded = fitness->loaded() + front_eval->loaded();
+  const hw::McmCacheStats mcm_after = hw::mcm_plan_cache_stats();
+  run.mcm_hits = static_cast<std::size_t>(mcm_after.hits - mcm_before.hits);
+  run.mcm_misses = static_cast<std::size_t>(mcm_after.misses - mcm_before.misses);
   run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               start)
                     .count();

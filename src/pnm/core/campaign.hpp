@@ -146,6 +146,15 @@ struct CampaignRunResult {
   std::size_t cache_hits = 0;          ///< across both evaluator stacks
   std::size_t cache_misses = 0;        ///< fresh evaluations actually run
   std::size_t store_loaded = 0;        ///< records preloaded from disk
+  /// MCM plan-cache lookups during this cell (hw/mcm.hpp memoized
+  /// planner), counted as deltas of the process-wide counters around the
+  /// cell: both the proxy pricing and the exact netlist front
+  /// re-evaluation route per-column coefficient multisets through
+  /// plan_mcm_cached, so the hit rate shows how much DAG planning the
+  /// memoization saved.  Cells run serially within a process, so the
+  /// deltas attribute cleanly.
+  std::size_t mcm_hits = 0;
+  std::size_t mcm_misses = 0;           ///< fresh MCM DAG plans computed
   double seconds = 0.0;                ///< wall time of the cell
 };
 
@@ -190,6 +199,10 @@ struct CampaignResult {
   [[nodiscard]] std::size_t total_store_loaded() const;
   /// hits / (hits + misses); 0 when nothing was requested.
   [[nodiscard]] double cache_hit_rate() const;
+  [[nodiscard]] std::size_t total_mcm_hits() const;
+  [[nodiscard]] std::size_t total_mcm_misses() const;
+  /// MCM plan-cache hit rate across all cells; 0 when nothing was planned.
+  [[nodiscard]] double mcm_plan_hit_rate() const;
 
   /// Non-dominated union of one dataset's per-seed fronts (ascending
   /// area).  Cross-seed: a useful stability view, since every seed is an

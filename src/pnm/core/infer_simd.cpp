@@ -1,0 +1,127 @@
+#include "pnm/core/infer_simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pnm::simd {
+
+// Kernels compiled in their own TUs (infer_simd_avx2.cpp needs -mavx2 and
+// must not leak those codegen flags into the portable code).  Each symbol
+// exists only on its architecture; the references below are guarded the
+// same way, so the link never dangles.
+#if defined(__x86_64__)
+void layer_block_avx2(const LayerBlockArgs& a);
+#endif
+#if defined(__aarch64__)
+void layer_block_neon(const LayerBlockArgs& a);
+#endif
+
+namespace {
+
+/// Portable reference kernel.  The j-loop is the single-sample kernel's
+/// body repeated per lane: identical int64 term order and truncation
+/// semantics, so lane j of a block reproduces sample j bit-for-bit.  The
+/// fixed inner trip count (kSampleBlock) and contiguous lane loads also
+/// let the compiler auto-vectorize this fallback.
+void layer_block_scalar(const LayerBlockArgs& a) {
+  const int s = a.acc_shift;
+  for (std::size_t r = 0; r < a.out_features; ++r) {
+    std::int64_t acc[kSampleBlock];
+    const std::int64_t b = (s == 0) ? a.bias[r] : (a.bias[r] >> s);
+    for (std::size_t j = 0; j < kSampleBlock; ++j) acc[j] = b;
+    if (s == 0) {
+      for (std::size_t k = a.row_offset[r]; k < a.row_offset[r + 1]; ++k) {
+        const std::int64_t w = a.w_val[k];
+        const std::int64_t* lane = a.x + a.w_col[k] * kSampleBlock;
+        for (std::size_t j = 0; j < kSampleBlock; ++j) acc[j] += w * lane[j];
+      }
+    } else {
+      for (std::size_t k = a.row_offset[r]; k < a.row_offset[r + 1]; ++k) {
+        const std::int64_t mag = a.w_mag[k];
+        const bool neg = a.w_neg[k] != 0;
+        const std::int64_t* lane = a.x + a.w_col[k] * kSampleBlock;
+        for (std::size_t j = 0; j < kSampleBlock; ++j) {
+          const std::int64_t t = (mag * lane[j]) >> s;
+          acc[j] += neg ? -t : t;
+        }
+      }
+    }
+    std::int64_t* out = a.out + r * kSampleBlock;
+    for (std::size_t j = 0; j < kSampleBlock; ++j) {
+      out[j] = (a.relu && acc[j] < 0) ? 0 : acc[j];
+    }
+  }
+}
+
+bool force_scalar_env() {
+  const char* v = std::getenv("PNM_FORCE_SCALAR");
+  return v != nullptr && std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool isa_available(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is baseline on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa best_isa() {
+  if (isa_available(Isa::kAvx2)) return Isa::kAvx2;
+  if (isa_available(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+Isa active_isa() {
+  static const Isa isa = force_scalar_env() ? Isa::kScalar : best_isa();
+  return isa;
+}
+
+LayerBlockFn layer_block_kernel(Isa isa) {
+  if (!isa_available(isa)) return nullptr;
+  switch (isa) {
+    case Isa::kAvx2:
+#if defined(__x86_64__)
+      return &layer_block_avx2;
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return &layer_block_neon;
+#else
+      return nullptr;
+#endif
+    case Isa::kScalar:
+      break;
+  }
+  return &layer_block_scalar;
+}
+
+}  // namespace pnm::simd

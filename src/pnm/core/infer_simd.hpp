@@ -1,0 +1,92 @@
+#ifndef PNM_CORE_INFER_SIMD_HPP
+#define PNM_CORE_INFER_SIMD_HPP
+
+/// \file infer_simd.hpp
+/// \brief Multi-sample (sample-blocked) CSR layer kernels with runtime ISA
+///        dispatch — the data-parallel engine under batched inference.
+///
+/// The single-sample engine (qmlp.cpp) walks each CSR row once per sample:
+/// every nonzero weight is re-loaded `n_samples` times per accuracy pass.
+/// Blocking kSampleBlock samples together inverts that: one walk over the
+/// row visits each weight once and accumulates kSampleBlock samples, so the
+/// weight streams through the cache exactly once per block and the per-lane
+/// arithmetic becomes straight-line data parallelism an ISA can vectorize.
+///
+/// Layout (SoA across the block): activations of a block are stored
+/// feature-major, lane-minor — feature f of lane j lives at
+/// `x[f * kSampleBlock + j]`.  Loading the kSampleBlock activations of one
+/// input column is therefore a contiguous load (no gather), which is what
+/// makes the AVX2/NEON kernels profitable.
+///
+/// Bit-exactness *by construction*: every lane executes exactly the int64
+/// operation sequence of the single-sample kernel — same term order (CSR
+/// order), same magnitude-truncate-then-sign semantics for acc_shift > 0,
+/// same arithmetic bias shift, same ReLU clamp.  No reassociation, no
+/// precision change; the cross-engine tests assert equality, they do not
+/// tolerate it.
+///
+/// Dispatch: `active_isa()` picks the best kernel compiled in *and*
+/// supported by the running CPU (AVX2 on x86-64, NEON on aarch64), with an
+/// always-compiled scalar fallback.  Setting `PNM_FORCE_SCALAR=1` in the
+/// environment pins the scalar kernel (read once, cached) — CI runs the
+/// whole suite both ways so both dispatch paths stay green.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pnm::simd {
+
+/// Samples per block.  Fixed and ISA-independent so the blocked dataset
+/// layout, every kernel, and every stored golden value agree; 8 fills two
+/// 256-bit AVX2 registers (4 x int64 each) and four 128-bit NEON registers.
+inline constexpr std::size_t kSampleBlock = 8;
+
+/// Instruction sets a layer-block kernel exists for.
+enum class Isa {
+  kScalar,  ///< portable C++ (always available; also the PNM_FORCE_SCALAR pin)
+  kAvx2,    ///< x86-64 AVX2 (256-bit, runtime-detected)
+  kNeon,    ///< aarch64 Advanced SIMD (baseline on AArch64)
+};
+
+/// Stable lowercase name for bench/report JSON ("scalar", "avx2", "neon").
+const char* isa_name(Isa isa);
+
+/// True when a kernel for `isa` is compiled in and the running CPU can
+/// execute it.  kScalar is always true.
+bool isa_available(Isa isa);
+
+/// Best available ISA on this machine, ignoring the environment override.
+Isa best_isa();
+
+/// The ISA the engine dispatches to: best_isa(), unless PNM_FORCE_SCALAR=1
+/// pins kScalar.  Read once and cached for the process lifetime.
+Isa active_isa();
+
+/// One quantized layer applied to one sample block, flattened to raw
+/// pointers so the kernel translation units need no qmlp.hpp dependency.
+/// `x` and `out` use the blocked layout described in the file comment;
+/// `out` must hold out_features * kSampleBlock values and not alias `x`.
+struct LayerBlockArgs {
+  const std::int64_t* x;          ///< blocked input activations
+  std::int64_t* out;              ///< blocked output activations
+  const std::int64_t* bias;       ///< per-row bias codes (un-shifted)
+  const std::int32_t* w_val;      ///< signed codes (s == 0 fast path)
+  const std::int32_t* w_mag;      ///< magnitudes (s > 0 truncating path)
+  const std::uint8_t* w_neg;      ///< 1 where the code is negative
+  const std::uint32_t* w_col;     ///< input column per nonzero
+  const std::size_t* row_offset;  ///< CSR offsets, out_features + 1 entries
+  std::size_t out_features = 0;
+  int acc_shift = 0;              ///< product/bias truncation (0 = exact MAC)
+  bool relu = false;              ///< clamp negative accumulators to zero
+};
+
+/// A layer-block kernel: applies one layer to one block.
+using LayerBlockFn = void (*)(const LayerBlockArgs&);
+
+/// The kernel for `isa`, or nullptr when isa_available(isa) is false.
+/// layer_block_kernel(active_isa()) never returns nullptr.
+LayerBlockFn layer_block_kernel(Isa isa);
+
+}  // namespace pnm::simd
+
+#endif  // PNM_CORE_INFER_SIMD_HPP

@@ -233,6 +233,58 @@ std::span<const std::int64_t> QuantizedMlp::forward_unchecked(
   return {scratch.cur.data(), scratch.cur.size()};
 }
 
+std::span<const std::int64_t> QuantizedMlp::forward_block_unchecked(
+    const std::int64_t* xb, BlockScratch& scratch, simd::LayerBlockFn fn) const {
+  constexpr std::size_t kB = simd::kSampleBlock;
+  const std::int64_t* x = xb;
+  for (const auto& l : layers_) {
+    const std::size_t out_f = l.out_features();
+    scratch.next.resize(out_f * kB);
+    simd::LayerBlockArgs args;
+    args.x = x;
+    args.out = scratch.next.data();
+    args.bias = l.bias.data();
+    args.w_val = l.w_val.data();
+    args.w_mag = l.w_mag.data();
+    args.w_neg = l.w_neg.data();
+    args.w_col = l.w_col.data();
+    args.row_offset = l.row_offset.data();
+    args.out_features = out_f;
+    args.acc_shift = l.acc_shift;
+    args.relu = l.act == Activation::kRelu;
+    fn(args);
+    scratch.cur.swap(scratch.next);
+    x = scratch.cur.data();
+  }
+  return {scratch.cur.data(), scratch.cur.size()};
+}
+
+std::span<const std::int64_t> QuantizedMlp::forward_block_into(
+    const std::int64_t* xb, BlockScratch& scratch, simd::Isa isa) const {
+  if (layers_.empty()) throw std::logic_error("QuantizedMlp::forward_block: empty model");
+  const simd::LayerBlockFn fn = simd::layer_block_kernel(isa);
+  if (fn == nullptr) {
+    throw std::invalid_argument(std::string("QuantizedMlp::forward_block: no ") +
+                                simd::isa_name(isa) + " kernel on this machine");
+  }
+  return forward_block_unchecked(xb, scratch, fn);
+}
+
+void QuantizedMlp::predict_block_into(const std::int64_t* xb, std::size_t lanes,
+                                      BlockScratch& scratch, std::size_t* preds,
+                                      simd::Isa isa) const {
+  constexpr std::size_t kB = simd::kSampleBlock;
+  const auto out = forward_block_into(xb, scratch, isa);
+  const std::size_t classes = output_size();
+  for (std::size_t j = 0; j < lanes && j < kB; ++j) {
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < classes; ++r) {
+      if (out[r * kB + j] > out[best * kB + j]) best = r;
+    }
+    preds[j] = best;
+  }
+}
+
 std::vector<std::int64_t> QuantizedMlp::forward(const std::vector<std::int64_t>& xq) const {
   InferScratch scratch;
   const auto out = forward_into(xq, scratch);
@@ -280,6 +332,13 @@ double QuantizedMlp::accuracy(const QuantizedDataset& data) const {
   if (data.n_features != input_size()) {
     throw std::invalid_argument("QuantizedMlp::accuracy: feature count mismatch");
   }
+  // GA hot path: ride the multi-sample engine whenever the dataset
+  // carries its blocked layout (quantize_dataset always builds it); an
+  // aggregate-constructed dataset without one takes the single-sample
+  // loop.  Identical predictions either way.
+  if (data.has_blocked()) {
+    return accuracy_with_kernel(data, simd::layer_block_kernel(simd::active_isa()));
+  }
   // Shape checks hoisted out of the loop: the streaming pass below runs
   // one unchecked kernel call per sample.
   InferScratch scratch;
@@ -293,6 +352,48 @@ double QuantizedMlp::accuracy(const QuantizedDataset& data) const {
     if (best == data.y[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double QuantizedMlp::accuracy_blocked(const QuantizedDataset& data, simd::Isa isa) const {
+  if (data.size() == 0) throw std::invalid_argument("QuantizedMlp::accuracy: empty data");
+  if (data.input_bits != input_bits_) {
+    throw std::invalid_argument(
+        "QuantizedMlp::accuracy: dataset quantized at different input_bits");
+  }
+  if (layers_.empty()) throw std::logic_error("QuantizedMlp::accuracy: empty model");
+  if (data.n_features != input_size()) {
+    throw std::invalid_argument("QuantizedMlp::accuracy: feature count mismatch");
+  }
+  if (!data.has_blocked()) {
+    throw std::invalid_argument("QuantizedMlp::accuracy_blocked: dataset has no blocked layout");
+  }
+  const simd::LayerBlockFn fn = simd::layer_block_kernel(isa);
+  if (fn == nullptr) {
+    throw std::invalid_argument(std::string("QuantizedMlp::accuracy_blocked: no ") +
+                                simd::isa_name(isa) + " kernel on this machine");
+  }
+  return accuracy_with_kernel(data, fn);
+}
+
+double QuantizedMlp::accuracy_with_kernel(const QuantizedDataset& data,
+                                          simd::LayerBlockFn fn) const {
+  constexpr std::size_t kB = simd::kSampleBlock;
+  BlockScratch scratch;
+  const std::size_t n = data.size();
+  const std::size_t classes = output_size();
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < data.block_count(); ++b) {
+    const auto out = forward_block_unchecked(data.block(b), scratch, fn);
+    const std::size_t lanes = std::min(kB, n - b * kB);
+    for (std::size_t j = 0; j < lanes; ++j) {
+      std::size_t best = 0;
+      for (std::size_t r = 1; r < classes; ++r) {
+        if (out[r * kB + j] > out[best * kB + j]) best = r;
+      }
+      if (best == data.y[b * kB + j]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 std::vector<std::vector<ValueRange>> QuantizedMlp::neuron_preact_ranges() const {

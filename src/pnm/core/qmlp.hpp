@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "pnm/core/infer_simd.hpp"
 #include "pnm/core/quantize.hpp"
 #include "pnm/data/dataset.hpp"
 #include "pnm/nn/mlp.hpp"
@@ -107,6 +108,17 @@ struct InferScratch {
   std::vector<std::int64_t> xq;  ///< input-quantization staging buffer
 };
 
+/// Scratch for the multi-sample engine: ping-pong *blocked* activation
+/// buffers (layer width x simd::kSampleBlock) plus a staging block for
+/// callers that assemble lanes by hand (the serve workers).  One instance
+/// per thread, reused across blocks — no per-block allocation.
+struct BlockScratch {
+  std::vector<std::int64_t> cur;
+  std::vector<std::int64_t> next;
+  std::vector<std::int64_t> xb;   ///< caller-side input lane staging
+  std::vector<std::int64_t> xq;   ///< per-request quantization staging
+};
+
 /// Integer MLP: the bit-exact software twin of the bespoke circuit.
 class QuantizedMlp {
  public:
@@ -166,7 +178,34 @@ class QuantizedMlp {
   /// allocations per sample.  Bit-exact with accuracy(Dataset) when the
   /// dataset was quantized at this model's input_bits.  Throws if the
   /// dataset's input_bits disagree with the model's.
+  ///
+  /// Rides the multi-sample engine at simd::active_isa() when the dataset
+  /// carries its blocked layout (QuantizedDataset::has_blocked()); falls
+  /// back to the single-sample kernel otherwise.  Both paths are bit-exact
+  /// (same predictions, same accuracy), so the choice is invisible.
   [[nodiscard]] double accuracy(const QuantizedDataset& data) const;
+
+  /// Batched accuracy forced through the blocked engine of a specific ISA
+  /// (cross-engine tests and the bench's scalar-vs-SIMD rows).  Requires
+  /// data.has_blocked().  Throws when no kernel for `isa` is available on
+  /// this machine.
+  [[nodiscard]] double accuracy_blocked(const QuantizedDataset& data, simd::Isa isa) const;
+
+  /// Multi-sample forward pass over one block of simd::kSampleBlock
+  /// samples in the blocked layout (QuantizedDataset::block /
+  /// BlockScratch::xb).  Returns the blocked output logits — row r, lane j
+  /// at [r * kSampleBlock + j], valid until the scratch is reused.  Lane j
+  /// is bit-exact with forward_into on sample j.
+  std::span<const std::int64_t> forward_block_into(const std::int64_t* xb,
+                                                   BlockScratch& scratch,
+                                                   simd::Isa isa) const;
+
+  /// Blocked predict: argmax (lowest index on ties, like
+  /// predict_quantized) of each of the first `lanes` lanes of one block,
+  /// written to preds[0..lanes).
+  void predict_block_into(const std::int64_t* xb, std::size_t lanes,
+                          BlockScratch& scratch, std::size_t* preds,
+                          simd::Isa isa) const;
 
   /// Exact pre-activation range of every neuron, per layer, derived from
   /// the hard-wired weights and the (per-neuron) input ranges — what the
@@ -189,6 +228,15 @@ class QuantizedMlp {
   /// caller has already validated the input width.
   std::span<const std::int64_t> forward_unchecked(const std::int64_t* xq,
                                                   InferScratch& scratch) const;
+
+  /// Blocked counterpart: applies every layer through `fn` (a
+  /// simd::layer_block_kernel), ping-ponging the blocked scratch buffers.
+  std::span<const std::int64_t> forward_block_unchecked(const std::int64_t* xb,
+                                                        BlockScratch& scratch,
+                                                        simd::LayerBlockFn fn) const;
+
+  /// Blocked accuracy loop shared by accuracy / accuracy_blocked.
+  double accuracy_with_kernel(const QuantizedDataset& data, simd::LayerBlockFn fn) const;
 
   std::vector<QuantizedLayer> layers_;
   int input_bits_ = 4;

@@ -130,6 +130,16 @@ void quantize_input_into(const std::vector<double>& x, int input_bits,
   encode_input_row(x.data(), x.size(), qmax, out.data());
 }
 
+void QuantizedDataset::build_blocked() {
+  constexpr std::size_t kB = simd::kSampleBlock;
+  xb.assign(block_count() * n_features * kB, 0);  // tail lanes stay zero
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::int64_t* src = x.data() + i * n_features;
+    std::int64_t* dst = xb.data() + (i / kB) * n_features * kB + (i % kB);
+    for (std::size_t f = 0; f < n_features; ++f) dst[f * kB] = src[f];
+  }
+}
+
 QuantizedDataset quantize_dataset(const Dataset& data, int input_bits) {
   if (input_bits < 1 || input_bits > 16) {
     throw std::invalid_argument("quantize_dataset: bad input bits");
@@ -147,6 +157,7 @@ QuantizedDataset quantize_dataset(const Dataset& data, int input_bits) {
     encode_input_row(data.x[i].data(), q.n_features, qmax,
                      q.x.data() + i * q.n_features);
   }
+  q.build_blocked();
   return q;
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "pnm/core/infer_simd.hpp"
 #include "pnm/data/dataset.hpp"
 #include "pnm/nn/mlp.hpp"
 #include "pnm/nn/trainer.hpp"
@@ -101,10 +102,37 @@ struct QuantizedDataset {
   std::vector<std::int64_t> x;    ///< flat codes, sample i at [i*n_features, ...)
   std::vector<std::size_t> y;     ///< class labels, one per sample
 
+  /// Sample-blocked (SoA) copy of the same codes for the multi-sample
+  /// engine: samples are grouped into blocks of simd::kSampleBlock; within
+  /// block b, feature f of lane j (= sample b*kSampleBlock + j) lives at
+  ///     xb[b * n_features * kSampleBlock + f * kSampleBlock + j].
+  /// Lanes past size() in the last block are zero (the accuracy loop never
+  /// reads their outputs).  quantize_dataset always fills this; aggregate-
+  /// constructed datasets may leave it empty, in which case consumers fall
+  /// back to the single-sample path (see has_blocked()).
+  std::vector<std::int64_t> xb;
+
   [[nodiscard]] std::size_t size() const { return y.size(); }
   [[nodiscard]] std::span<const std::int64_t> sample(std::size_t i) const {
     return {x.data() + i * n_features, n_features};
   }
+
+  /// Number of sample blocks (ceil over kSampleBlock).
+  [[nodiscard]] std::size_t block_count() const {
+    return (size() + simd::kSampleBlock - 1) / simd::kSampleBlock;
+  }
+  /// True when xb holds a consistent blocked copy of x.
+  [[nodiscard]] bool has_blocked() const {
+    return !xb.empty() && xb.size() == block_count() * n_features * simd::kSampleBlock;
+  }
+  /// Start of block b in the blocked buffer (requires has_blocked()).
+  [[nodiscard]] const std::int64_t* block(std::size_t b) const {
+    return xb.data() + b * n_features * simd::kSampleBlock;
+  }
+
+  /// (Re)builds xb from x — for datasets assembled by hand rather than via
+  /// quantize_dataset.
+  void build_blocked();
 };
 
 /// Encodes `data` at the given sensor precision (the same mapping as

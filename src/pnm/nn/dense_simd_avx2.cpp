@@ -1,0 +1,187 @@
+/// AVX2 table for nn/dense_simd.hpp.  This TU alone builds with -mavx2
+/// (and -ffp-contract=off); runtime dispatch keeps it unreached on CPUs
+/// without AVX2.  Every kernel reproduces the scalar loop lane-for-lane:
+/// no FMA (the TU does not enable it, and vmulpd+vaddpd round like the
+/// scalar mul+add), and vsqrtpd/vdivpd are IEEE correctly rounded, so
+/// results are bit-identical to the scalar table.
+
+#if defined(__x86_64__)
+
+#include <cmath>
+#include <immintrin.h>
+
+#include "pnm/nn/dense_simd.hpp"
+
+namespace pnm::simd {
+
+namespace {
+
+double dot_avx2(const double* a, const double* b, unsigned long n) {
+  __m256d acc = _mm256_setzero_pd();
+  unsigned long c = 0;
+  for (; c + 4 <= n; c += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + c), _mm256_loadu_pd(b + c)));
+  }
+  // Lane j held chain j; the tail continues chains 0..2 exactly like the
+  // scalar fallback, then the canonical (c0+c1)+(c2+c3) combine.
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  if (c < n) lanes[0] += a[c] * b[c];
+  if (c + 1 < n) lanes[1] += a[c + 1] * b[c + 1];
+  if (c + 2 < n) lanes[2] += a[c + 2] * b[c + 2];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void axpy_avx2(double* y, const double* x, double s, unsigned long n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  unsigned long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d yi = _mm256_loadu_pd(y + i);
+    const __m256d xi = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(yi, _mm256_mul_pd(sv, xi)));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+// ---- sample-blocked (8-lane SoA) trainer kernels --------------------------
+// 8 doubles = two __m256d; every lane is an independent mul+add chain, so
+// these are bit-identical to the scalar loops.
+
+void layer_fwd8_avx2(const double* w, const double* bias, const double* in,
+                     double* out, unsigned long rows, unsigned long cols) {
+  for (unsigned long r = 0; r < rows; ++r) {
+    __m256d acc_lo = _mm256_set1_pd(bias[r]);
+    __m256d acc_hi = acc_lo;
+    const double* wr = w + r * cols;
+    for (unsigned long c = 0; c < cols; ++c) {
+      const __m256d wc = _mm256_set1_pd(wr[c]);
+      const double* xv = in + c * kDenseBlock;
+      acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(wc, _mm256_loadu_pd(xv)));
+      acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(wc, _mm256_loadu_pd(xv + 4)));
+    }
+    _mm256_storeu_pd(out + r * kDenseBlock, acc_lo);
+    _mm256_storeu_pd(out + r * kDenseBlock + 4, acc_hi);
+  }
+}
+
+// Canonical 8-lane reduction (see dense_simd.hpp): lanewise lo+hi gives the
+// chains q_j = p_j + p_{j+4}; unpack pairs them as (q0,q2)/(q1,q3), one add
+// gives (q0+q1, q2+q3), and the final scalar add is the (q0+q1)+(q2+q3)
+// combine — the exact scalar tree.
+inline double sum8_avx2(__m256d lo, __m256d hi) {
+  const __m256d q = _mm256_add_pd(lo, hi);
+  const __m128d q01 = _mm256_castpd256_pd128(q);
+  const __m128d q23 = _mm256_extractf128_pd(q, 1);
+  const __m128d s =
+      _mm_add_pd(_mm_unpacklo_pd(q01, q23), _mm_unpackhi_pd(q01, q23));
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+void layer_grad8_avx2(const double* delta, const double* in, double* gw,
+                      double* gb, unsigned long rows, unsigned long cols) {
+  for (unsigned long r = 0; r < rows; ++r) {
+    const double* dv = delta + r * kDenseBlock;
+    const __m256d d_lo = _mm256_loadu_pd(dv);
+    const __m256d d_hi = _mm256_loadu_pd(dv + 4);
+    gb[r] += sum8_avx2(d_lo, d_hi);
+    double* gwr = gw + r * cols;
+    for (unsigned long c = 0; c < cols; ++c) {
+      const double* xv = in + c * kDenseBlock;
+      gwr[c] += sum8_avx2(_mm256_mul_pd(d_lo, _mm256_loadu_pd(xv)),
+                          _mm256_mul_pd(d_hi, _mm256_loadu_pd(xv + 4)));
+    }
+  }
+}
+
+void layer_back8_avx2(const double* w, const double* delta, double* prev,
+                      unsigned long rows, unsigned long cols) {
+  for (unsigned long r = 0; r < rows; ++r) {
+    const double* dv = delta + r * kDenseBlock;
+    const __m256d d_lo = _mm256_loadu_pd(dv);
+    const __m256d d_hi = _mm256_loadu_pd(dv + 4);
+    const double* wr = w + r * cols;
+    for (unsigned long c = 0; c < cols; ++c) {
+      const __m256d wc = _mm256_set1_pd(wr[c]);
+      double* pv = prev + c * kDenseBlock;
+      _mm256_storeu_pd(
+          pv, _mm256_add_pd(_mm256_loadu_pd(pv), _mm256_mul_pd(wc, d_lo)));
+      _mm256_storeu_pd(pv + 4, _mm256_add_pd(_mm256_loadu_pd(pv + 4),
+                                             _mm256_mul_pd(wc, d_hi)));
+    }
+  }
+}
+
+void adam_avx2(double* w, const double* g, double* m, double* v,
+               unsigned long n, const AdamStep& step) {
+  const __m256d b1 = _mm256_set1_pd(step.beta1);
+  const __m256d b2 = _mm256_set1_pd(step.beta2);
+  const __m256d one_m_b1 = _mm256_set1_pd(1.0 - step.beta1);
+  const __m256d one_m_b2 = _mm256_set1_pd(1.0 - step.beta2);
+  const __m256d wd_v = _mm256_set1_pd(step.weight_decay);
+  const __m256d bc1 = _mm256_set1_pd(step.bias_corr1);
+  const __m256d bc2 = _mm256_set1_pd(step.bias_corr2);
+  const __m256d lr = _mm256_set1_pd(step.lr);
+  const __m256d eps = _mm256_set1_pd(step.eps);
+  unsigned long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d wi = _mm256_loadu_pd(w + i);
+    const __m256d gi =
+        _mm256_add_pd(_mm256_loadu_pd(g + i), _mm256_mul_pd(wd_v, wi));
+    const __m256d mi = _mm256_add_pd(_mm256_mul_pd(b1, _mm256_loadu_pd(m + i)),
+                                     _mm256_mul_pd(one_m_b1, gi));
+    const __m256d vi = _mm256_add_pd(_mm256_mul_pd(b2, _mm256_loadu_pd(v + i)),
+                                     _mm256_mul_pd(one_m_b2, _mm256_mul_pd(gi, gi)));
+    _mm256_storeu_pd(m + i, mi);
+    _mm256_storeu_pd(v + i, vi);
+    const __m256d mhat = _mm256_div_pd(mi, bc1);
+    const __m256d vhat = _mm256_div_pd(vi, bc2);
+    const __m256d denom = _mm256_add_pd(_mm256_sqrt_pd(vhat), eps);
+    _mm256_storeu_pd(
+        w + i, _mm256_sub_pd(wi, _mm256_div_pd(_mm256_mul_pd(lr, mhat), denom)));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i] + step.weight_decay * w[i];
+    m[i] = step.beta1 * m[i] + (1.0 - step.beta1) * gi;
+    v[i] = step.beta2 * v[i] + (1.0 - step.beta2) * (gi * gi);
+    const double mhat = m[i] / step.bias_corr1;
+    const double vhat = v[i] / step.bias_corr2;
+    w[i] -= step.lr * mhat / (std::sqrt(vhat) + step.eps);
+  }
+}
+
+void sgd_avx2(double* w, const double* g, double* vel, unsigned long n,
+              double momentum, double lr, double weight_decay) {
+  const __m256d mom = _mm256_set1_pd(momentum);
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d wd = _mm256_set1_pd(weight_decay);
+  unsigned long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d wi = _mm256_loadu_pd(w + i);
+    const __m256d gi =
+        _mm256_add_pd(_mm256_loadu_pd(g + i), _mm256_mul_pd(wd, wi));
+    const __m256d vi = _mm256_sub_pd(_mm256_mul_pd(mom, _mm256_loadu_pd(vel + i)),
+                                     _mm256_mul_pd(lrv, gi));
+    _mm256_storeu_pd(vel + i, vi);
+    _mm256_storeu_pd(w + i, _mm256_add_pd(wi, vi));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i] + weight_decay * w[i];
+    vel[i] = momentum * vel[i] - lr * gi;
+    w[i] += vel[i];
+  }
+}
+
+}  // namespace
+
+const DenseKernels& dense_kernels_avx2() {
+  static constexpr DenseKernels kTable = {
+      dot_avx2,        axpy_avx2,       layer_fwd8_avx2,
+      layer_grad8_avx2, layer_back8_avx2, adam_avx2,
+      sgd_avx2};
+  return kTable;
+}
+
+}  // namespace pnm::simd
+
+#endif  // defined(__x86_64__)

@@ -1,0 +1,191 @@
+/// NEON (aarch64) table for nn/dense_simd.hpp.  float64x2 is baseline on
+/// aarch64, so this TU needs no extra flags beyond -ffp-contract=off
+/// (aarch64 GCC would otherwise contract mul+add into fmadd, which rounds
+/// once and would split results from the scalar table).  Every kernel
+/// reproduces the scalar loop lane-for-lane; vsqrtq_f64/vdivq_f64 are
+/// IEEE correctly rounded.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+#include "pnm/nn/dense_simd.hpp"
+
+namespace pnm::simd {
+
+namespace {
+
+double dot_neon(const double* a, const double* b, unsigned long n) {
+  // acc01 holds chains 0,1; acc23 holds chains 2,3.
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  unsigned long c = 0;
+  for (; c + 4 <= n; c += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(a + c), vld1q_f64(b + c)));
+    acc23 = vaddq_f64(acc23, vmulq_f64(vld1q_f64(a + c + 2), vld1q_f64(b + c + 2)));
+  }
+  double chains[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                      vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  if (c < n) chains[0] += a[c] * b[c];
+  if (c + 1 < n) chains[1] += a[c + 1] * b[c + 1];
+  if (c + 2 < n) chains[2] += a[c + 2] * b[c + 2];
+  return (chains[0] + chains[1]) + (chains[2] + chains[3]);
+}
+
+void axpy_neon(double* y, const double* x, double s, unsigned long n) {
+  const float64x2_t sv = vdupq_n_f64(s);
+  unsigned long i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vmulq_f64(sv, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+// ---- sample-blocked (8-lane SoA) trainer kernels --------------------------
+// 8 doubles = four float64x2; every lane is an independent mul+add chain,
+// so these are bit-identical to the scalar loops.
+
+void layer_fwd8_neon(const double* w, const double* bias, const double* in,
+                     double* out, unsigned long rows, unsigned long cols) {
+  for (unsigned long r = 0; r < rows; ++r) {
+    float64x2_t a0 = vdupq_n_f64(bias[r]);
+    float64x2_t a1 = a0, a2 = a0, a3 = a0;
+    const double* wr = w + r * cols;
+    for (unsigned long c = 0; c < cols; ++c) {
+      const float64x2_t wc = vdupq_n_f64(wr[c]);
+      const double* xv = in + c * kDenseBlock;
+      a0 = vaddq_f64(a0, vmulq_f64(wc, vld1q_f64(xv)));
+      a1 = vaddq_f64(a1, vmulq_f64(wc, vld1q_f64(xv + 2)));
+      a2 = vaddq_f64(a2, vmulq_f64(wc, vld1q_f64(xv + 4)));
+      a3 = vaddq_f64(a3, vmulq_f64(wc, vld1q_f64(xv + 6)));
+    }
+    double* ov = out + r * kDenseBlock;
+    vst1q_f64(ov, a0);
+    vst1q_f64(ov + 2, a1);
+    vst1q_f64(ov + 4, a2);
+    vst1q_f64(ov + 6, a3);
+  }
+}
+
+// Canonical 8-lane reduction (see dense_simd.hpp): chains q_j = p_j + p_{j+4}
+// combined as (q0+q1)+(q2+q3).  p01/p23 hold lanes 0..3, p45/p67 lanes 4..7.
+inline double sum8_neon(float64x2_t p01, float64x2_t p23, float64x2_t p45,
+                        float64x2_t p67) {
+  const float64x2_t q01 = vaddq_f64(p01, p45);
+  const float64x2_t q23 = vaddq_f64(p23, p67);
+  return (vgetq_lane_f64(q01, 0) + vgetq_lane_f64(q01, 1)) +
+         (vgetq_lane_f64(q23, 0) + vgetq_lane_f64(q23, 1));
+}
+
+void layer_grad8_neon(const double* delta, const double* in, double* gw,
+                      double* gb, unsigned long rows, unsigned long cols) {
+  for (unsigned long r = 0; r < rows; ++r) {
+    const double* dv = delta + r * kDenseBlock;
+    const float64x2_t d01 = vld1q_f64(dv);
+    const float64x2_t d23 = vld1q_f64(dv + 2);
+    const float64x2_t d45 = vld1q_f64(dv + 4);
+    const float64x2_t d67 = vld1q_f64(dv + 6);
+    gb[r] += sum8_neon(d01, d23, d45, d67);
+    double* gwr = gw + r * cols;
+    for (unsigned long c = 0; c < cols; ++c) {
+      const double* xv = in + c * kDenseBlock;
+      gwr[c] += sum8_neon(vmulq_f64(d01, vld1q_f64(xv)),
+                          vmulq_f64(d23, vld1q_f64(xv + 2)),
+                          vmulq_f64(d45, vld1q_f64(xv + 4)),
+                          vmulq_f64(d67, vld1q_f64(xv + 6)));
+    }
+  }
+}
+
+void layer_back8_neon(const double* w, const double* delta, double* prev,
+                      unsigned long rows, unsigned long cols) {
+  for (unsigned long r = 0; r < rows; ++r) {
+    const double* dv = delta + r * kDenseBlock;
+    const float64x2_t d01 = vld1q_f64(dv);
+    const float64x2_t d23 = vld1q_f64(dv + 2);
+    const float64x2_t d45 = vld1q_f64(dv + 4);
+    const float64x2_t d67 = vld1q_f64(dv + 6);
+    const double* wr = w + r * cols;
+    for (unsigned long c = 0; c < cols; ++c) {
+      const float64x2_t wc = vdupq_n_f64(wr[c]);
+      double* pv = prev + c * kDenseBlock;
+      vst1q_f64(pv, vaddq_f64(vld1q_f64(pv), vmulq_f64(wc, d01)));
+      vst1q_f64(pv + 2, vaddq_f64(vld1q_f64(pv + 2), vmulq_f64(wc, d23)));
+      vst1q_f64(pv + 4, vaddq_f64(vld1q_f64(pv + 4), vmulq_f64(wc, d45)));
+      vst1q_f64(pv + 6, vaddq_f64(vld1q_f64(pv + 6), vmulq_f64(wc, d67)));
+    }
+  }
+}
+
+void adam_neon(double* w, const double* g, double* m, double* v,
+               unsigned long n, const AdamStep& step) {
+  const float64x2_t b1 = vdupq_n_f64(step.beta1);
+  const float64x2_t b2 = vdupq_n_f64(step.beta2);
+  const float64x2_t one_m_b1 = vdupq_n_f64(1.0 - step.beta1);
+  const float64x2_t one_m_b2 = vdupq_n_f64(1.0 - step.beta2);
+  const float64x2_t wd = vdupq_n_f64(step.weight_decay);
+  const float64x2_t bc1 = vdupq_n_f64(step.bias_corr1);
+  const float64x2_t bc2 = vdupq_n_f64(step.bias_corr2);
+  const float64x2_t lr = vdupq_n_f64(step.lr);
+  const float64x2_t eps = vdupq_n_f64(step.eps);
+  unsigned long i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t wi = vld1q_f64(w + i);
+    const float64x2_t gi = vaddq_f64(vld1q_f64(g + i), vmulq_f64(wd, wi));
+    const float64x2_t mi =
+        vaddq_f64(vmulq_f64(b1, vld1q_f64(m + i)), vmulq_f64(one_m_b1, gi));
+    const float64x2_t vi = vaddq_f64(vmulq_f64(b2, vld1q_f64(v + i)),
+                                     vmulq_f64(one_m_b2, vmulq_f64(gi, gi)));
+    vst1q_f64(m + i, mi);
+    vst1q_f64(v + i, vi);
+    const float64x2_t mhat = vdivq_f64(mi, bc1);
+    const float64x2_t vhat = vdivq_f64(vi, bc2);
+    const float64x2_t denom = vaddq_f64(vsqrtq_f64(vhat), eps);
+    vst1q_f64(w + i, vsubq_f64(wi, vdivq_f64(vmulq_f64(lr, mhat), denom)));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i] + step.weight_decay * w[i];
+    m[i] = step.beta1 * m[i] + (1.0 - step.beta1) * gi;
+    v[i] = step.beta2 * v[i] + (1.0 - step.beta2) * (gi * gi);
+    const double mhat = m[i] / step.bias_corr1;
+    const double vhat = v[i] / step.bias_corr2;
+    w[i] -= step.lr * mhat / (std::sqrt(vhat) + step.eps);
+  }
+}
+
+void sgd_neon(double* w, const double* g, double* vel, unsigned long n,
+              double momentum, double lr, double weight_decay) {
+  const float64x2_t mom = vdupq_n_f64(momentum);
+  const float64x2_t lrv = vdupq_n_f64(lr);
+  const float64x2_t wd = vdupq_n_f64(weight_decay);
+  unsigned long i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t wi = vld1q_f64(w + i);
+    const float64x2_t gi = vaddq_f64(vld1q_f64(g + i), vmulq_f64(wd, wi));
+    const float64x2_t vi =
+        vsubq_f64(vmulq_f64(mom, vld1q_f64(vel + i)), vmulq_f64(lrv, gi));
+    vst1q_f64(vel + i, vi);
+    vst1q_f64(w + i, vaddq_f64(wi, vi));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i] + weight_decay * w[i];
+    vel[i] = momentum * vel[i] - lr * gi;
+    w[i] += vel[i];
+  }
+}
+
+}  // namespace
+
+const DenseKernels& dense_kernels_neon() {
+  static constexpr DenseKernels kTable = {
+      dot_neon,        axpy_neon,       layer_fwd8_neon,
+      layer_grad8_neon, layer_back8_neon, adam_neon,
+      sgd_neon};
+  return kTable;
+}
+
+}  // namespace pnm::simd
+
+#endif  // defined(__aarch64__)

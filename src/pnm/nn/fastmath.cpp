@@ -1,0 +1,91 @@
+#include "pnm/nn/fastmath.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace pnm {
+
+namespace {
+
+constexpr double kLog2E = 1.4426950408889634074;    // 1/ln 2
+constexpr double kLn2Hi = 6.93145751953125e-1;      // ln 2, high 21 bits (exact)
+constexpr double kLn2Lo = 1.42860682030941723212e-6;  // ln 2 - kLn2Hi
+constexpr double kExpOverflow = 709.782712893384;   // exp() overflows above this
+constexpr double kSqrt2 = 1.41421356237309504880;
+
+/// e^x for x already clamped to [kFastExpUnderflow, kExpOverflow].
+/// k = round(x/ln2); r = x - k*ln2 via the split constant (the k*kLn2Hi
+/// product is exact for |k| <= 2^31, so r carries ~70 bits of reduction);
+/// e^r by degree-10 Taylor (truncation < 3e-13 rel at |r| = ln2/2); then
+/// scale by 2^k assembled straight into the exponent field.
+inline double exp_core(double x) {
+  const double kd = std::floor(x * kLog2E + 0.5);
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+  double p = 1.0 / 3628800.0;
+  p = p * r + 1.0 / 362880.0;
+  p = p * r + 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  const auto k = static_cast<std::int64_t>(kd);
+  const double scale =
+      std::bit_cast<double>(static_cast<std::uint64_t>(k + 1023) << 52);
+  return p * scale;
+}
+
+}  // namespace
+
+double fast_exp(double x) {
+  // Branchless clamps (ternaries if-convert): overflow saturates through
+  // the k = 1024 => inf exponent pattern, underflow flushes to exactly 0.
+  const double hi = x > kExpOverflow ? kExpOverflow : x;
+  const double lo = hi < kFastExpUnderflow ? kFastExpUnderflow : hi;
+  const double e = exp_core(lo);
+  return x < kFastExpUnderflow ? 0.0 : e;
+}
+
+void fast_exp(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double hi = xi > kExpOverflow ? kExpOverflow : xi;
+    const double lo = hi < kFastExpUnderflow ? kFastExpUnderflow : hi;
+    const double e = exp_core(lo);
+    out[i] = xi < kFastExpUnderflow ? 0.0 : e;
+  }
+}
+
+double fast_log(double x) {
+  // Split x = m * 2^e with m in [1/sqrt2, sqrt2): both m - 1 and m + 1 are
+  // exact there, so t = (m-1)/(m+1) loses nothing to cancellation and the
+  // atanh series log m = 2*(t + t^3/3 + ... + t^13/13) converges with
+  // |t| <= 0.1716 (truncation < 5e-13 absolute).
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  int e = static_cast<int>((bits >> 52) & 0x7FF) - 1023;
+  double m = std::bit_cast<double>((bits & 0xFFFFFFFFFFFFFULL) |
+                                   0x3FF0000000000000ULL);  // mantissa in [1, 2)
+  if (m > kSqrt2) {
+    m *= 0.5;
+    e += 1;
+  }
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;
+  double p = 1.0 / 13.0;
+  p = p * t2 + 1.0 / 11.0;
+  p = p * t2 + 1.0 / 9.0;
+  p = p * t2 + 1.0 / 7.0;
+  p = p * t2 + 1.0 / 5.0;
+  p = p * t2 + 1.0 / 3.0;
+  p = p * t2 + 1.0;
+  // e * kLn2Hi is exact (11 + 21 significant bits), so the only rounding
+  // in the reconstruction is the final add.
+  const auto ed = static_cast<double>(e);
+  return (2.0 * t * p + ed * kLn2Lo) + ed * kLn2Hi;
+}
+
+}  // namespace pnm

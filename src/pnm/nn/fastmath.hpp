@@ -1,0 +1,60 @@
+#ifndef PNM_NN_FASTMATH_HPP
+#define PNM_NN_FASTMATH_HPP
+
+/// \file fastmath.hpp
+/// \brief Declared accuracy-neutral exp/log for the fine-tuning hot path.
+///
+/// Fine-tuning dominates netlist-backend evaluation (~60%), and inside it
+/// the cost is libm `exp`/`log` in softmax cross-entropy.  The bit-exact
+/// optimizations are exhausted (the integer inference engine is already
+/// bit-identical), so this layer trades *declared, bounded* accuracy for
+/// speed:
+///
+///  * `fast_exp`: range reduction x = k*ln2 + r (two-part ln2 constant),
+///    degree-10 Taylor polynomial of e^r on |r| <= ln2/2, result assembled
+///    as poly(r) * 2^k by exponent-bit arithmetic.  Branch-free except for
+///    the range clamp, so the batch form auto-vectorizes.
+///  * `fast_log`: exponent/mantissa split to m in [1/sqrt2, sqrt2), then
+///    the atanh series log m = 2 * sum t^(2i+1)/(2i+1), t = (m-1)/(m+1),
+///    truncated at t^13.
+///
+/// Error bounds (verified over dense grids by nn_fastmath_test, asserted
+/// with margin):
+///
+///  * kFastExpMaxRelError:  max |fast_exp(x)/exp(x) - 1| <= 1e-12 for
+///    x in [-700, 700].  Below kFastExpUnderflow the result flushes to
+///    exactly 0 (libm returns subnormals down to ~-745); softmax feeds
+///    only x <= 0 differences where anything below e^-700 is dead weight.
+///  * kFastLogMaxRelError:  max |fast_log(x)/log(x) - 1| <= 4e-12 for
+///    normal positive x with |log x| >= 1e-8 (near log's zero at x = 1 the
+///    *absolute* error stays below 1e-13).
+///
+/// Anything consuming these is gated by *front quality*, not bit identity:
+/// the fine-tuned Pareto fronts must match the golden baseline within the
+/// declared tolerance (see nn_fastmath_test.cpp and the trainer's
+/// set_softmax_fast_math switch).
+
+#include <cstddef>
+
+namespace pnm {
+
+/// Documented bounds, used by the tests as the contract.
+inline constexpr double kFastExpMaxRelError = 1e-12;
+inline constexpr double kFastLogMaxRelError = 4e-12;
+/// Inputs below this flush fast_exp to exactly 0 (no subnormal tail).
+inline constexpr double kFastExpUnderflow = -708.0;
+
+/// e^x with the bound above; monotone clamp: +inf for x > 709.78.
+double fast_exp(double x);
+
+/// Batch form: out[i] = fast_exp(x[i]).  One pass, auto-vectorizable
+/// (no data-dependent branches).  `out` may alias `x`.
+void fast_exp(const double* x, double* out, std::size_t n);
+
+/// Natural log with the bound above.  Domain: x > 0 and finite (callers
+/// feed softmax denominators, which are >= 1); no NaN/inf policing.
+double fast_log(double x);
+
+}  // namespace pnm
+
+#endif  // PNM_NN_FASTMATH_HPP

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pnm/nn/dense_simd.hpp"
+
 namespace pnm {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -21,22 +23,19 @@ void Matrix::fill(double v) {
 
 void Matrix::matvec(const std::vector<double>& x, std::vector<double>& y) const {
   if (x.size() != cols_) throw std::invalid_argument("matvec: bad x size");
+  const auto& kernels = simd::dense_kernels();
   y.assign(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
+    y[r] = kernels.dot(data_.data() + r * cols_, x.data(), cols_);
   }
 }
 
 void Matrix::matvec_transposed(const std::vector<double>& x, std::vector<double>& y) const {
   if (x.size() != rows_) throw std::invalid_argument("matvec_transposed: bad x size");
+  const auto& kernels = simd::dense_kernels();
   y.assign(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    const double xr = x[r];
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+    kernels.axpy(y.data(), data_.data() + r * cols_, x[r], cols_);
   }
 }
 
@@ -44,7 +43,7 @@ void Matrix::axpy(double alpha, const Matrix& other) {
   if (other.rows_ != rows_ || other.cols_ != cols_) {
     throw std::invalid_argument("axpy: shape mismatch");
   }
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  simd::dense_kernels().axpy(data_.data(), other.data_.data(), alpha, data_.size());
 }
 
 void Matrix::add_outer(double alpha, const std::vector<double>& u,
@@ -52,10 +51,9 @@ void Matrix::add_outer(double alpha, const std::vector<double>& u,
   if (u.size() != rows_ || v.size() != cols_) {
     throw std::invalid_argument("add_outer: shape mismatch");
   }
+  const auto& kernels = simd::dense_kernels();
   for (std::size_t r = 0; r < rows_; ++r) {
-    double* row = data_.data() + r * cols_;
-    const double au = alpha * u[r];
-    for (std::size_t c = 0; c < cols_; ++c) row[c] += au * v[c];
+    kernels.axpy(data_.data() + r * cols_, v.data(), alpha * u[r], cols_);
   }
 }
 

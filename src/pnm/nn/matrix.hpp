@@ -7,7 +7,11 @@
 /// Printed MLPs are tiny (tens of neurons), so this is deliberately a
 /// simple, cache-friendly value type rather than a BLAS wrapper: the whole
 /// reproduction trains thousands of such networks inside GA loops, and the
-/// dominant cost is the O(rows*cols) loops below.
+/// dominant cost is the O(rows*cols) loops below.  Those loops run through
+/// the runtime-dispatched kernels in nn/dense_simd.hpp (AVX2 / NEON /
+/// scalar); results are bit-identical on every ISA — see that header's
+/// determinism contract.  In particular matvec's dot product uses the
+/// canonical four-chain summation order defined there.
 
 #include <cstddef>
 #include <vector>

@@ -1,10 +1,33 @@
 #include "pnm/nn/trainer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "pnm/nn/dense_simd.hpp"
+#include "pnm/nn/fastmath.hpp"
+
 namespace pnm {
+
+namespace {
+std::atomic<bool> g_softmax_fast{true};
+std::atomic<bool> g_blocked_backprop{true};
+}  // namespace
+
+void set_softmax_fast_math(bool enabled) {
+  g_softmax_fast.store(enabled, std::memory_order_relaxed);
+}
+
+bool softmax_fast_math() { return g_softmax_fast.load(std::memory_order_relaxed); }
+
+void set_blocked_backprop(bool enabled) {
+  g_blocked_backprop.store(enabled, std::memory_order_relaxed);
+}
+
+bool blocked_backprop() {
+  return g_blocked_backprop.load(std::memory_order_relaxed);
+}
 
 Gradients Gradients::zeros_like(const Mlp& model) {
   Gradients g;
@@ -51,6 +74,32 @@ double softmax_cross_entropy(const std::vector<double>& logits, std::size_t labe
   return loss;
 }
 
+double softmax_cross_entropy_fast(const std::vector<double>& logits, std::size_t label,
+                                  std::vector<double>* grad) {
+  if (label >= logits.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: label out of range");
+  }
+  const std::size_t n = logits.size();
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  if (grad != nullptr) {
+    // e_i = exp(z_i - max) lands in the gradient buffer and is reused:
+    // grad_i = e_i / denom instead of a second exponentiation pass.
+    grad->resize(n);
+    double* g = grad->data();
+    for (std::size_t i = 0; i < n; ++i) g[i] = logits[i] - max_logit;
+    fast_exp(g, g, n);
+    for (std::size_t i = 0; i < n; ++i) denom += g[i];
+    const double inv = 1.0 / denom;
+    for (std::size_t i = 0; i < n; ++i) g[i] *= inv;
+    g[label] -= 1.0;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) denom += fast_exp(logits[i] - max_logit);
+  }
+  // loss = -(z_label - max - log denom), log-sum-exp stabilized.
+  return fast_log(denom) - (logits[label] - max_logit);
+}
+
 double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
                        Gradients& grads) {
   BackpropScratch scratch;
@@ -63,7 +112,9 @@ double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size
   model.forward_cached(x, acts);
 
   auto& delta = scratch.delta;
-  const double loss = softmax_cross_entropy(acts.back(), label, &delta);
+  const double loss = softmax_fast_math()
+                          ? softmax_cross_entropy_fast(acts.back(), label, &delta)
+                          : softmax_cross_entropy(acts.back(), label, &delta);
   // The output layer is identity in this library; if it is not, fold the
   // activation derivative into delta.
   apply_activation_grad(model.layers().back().act, acts.back(), delta);
@@ -78,6 +129,66 @@ double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size
     layer.weights.matvec_transposed(delta, prev_delta);
     apply_activation_grad(model.layer(li - 1).act, acts[li], prev_delta);
     // NOTE: acts[li] is the *post-activation* output of layer li-1.
+    delta.swap(prev_delta);
+  }
+  return loss;
+}
+
+double backprop_block(const Mlp& model, const Dataset& train,
+                      const std::size_t* idx, std::size_t lanes,
+                      Gradients& grads, BlockBackpropScratch& scratch) {
+  constexpr std::size_t kB = simd::kDenseBlock;
+  const auto& kernels = simd::dense_kernels();
+  const std::size_t n_layers = model.layer_count();
+
+  // Gather up to 8 samples into the SoA input block; padding lanes stay 0.
+  auto& acts = scratch.acts;
+  acts.resize(n_layers + 1);
+  acts[0].assign(model.input_size() * kB, 0.0);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    const auto& x = train.x[idx[j]];
+    for (std::size_t f = 0; f < x.size(); ++f) acts[0][f * kB + j] = x[f];
+  }
+
+  // Blocked forward: one weight visit feeds all 8 lanes.
+  for (std::size_t li = 0; li < n_layers; ++li) {
+    const auto& layer = model.layer(li);
+    acts[li + 1].resize(layer.out_features() * kB);
+    kernels.layer_fwd8(layer.weights.raw().data(), layer.bias.data(),
+                       acts[li].data(), acts[li + 1].data(),
+                       layer.out_features(), layer.in_features());
+    apply_activation(layer.act, acts[li + 1]);
+  }
+
+  // Per-lane softmax cross-entropy on the gathered logits; padding lanes
+  // keep delta = 0, so their backward contributions vanish identically.
+  const std::size_t n_out = model.output_size();
+  auto& delta = scratch.delta;
+  delta.assign(n_out * kB, 0.0);
+  const bool fast = softmax_fast_math();
+  double loss = 0.0;
+  for (std::size_t j = 0; j < lanes; ++j) {
+    auto& logits = scratch.logits;
+    logits.resize(n_out);
+    for (std::size_t r = 0; r < n_out; ++r) logits[r] = acts[n_layers][r * kB + j];
+    loss += fast ? softmax_cross_entropy_fast(logits, train.y[idx[j]], &scratch.grad)
+                 : softmax_cross_entropy(logits, train.y[idx[j]], &scratch.grad);
+    for (std::size_t r = 0; r < n_out; ++r) delta[r * kB + j] = scratch.grad[r];
+  }
+  apply_activation_grad(model.layers().back().act, acts[n_layers], delta);
+
+  for (std::size_t li = n_layers; li-- > 0;) {
+    const auto& layer = model.layer(li);
+    kernels.layer_grad8(delta.data(), acts[li].data(), grads.w[li].raw().data(),
+                        grads.b[li].data(), layer.out_features(),
+                        layer.in_features());
+    if (li == 0) break;
+    auto& prev_delta = scratch.prev_delta;
+    prev_delta.assign(layer.in_features() * kB, 0.0);
+    kernels.layer_back8(layer.weights.raw().data(), delta.data(),
+                        prev_delta.data(), layer.out_features(),
+                        layer.in_features());
+    apply_activation_grad(model.layer(li - 1).act, acts[li], prev_delta);
     delta.swap(prev_delta);
   }
   return loss;
@@ -98,7 +209,9 @@ TrainResult Trainer::fit(Mlp& model, const Dataset& train, Rng& rng) {
   }
 
   Gradients grads = Gradients::zeros_like(model);
-  BackpropScratch scratch;
+  BlockBackpropScratch scratch;
+  BackpropScratch sample_scratch;
+  const bool blocked = blocked_backprop();
   std::vector<std::size_t> order(train.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -120,9 +233,20 @@ TrainResult Trainer::fit(Mlp& model, const Dataset& train, Rng& rng) {
         view_(model, view_model);
         fwd = &view_model;
       }
-      for (std::size_t i = start; i < end; ++i) {
-        epoch_loss +=
-            backprop_sample(*fwd, train.x[order[i]], train.y[order[i]], grads, scratch);
+      if (blocked) {
+        // Sample-blocked backprop: up to 8 samples per weight visit through
+        // the SoA block kernels (the trainer-side twin of the inference
+        // engine's multi-sample blocking).
+        for (std::size_t i = start; i < end;) {
+          const std::size_t lanes = std::min<std::size_t>(simd::kDenseBlock, end - i);
+          epoch_loss += backprop_block(*fwd, train, order.data() + i, lanes, grads, scratch);
+          i += lanes;
+        }
+      } else {
+        for (std::size_t i = start; i < end; ++i) {
+          epoch_loss += backprop_sample(*fwd, train.x[order[i]], train.y[order[i]],
+                                        grads, sample_scratch);
+        }
       }
       grads.scale(1.0 / static_cast<double>(end - start));
       apply_update(model, grads, lr);
@@ -155,6 +279,11 @@ void Trainer::apply_update(Mlp& model, const Gradients& grads, double lr) {
   }
   ++step_;
 
+  // Both optimizers update every element independently, so the whole step
+  // runs through the vectorized elementwise kernels (bit-identical to the
+  // scalar loops on every ISA — see nn/dense_simd.hpp).  Weight decay is
+  // decoupled L2 on weights only; biases pass weight_decay = 0.
+  const auto& kernels = simd::dense_kernels();
   for (std::size_t li = 0; li < model.layer_count(); ++li) {
     auto& layer = model.layer(li);
     auto& w = layer.weights.raw();
@@ -163,41 +292,24 @@ void Trainer::apply_update(Mlp& model, const Gradients& grads, double lr) {
     const auto& gb = grads.b[li];
 
     if (config_.optimizer == Optimizer::kSgd) {
-      auto& vw = vel_w_[li].raw();
-      for (std::size_t i = 0; i < w.size(); ++i) {
-        const double g = gw[i] + config_.weight_decay * w[i];
-        vw[i] = config_.momentum * vw[i] - lr * g;
-        w[i] += vw[i];
-      }
-      auto& vb = vel_b_[li];
-      for (std::size_t i = 0; i < b.size(); ++i) {
-        vb[i] = config_.momentum * vb[i] - lr * gb[i];
-        b[i] += vb[i];
-      }
+      kernels.sgd(w.data(), gw.data(), vel_w_[li].raw().data(), w.size(),
+                  config_.momentum, lr, config_.weight_decay);
+      kernels.sgd(b.data(), gb.data(), vel_b_[li].data(), b.size(),
+                  config_.momentum, lr, /*weight_decay=*/0.0);
     } else {
-      const double b1 = config_.adam_beta1;
-      const double b2 = config_.adam_beta2;
-      const double bc1 = 1.0 - std::pow(b1, static_cast<double>(step_));
-      const double bc2 = 1.0 - std::pow(b2, static_cast<double>(step_));
-      auto& mw = m_w_[li].raw();
-      auto& vw = v_w_[li].raw();
-      for (std::size_t i = 0; i < w.size(); ++i) {
-        const double g = gw[i] + config_.weight_decay * w[i];
-        mw[i] = b1 * mw[i] + (1.0 - b1) * g;
-        vw[i] = b2 * vw[i] + (1.0 - b2) * g * g;
-        const double mhat = mw[i] / bc1;
-        const double vhat = vw[i] / bc2;
-        w[i] -= lr * mhat / (std::sqrt(vhat) + config_.adam_eps);
-      }
-      auto& mb = m_b_[li];
-      auto& vb = v_b_[li];
-      for (std::size_t i = 0; i < b.size(); ++i) {
-        mb[i] = b1 * mb[i] + (1.0 - b1) * gb[i];
-        vb[i] = b2 * vb[i] + (1.0 - b2) * gb[i] * gb[i];
-        const double mhat = mb[i] / bc1;
-        const double vhat = vb[i] / bc2;
-        b[i] -= lr * mhat / (std::sqrt(vhat) + config_.adam_eps);
-      }
+      simd::AdamStep step;
+      step.beta1 = config_.adam_beta1;
+      step.beta2 = config_.adam_beta2;
+      step.bias_corr1 = 1.0 - std::pow(step.beta1, static_cast<double>(step_));
+      step.bias_corr2 = 1.0 - std::pow(step.beta2, static_cast<double>(step_));
+      step.lr = lr;
+      step.eps = config_.adam_eps;
+      step.weight_decay = config_.weight_decay;
+      kernels.adam(w.data(), gw.data(), m_w_[li].raw().data(),
+                   v_w_[li].raw().data(), w.size(), step);
+      step.weight_decay = 0.0;
+      kernels.adam(b.data(), gb.data(), m_b_[li].data(), v_b_[li].data(),
+                   b.size(), step);
     }
   }
 }

@@ -37,8 +37,39 @@ struct Gradients {
 
 /// Softmax cross-entropy loss for one sample; if grad is non-null it
 /// receives dL/dlogits (softmax - onehot).  Numerically stabilized.
+/// This is the libm reference implementation — exact to double rounding.
 double softmax_cross_entropy(const std::vector<double>& logits, std::size_t label,
                              std::vector<double>* grad);
+
+/// Fast-math softmax cross-entropy: the same stabilized log-sum-exp
+/// formulation through the batch fast_exp / fast_log kernels
+/// (nn/fastmath.hpp), with each exponential computed once and reused for
+/// the gradient (the reference re-exponentiates per gradient entry, i.e.
+/// 2C libm exp calls per sample vs C fast ones here).  Declared
+/// accuracy-neutral, NOT bit-identical to the reference: per-entry
+/// relative error is bounded by a few times kFastExpMaxRelError, and
+/// everything downstream is gated on *front quality* against the golden
+/// baseline (nn_fastmath_test.cpp), not on bit identity.
+double softmax_cross_entropy_fast(const std::vector<double>& logits, std::size_t label,
+                                  std::vector<double>* grad);
+
+/// Process-wide switch (default ON) routing backprop_sample's loss through
+/// softmax_cross_entropy_fast.  Benches flip it to time libm vs fast on
+/// identical work; the parity tests flip it to compare fine-tuned results.
+/// Campaign eval fingerprints record the fast-math generation token, so
+/// stored results never silently mix the two modes.
+void set_softmax_fast_math(bool enabled);
+[[nodiscard]] bool softmax_fast_math();
+
+/// Process-wide switch (default ON) routing Trainer::fit through the
+/// sample-blocked backprop_block path (8 samples per weight visit).  OFF
+/// falls back to the classic per-sample backprop_sample loop — the
+/// pre-blocking reference the benches time the engine against, and a
+/// debugging aid when isolating the blocked kernels.  Same accuracy-
+/// neutral contract as the fast-math softmax: the two paths reduce in
+/// different orders, so they are quality-equivalent, not bit-identical.
+void set_blocked_backprop(bool enabled);
+[[nodiscard]] bool blocked_backprop();
 
 /// Reusable per-sample backprop buffers.  The GA fine-tunes thousands of
 /// candidate networks over the same small dataset, so the activation and
@@ -59,6 +90,29 @@ double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size
 /// Allocation-free variant reusing the caller's scratch buffers.
 double backprop_sample(const Mlp& model, const std::vector<double>& x, std::size_t label,
                        Gradients& grads, BackpropScratch& scratch);
+
+/// Reusable buffers for the sample-blocked backprop path.  Block buffers
+/// are SoA with the engine's 8-lane layout: element*8 + lane.
+struct BlockBackpropScratch {
+  std::vector<std::vector<double>> acts;  ///< blocked activations per layer
+  std::vector<double> delta;              ///< blocked dL/d(layer output)
+  std::vector<double> prev_delta;         ///< blocked back-propagated delta
+  std::vector<double> logits;             ///< one lane's logits (gathered)
+  std::vector<double> grad;               ///< one lane's dL/dlogits
+};
+
+/// Multi-sample backprop: runs up to 8 samples (train.x[idx[0..lanes)])
+/// through forward + backward together in the engine's sample-blocked SoA
+/// layout, so every weight visit feeds 8 lanes (nn/dense_simd.hpp block
+/// kernels).  Accumulates dL/dparams into grads (+=) and returns the
+/// summed loss over the lanes.  Padding lanes (lanes < 8) are zero-filled
+/// and their deltas zeroed after the loss, so they contribute nothing.
+/// Per-lane arithmetic is not bit-identical to backprop_sample (different
+/// reduction orders) — covered by the accuracy-neutral fine-tuning
+/// contract, like the fast-math softmax.
+double backprop_block(const Mlp& model, const Dataset& train,
+                      const std::size_t* idx, std::size_t lanes,
+                      Gradients& grads, BlockBackpropScratch& scratch);
 
 enum class Optimizer { kSgd, kAdam };
 

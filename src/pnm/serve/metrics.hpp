@@ -79,7 +79,9 @@ class ServeMetrics {
   void on_batch(std::size_t batch_size);
 
   /// Records one served response with its end-to-end latency (admission
-  /// to response write), in microseconds.
+  /// to response encode; callers count just before the socket write so a
+  /// client that saw every response implies every response is counted),
+  /// in microseconds.
   void on_response(std::uint64_t latency_us);
 
   /// Point-in-time copy of every counter and histogram.

@@ -9,7 +9,9 @@
 #include <unistd.h>
 #include <unordered_map>
 
+#include "pnm/core/infer_simd.hpp"
 #include "pnm/core/model_io.hpp"
+#include "pnm/core/qmlp.hpp"
 #include "pnm/core/quantize.hpp"
 #include "pnm/util/socket.hpp"
 
@@ -291,9 +293,21 @@ void Server::io_loop() {
 }
 
 void Server::worker_loop() {
+  // A full 8-lane blocked pass costs roughly one block regardless of how
+  // many lanes are live, so sparsely-filled blocks would *lose* to the
+  // single-sample kernel.  Blocks are only formed from at least this many
+  // queued requests; stragglers take the single-sample path (bit-exact
+  // either way, so the split is invisible to clients).
+  constexpr std::size_t kMinBlockLanes = 4;
+  constexpr std::size_t kB = simd::kSampleBlock;
+
   std::vector<ServeRequest*> batch;
+  std::vector<ServeRequest*> ready;  // validated requests awaiting predict
   std::vector<std::uint8_t> frame;
   InferScratch scratch;
+  BlockScratch block_scratch;
+  std::size_t preds[kB];
+  const simd::Isa isa = simd::active_isa();
 
   while (batcher_.pop_batch(batch)) {
     // Pin one design for the whole batch: every member is served — and
@@ -303,29 +317,58 @@ void Server::worker_loop() {
     const std::size_t want = model->mlp.input_size();
     const int input_bits = model->mlp.input_bits();
 
+    const auto respond = [&](ServeRequest* r, std::size_t cls) {
+      frame.clear();
+      encode_predict_resp(frame, r->id, model->version, static_cast<std::uint32_t>(cls));
+      // Count before writing: once a client has seen every response, every
+      // response is in the counters, so a quiescent stats() snapshot always
+      // balances against the batch histogram (on_batch runs at batch start).
+      metrics_.on_response(elapsed_us(r->admitted));
+      if (r->conn == nullptr || !r->conn->write_frame(frame)) {
+        metrics_.on_dropped_response();
+      }
+      pool_.release(r);
+    };
+
     metrics_.on_batch(batch.size());
+    ready.clear();
     for (ServeRequest* r : batch) {
       if (r->features.size() != want) {
         metrics_.on_predict_error();
         frame.clear();
         encode_error(frame, "feature count mismatch");
+        metrics_.on_response(elapsed_us(r->admitted));  // count-before-write, as in respond
         if (r->conn == nullptr || !r->conn->write_frame(frame)) {
           metrics_.on_dropped_response();
         }
-        const std::uint64_t latency = elapsed_us(r->admitted);
-        metrics_.on_response(latency);
         pool_.release(r);
         continue;
       }
-      quantize_input_into(r->features, input_bits, scratch.xq);
-      const std::size_t cls = model->mlp.predict_quantized_into(scratch.xq, scratch);
-      frame.clear();
-      encode_predict_resp(frame, r->id, model->version, static_cast<std::uint32_t>(cls));
-      if (r->conn == nullptr || !r->conn->write_frame(frame)) {
-        metrics_.on_dropped_response();
+      ready.push_back(r);
+    }
+
+    // Multi-sample path: quantize each lane into the blocked staging
+    // buffer (feature-major, lane-minor) and classify kB requests per CSR
+    // walk.
+    std::size_t i = 0;
+    while (ready.size() - i >= kMinBlockLanes) {
+      const std::size_t lanes = std::min(kB, ready.size() - i);
+      block_scratch.xb.assign(want * kB, 0);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        quantize_input_into(ready[i + j]->features, input_bits, block_scratch.xq);
+        for (std::size_t f = 0; f < want; ++f) {
+          block_scratch.xb[f * kB + j] = block_scratch.xq[f];
+        }
       }
-      metrics_.on_response(elapsed_us(r->admitted));
-      pool_.release(r);
+      model->mlp.predict_block_into(block_scratch.xb.data(), lanes, block_scratch,
+                                    preds, isa);
+      for (std::size_t j = 0; j < lanes; ++j) respond(ready[i + j], preds[j]);
+      i += lanes;
+    }
+    for (; i < ready.size(); ++i) {
+      ServeRequest* r = ready[i];
+      quantize_input_into(r->features, input_bits, scratch.xq);
+      respond(r, model->mlp.predict_quantized_into(scratch.xq, scratch));
     }
   }
 }

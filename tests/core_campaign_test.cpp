@@ -176,6 +176,8 @@ TEST(Campaign, CellResultRoundTripsExactly) {
   run.cache_hits = 7;
   run.cache_misses = 35;
   run.store_loaded = 3;
+  run.mcm_hits = 19;
+  run.mcm_misses = 23;
   run.seconds = 1.0 / 3.0;
   run.baseline.technique = "baseline";
   run.baseline.config = "b8";
@@ -197,6 +199,8 @@ TEST(Campaign, CellResultRoundTripsExactly) {
   EXPECT_EQ(parsed->cache_hits, run.cache_hits);
   EXPECT_EQ(parsed->cache_misses, run.cache_misses);
   EXPECT_EQ(parsed->store_loaded, run.store_loaded);
+  EXPECT_EQ(parsed->mcm_hits, run.mcm_hits);
+  EXPECT_EQ(parsed->mcm_misses, run.mcm_misses);
   EXPECT_EQ(parsed->seconds, run.seconds);
   EXPECT_EQ(parsed->baseline, run.baseline);
   EXPECT_EQ(parsed->front, run.front);
@@ -389,6 +393,33 @@ TEST(Campaign, ReportsNameDatasetsAndStats) {
   const std::string report = result.report_json();
   EXPECT_NE(report.find("\"total_cache_hits\""), std::string::npos);
   EXPECT_NE(report.find("\"baseline\""), std::string::npos);
+}
+
+/// With MCM sharing on, every netlist front re-evaluation consults the
+/// plan cache, so a cell's hit/miss deltas must record activity; the
+/// totals and hit rate must be visible in both report renderings.
+TEST(Campaign, McmPlanCacheCountersRecordWithSharingEnabled) {
+  CampaignSpec spec = tiny_spec();
+  spec.base.bespoke.share_subexpressions = true;
+  const CampaignResult result = CampaignRunner(spec).run();
+  ASSERT_EQ(result.runs.size(), 1u);
+  const CampaignRunResult& run = result.runs[0];
+  // Other tests may have pre-warmed the process-wide plan cache, so the
+  // hit/miss split is order-dependent — but the cell must have looked
+  // *something* up.
+  EXPECT_GT(run.mcm_hits + run.mcm_misses, 0u);
+  EXPECT_EQ(result.total_mcm_hits(), run.mcm_hits);
+  EXPECT_EQ(result.total_mcm_misses(), run.mcm_misses);
+  const double rate = result.mcm_plan_hit_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  EXPECT_NE(result.report_json().find("\"mcm_plan_hit_rate\""), std::string::npos);
+  EXPECT_NE(result.report_markdown().find("MCM plan cache:"), std::string::npos);
+
+  // Sharing off: the plan cache is never consulted, counters stay 0.
+  const CampaignResult off = CampaignRunner(tiny_spec()).run();
+  ASSERT_EQ(off.runs.size(), 1u);
+  EXPECT_EQ(off.runs[0].mcm_hits + off.runs[0].mcm_misses, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+/// Cross-engine bit-exactness tests for the multi-sample (sample-blocked)
+/// SIMD inference engine: for every compiled kernel (scalar fallback plus
+/// the native AVX2/NEON one when the machine has it), blocked forward
+/// values, blocked predictions, and batched accuracy must equal the PR-3
+/// single-sample engine value-for-value — across random models, all four
+/// UCI datasets, truncation shifts, edge layer widths, sample counts that
+/// are not a multiple of the block, and > 2^32 activations (which stress
+/// the 32-bit-halves multiply in the vector kernels).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pnm/core/infer_simd.hpp"
+#include "pnm/core/qmlp.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/data/scaler.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/nn/mlp.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+namespace {
+
+constexpr std::size_t kB = simd::kSampleBlock;
+
+/// Every ISA with a kernel on this machine (scalar always; at most one
+/// native vector ISA on top).
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::isa_available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+Mlp random_model(const std::vector<std::size_t>& topology, std::uint64_t seed,
+                 double bias_span) {
+  Rng rng(seed);
+  Mlp model(topology, rng);
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    for (auto& b : model.layer(li).bias) b = rng.normal(0.0, bias_span);
+  }
+  return model;
+}
+
+/// Blocked forward/predict/accuracy through every available kernel ==
+/// single-sample engine, value for value.
+void expect_engines_agree(const QuantizedMlp& engine, const QuantizedDataset& qdata) {
+  ASSERT_TRUE(qdata.has_blocked());
+  const std::size_t classes = engine.output_size();
+  InferScratch ss;
+  BlockScratch bs;
+  std::size_t preds[kB];
+
+  for (const simd::Isa isa : available_isas()) {
+    for (std::size_t b = 0; b < qdata.block_count(); ++b) {
+      const std::size_t lanes = std::min(kB, qdata.size() - b * kB);
+      const auto out = engine.forward_block_into(qdata.block(b), bs, isa);
+      ASSERT_EQ(out.size(), classes * kB);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const std::size_t i = b * kB + j;
+        const auto ref = engine.forward_into(qdata.sample(i), ss);
+        for (std::size_t r = 0; r < classes; ++r) {
+          ASSERT_EQ(out[r * kB + j], ref[r])
+              << simd::isa_name(isa) << " sample " << i << " class " << r;
+        }
+      }
+      engine.predict_block_into(qdata.block(b), lanes, bs, preds, isa);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const std::size_t i = b * kB + j;
+        ASSERT_EQ(preds[j], engine.predict_quantized_into(qdata.sample(i), ss))
+            << simd::isa_name(isa) << " sample " << i;
+      }
+    }
+  }
+
+  // Batched accuracy: the single-sample loop (forced by dropping the
+  // blocked layout) and every blocked engine agree exactly.
+  QuantizedDataset unblocked = qdata;
+  unblocked.xb.clear();
+  ASSERT_FALSE(unblocked.has_blocked());
+  const double acc_single = engine.accuracy(unblocked);
+  EXPECT_EQ(engine.accuracy(qdata), acc_single);
+  for (const simd::Isa isa : available_isas()) {
+    EXPECT_EQ(engine.accuracy_blocked(qdata, isa), acc_single) << simd::isa_name(isa);
+  }
+}
+
+Dataset scaled_named_dataset(const char* name, std::uint64_t seed) {
+  Dataset data = make_named_dataset(name, seed);
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  return scaler.transform(data);
+}
+
+TEST(InferSimd, RandomModelsOnAllFourDatasetsMatchSingleSample) {
+  std::uint64_t seed = 7100;
+  for (const char* name : {"whitewine", "redwine", "pendigits", "seeds"}) {
+    const Dataset data = scaled_named_dataset(name, 13);
+    for (int bits : {2, 5, 8}) {
+      const Mlp model = random_model({data.n_features(), 6, data.n_classes},
+                                     ++seed, /*bias_span=*/0.5);
+      const QuantizedMlp engine =
+          QuantizedMlp::from_float(model, QuantSpec::uniform(2, bits, 4));
+      expect_engines_agree(engine, quantize_dataset(data, 4));
+    }
+  }
+}
+
+TEST(InferSimd, TruncationShiftsMatchSingleSample) {
+  const Dataset data = scaled_named_dataset("seeds", 29);
+  std::uint64_t seed = 7200;
+  for (int shift : {1, 3, 7, 12}) {
+    // Wide bias span forces negative bias codes (floor-shift edge) and
+    // both weight signs through the truncating vector path.
+    const Mlp model = random_model({data.n_features(), 5, data.n_classes},
+                                   ++seed, /*bias_span=*/2.0);
+    QuantSpec spec = QuantSpec::uniform(2, 6, 4);
+    spec.acc_shift = {shift, shift};
+    expect_engines_agree(QuantizedMlp::from_float(model, spec),
+                         quantize_dataset(data, 4));
+  }
+}
+
+TEST(InferSimd, EdgeWidthsAndPartialTailBlocksMatchSingleSample) {
+  const Dataset full = scaled_named_dataset("seeds", 31);
+  std::uint64_t seed = 7300;
+  // Layer widths around the block geometry (1-wide hidden, wider-than-
+  // block hidden, 3 layers) x sample counts around the block boundary
+  // (1, kB - 1, kB, kB + 1, 3 * kB + 5).
+  const std::vector<std::vector<std::size_t>> topologies = {
+      {full.n_features(), 1, full.n_classes},
+      {full.n_features(), 9, full.n_classes},
+      {full.n_features(), 5, 4, full.n_classes},
+  };
+  for (const auto& topology : topologies) {
+    const Mlp model = random_model(topology, ++seed, 0.5);
+    const QuantizedMlp engine =
+        QuantizedMlp::from_float(model, QuantSpec::uniform(topology.size() - 1, 5, 4));
+    for (const std::size_t n : {std::size_t{1}, kB - 1, kB, kB + 1, 3 * kB + 5}) {
+      Dataset subset = full;
+      subset.x.assign(full.x.begin(), full.x.begin() + static_cast<std::ptrdiff_t>(n));
+      subset.y.assign(full.y.begin(), full.y.begin() + static_cast<std::ptrdiff_t>(n));
+      expect_engines_agree(engine, quantize_dataset(subset, 4));
+    }
+  }
+}
+
+TEST(InferSimd, LargeActivationsStressTheWideMultiply) {
+  // Identity hidden layer with huge bias codes: layer-2 inputs exceed
+  // 2^32 in both signs, so the vector kernels' 32-bit-halves multiply
+  // exercises its cross terms (plain layer-0 activations never do).
+  QuantizedLayer l1;
+  l1.set_dense(2, 2, {3, -2, -3, 1});
+  l1.bias = {std::int64_t{3} << 33, -(std::int64_t{5} << 33)};
+  l1.weight_bits = 4;
+  l1.act = Activation::kIdentity;
+  l1.weight_scale = 0.1;
+  QuantizedLayer l2;
+  l2.set_dense(2, 2, {5, -7, -6, 4});
+  l2.bias = {11, -13};
+  l2.weight_bits = 4;
+  l2.act = Activation::kIdentity;
+  l2.weight_scale = 0.1;
+
+  for (int shift : {0, 2, 9}) {
+    auto layers = std::vector<QuantizedLayer>{l1, l2};
+    layers[0].acc_shift = shift;
+    layers[1].acc_shift = shift;
+    const QuantizedMlp engine = QuantizedMlp::from_layers(std::move(layers), 4);
+
+    QuantizedDataset qdata;
+    qdata.name = "wide-mul";
+    qdata.input_bits = 4;
+    qdata.n_features = 2;
+    qdata.n_classes = 2;
+    for (std::int64_t a = 0; a <= 15; ++a) {
+      for (std::int64_t b = 0; b <= 15; ++b) {
+        qdata.x.push_back(a);
+        qdata.x.push_back(b);
+        qdata.y.push_back(static_cast<std::size_t>((a + b) % 2));
+      }
+    }
+    qdata.build_blocked();
+    expect_engines_agree(engine, qdata);
+  }
+}
+
+TEST(InferSimd, FullyPrunedRowsMatchSingleSample) {
+  // A row with no CSR entries (all-zero weights) and an all-clamping ReLU
+  // row, through every kernel.
+  QuantizedLayer l1;
+  l1.set_dense(3, 2, {0, 0, -3, -1, 2, -2});
+  l1.bias = {0, -1, 2};
+  l1.weight_bits = 3;
+  l1.act = Activation::kRelu;
+  l1.weight_scale = 0.5;
+  QuantizedLayer l2;
+  l2.set_dense(2, 3, {1, -2, 3, 0, 0, 0});
+  l2.bias = {-1, 0};
+  l2.weight_bits = 3;
+  l2.act = Activation::kIdentity;
+  l2.weight_scale = 0.5;
+  const QuantizedMlp engine =
+      QuantizedMlp::from_layers({std::move(l1), std::move(l2)}, 3);
+
+  QuantizedDataset qdata;
+  qdata.name = "pruned";
+  qdata.input_bits = 3;
+  qdata.n_features = 2;
+  qdata.n_classes = 2;
+  for (std::int64_t a = 0; a <= 7; ++a) {
+    for (std::int64_t b = 0; b <= 7; ++b) {
+      qdata.x.push_back(a);
+      qdata.x.push_back(b);
+      qdata.y.push_back(static_cast<std::size_t>(a % 2));
+    }
+  }
+  qdata.build_blocked();
+  expect_engines_agree(engine, qdata);
+}
+
+TEST(InferSimd, BlockedLayoutRoundTripsAndTailIsZero) {
+  const Dataset data = scaled_named_dataset("redwine", 17);
+  Dataset subset = data;
+  subset.x.resize(kB + 3);  // forces a partial tail block
+  subset.y.resize(kB + 3);
+  const QuantizedDataset q = quantize_dataset(subset, 4);
+  ASSERT_TRUE(q.has_blocked());
+  ASSERT_EQ(q.block_count(), 2u);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    for (std::size_t f = 0; f < q.n_features; ++f) {
+      ASSERT_EQ(q.block(i / kB)[f * kB + i % kB], q.x[i * q.n_features + f]);
+    }
+  }
+  // Tail lanes are zero-filled.
+  for (std::size_t j = q.size() % kB; j < kB; ++j) {
+    for (std::size_t f = 0; f < q.n_features; ++f) {
+      ASSERT_EQ(q.block(1)[f * kB + j], 0);
+    }
+  }
+}
+
+TEST(InferSimd, DispatchReportsAvailabilityHonestly) {
+  EXPECT_TRUE(simd::isa_available(simd::Isa::kScalar));
+  EXPECT_NE(simd::layer_block_kernel(simd::Isa::kScalar), nullptr);
+  // Whatever the dispatcher picked must actually have a kernel.
+  EXPECT_TRUE(simd::isa_available(simd::active_isa()));
+  EXPECT_NE(simd::layer_block_kernel(simd::active_isa()), nullptr);
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kScalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kNeon), "neon");
+  // At most one native vector ISA exists per machine.
+  EXPECT_FALSE(simd::isa_available(simd::Isa::kAvx2) &&
+               simd::isa_available(simd::Isa::kNeon));
+  // Unavailable ISAs are a loud error, not a silent fallback.
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::isa_available(isa)) continue;
+    EXPECT_EQ(simd::layer_block_kernel(isa), nullptr);
+    const Dataset data = scaled_named_dataset("seeds", 3);
+    const Mlp model = random_model({data.n_features(), 4, data.n_classes}, 5, 0.2);
+    const QuantizedMlp engine =
+        QuantizedMlp::from_float(model, QuantSpec::uniform(2, 4, 4));
+    EXPECT_THROW((void)engine.accuracy_blocked(quantize_dataset(data, 4), isa),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace pnm

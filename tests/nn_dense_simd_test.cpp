@@ -1,0 +1,199 @@
+/// Tests for nn/dense_simd.hpp: the determinism contract (every compiled
+/// vector table agrees bit-for-bit with the scalar semantics on all seven
+/// kernels) and the sample-blocked backprop path's equivalence to the
+/// per-sample reference within float tolerance (different reduction
+/// orders, so near-equality — the accuracy-neutral contract).
+
+#include "pnm/nn/dense_simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pnm/data/dataset.hpp"
+#include "pnm/nn/mlp.hpp"
+#include "pnm/nn/trainer.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+namespace {
+
+constexpr std::size_t kB = simd::kDenseBlock;
+
+std::vector<double> random_vec(Rng& rng, std::size_t n, double scale = 1.0) {
+  std::vector<double> v(n);
+  for (auto& e : v) e = rng.normal() * scale;
+  return v;
+}
+
+/// Bit-level equality: NaN-free inputs here, so == is exact and a mismatch
+/// message shows the values.
+void expect_bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "lane " << i;
+  }
+}
+
+/// Every vector table compiled into this binary and runnable on this CPU.
+std::vector<const simd::DenseKernels*> native_tables() {
+  std::vector<const simd::DenseKernels*> tables;
+  for (simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    const simd::DenseKernels* t = simd::dense_kernels_for(isa);
+    if (t != nullptr && simd::isa_available(isa)) tables.push_back(t);
+  }
+  return tables;
+}
+
+TEST(DenseSimd, ScalarTableAlwaysPresent) {
+  ASSERT_NE(simd::dense_kernels_for(simd::Isa::kScalar), nullptr);
+  // dense_kernels() must resolve to something callable in any build.
+  const auto& k = simd::dense_kernels();
+  ASSERT_NE(k.dot, nullptr);
+  ASSERT_NE(k.layer_fwd8, nullptr);
+}
+
+TEST(DenseSimd, DotAxpyBitIdenticalAcrossTables) {
+  const auto* scalar = simd::dense_kernels_for(simd::Isa::kScalar);
+  Rng rng(7);
+  for (const auto* table : native_tables()) {
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u, 31u, 64u, 67u}) {
+      const std::vector<double> a = random_vec(rng, n);
+      const std::vector<double> b = random_vec(rng, n);
+      EXPECT_EQ(scalar->dot(a.data(), b.data(), n), table->dot(a.data(), b.data(), n))
+          << "dot n=" << n;
+
+      std::vector<double> y0 = random_vec(rng, n);
+      std::vector<double> y1 = y0;
+      scalar->axpy(y0.data(), a.data(), 0.37, n);
+      table->axpy(y1.data(), a.data(), 0.37, n);
+      expect_bits_equal(y0, y1);
+    }
+  }
+}
+
+TEST(DenseSimd, OptimizerKernelsBitIdenticalAcrossTables) {
+  const auto* scalar = simd::dense_kernels_for(simd::Isa::kScalar);
+  Rng rng(11);
+  simd::AdamStep step;
+  step.bias_corr1 = 1.0 - std::pow(step.beta1, 7.0);
+  step.bias_corr2 = 1.0 - std::pow(step.beta2, 7.0);
+  step.lr = 3e-3;
+  step.weight_decay = 1e-4;
+  for (const auto* table : native_tables()) {
+    for (std::size_t n : {1u, 3u, 4u, 6u, 8u, 29u, 64u}) {
+      const std::vector<double> g = random_vec(rng, n);
+      std::vector<double> w0 = random_vec(rng, n), w1 = w0;
+      std::vector<double> m0 = random_vec(rng, n, 0.1), m1 = m0;
+      std::vector<double> v0 = random_vec(rng, n, 0.01), v1 = v0;
+      for (auto& e : v0) e = std::abs(e);
+      v1 = v0;
+      scalar->adam(w0.data(), g.data(), m0.data(), v0.data(), n, step);
+      table->adam(w1.data(), g.data(), m1.data(), v1.data(), n, step);
+      expect_bits_equal(w0, w1);
+      expect_bits_equal(m0, m1);
+      expect_bits_equal(v0, v1);
+
+      std::vector<double> sw0 = random_vec(rng, n), sw1 = sw0;
+      std::vector<double> vel0 = random_vec(rng, n, 0.1), vel1 = vel0;
+      scalar->sgd(sw0.data(), g.data(), vel0.data(), n, 0.9, 1e-2, 1e-4);
+      table->sgd(sw1.data(), g.data(), vel1.data(), n, 0.9, 1e-2, 1e-4);
+      expect_bits_equal(sw0, sw1);
+      expect_bits_equal(vel0, vel1);
+    }
+  }
+}
+
+TEST(DenseSimd, BlockKernelsBitIdenticalAcrossTables) {
+  const auto* scalar = simd::dense_kernels_for(simd::Isa::kScalar);
+  Rng rng(13);
+  for (const auto* table : native_tables()) {
+    for (std::size_t rows : {1u, 2u, 4u, 7u}) {
+      for (std::size_t cols : {1u, 3u, 4u, 9u}) {
+        const std::vector<double> w = random_vec(rng, rows * cols);
+        const std::vector<double> bias = random_vec(rng, rows);
+        const std::vector<double> in = random_vec(rng, cols * kB);
+        const std::vector<double> delta = random_vec(rng, rows * kB);
+
+        std::vector<double> out0(rows * kB), out1(rows * kB);
+        scalar->layer_fwd8(w.data(), bias.data(), in.data(), out0.data(), rows, cols);
+        table->layer_fwd8(w.data(), bias.data(), in.data(), out1.data(), rows, cols);
+        expect_bits_equal(out0, out1);
+
+        std::vector<double> gw0 = random_vec(rng, rows * cols), gw1 = gw0;
+        std::vector<double> gb0 = random_vec(rng, rows), gb1 = gb0;
+        scalar->layer_grad8(delta.data(), in.data(), gw0.data(), gb0.data(), rows, cols);
+        table->layer_grad8(delta.data(), in.data(), gw1.data(), gb1.data(), rows, cols);
+        expect_bits_equal(gw0, gw1);
+        expect_bits_equal(gb0, gb1);
+
+        std::vector<double> prev0(cols * kB, 0.0), prev1(cols * kB, 0.0);
+        scalar->layer_back8(w.data(), delta.data(), prev0.data(), rows, cols);
+        table->layer_back8(w.data(), delta.data(), prev1.data(), rows, cols);
+        expect_bits_equal(prev0, prev1);
+      }
+    }
+  }
+}
+
+TEST(DenseSimd, ForceAndResetSwitchTables) {
+  simd::force_dense_kernels(simd::Isa::kScalar);
+  EXPECT_EQ(&simd::dense_kernels(), simd::dense_kernels_for(simd::Isa::kScalar));
+  simd::reset_dense_kernels();
+  const simd::DenseKernels* active = simd::dense_kernels_for(simd::active_isa());
+  if (active == nullptr) active = simd::dense_kernels_for(simd::Isa::kScalar);
+  EXPECT_EQ(&simd::dense_kernels(), active);
+}
+
+/// The blocked path and the per-sample path reduce in different orders, so
+/// they agree to float tolerance, not bit-for-bit (the accuracy-neutral
+/// contract) — including for partial blocks, whose padding lanes must
+/// contribute exactly nothing.
+TEST(DenseSimd, BlockedBackpropMatchesPerSampleWithinTolerance) {
+  Rng rng(29);
+  Mlp model({5, 6, 4, 3}, rng);
+  Dataset data;
+  data.name = "blocked-vs-sample";
+  data.n_classes = 3;
+  for (std::size_t i = 0; i < 11; ++i) {
+    data.x.push_back(random_vec(rng, 5));
+    data.y.push_back(i % 3);
+  }
+
+  for (std::size_t lanes : {std::size_t{8}, std::size_t{3}, std::size_t{1}}) {
+    std::vector<std::size_t> idx(lanes);
+    for (std::size_t j = 0; j < lanes; ++j) idx[j] = (j * 5 + 1) % data.x.size();
+
+    Gradients ref = Gradients::zeros_like(model);
+    BackpropScratch ref_scratch;
+    double ref_loss = 0.0;
+    for (std::size_t j = 0; j < lanes; ++j) {
+      ref_loss += backprop_sample(model, data.x[idx[j]], data.y[idx[j]], ref,
+                                  ref_scratch);
+    }
+
+    Gradients blocked = Gradients::zeros_like(model);
+    BlockBackpropScratch scratch;
+    const double loss = backprop_block(model, data, idx.data(), lanes, blocked, scratch);
+
+    EXPECT_NEAR(loss, ref_loss, 1e-9 * (1.0 + std::abs(ref_loss))) << "lanes " << lanes;
+    for (std::size_t li = 0; li < model.layer_count(); ++li) {
+      const auto& rw = ref.w[li].raw();
+      const auto& bw = blocked.w[li].raw();
+      ASSERT_EQ(rw.size(), bw.size());
+      for (std::size_t i = 0; i < rw.size(); ++i) {
+        EXPECT_NEAR(bw[i], rw[i], 1e-9 * (1.0 + std::abs(rw[i])))
+            << "layer " << li << " w[" << i << "] lanes " << lanes;
+      }
+      for (std::size_t r = 0; r < ref.b[li].size(); ++r) {
+        EXPECT_NEAR(blocked.b[li][r], ref.b[li][r],
+                    1e-9 * (1.0 + std::abs(ref.b[li][r])))
+            << "layer " << li << " b[" << r << "] lanes " << lanes;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,181 @@
+/// Error-bound and parity tests for the declared accuracy-neutral
+/// fast-math layer (nn/fastmath.hpp) and the fast softmax cross-entropy
+/// built on it.  The documented kFastExp/LogMaxRelError constants are the
+/// contract: they are measured here against libm over dense grids, and the
+/// softmax/gradient/fine-tuning consumers are checked against the libm
+/// reference within declared (not bit-identical) tolerances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pnm/data/scaler.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/nn/fastmath.hpp"
+#include "pnm/nn/metrics.hpp"
+#include "pnm/nn/mlp.hpp"
+#include "pnm/nn/trainer.hpp"
+#include "pnm/util/rng.hpp"
+
+namespace pnm {
+namespace {
+
+/// Restores the process-wide softmax mode even if an assertion throws.
+class SoftmaxModeGuard {
+ public:
+  explicit SoftmaxModeGuard(bool fast) : saved_(softmax_fast_math()) {
+    set_softmax_fast_math(fast);
+  }
+  ~SoftmaxModeGuard() { set_softmax_fast_math(saved_); }
+  SoftmaxModeGuard(const SoftmaxModeGuard&) = delete;
+  SoftmaxModeGuard& operator=(const SoftmaxModeGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+double rel_error(double got, double want) {
+  if (want == 0.0) return got == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::abs(got / want - 1.0);
+}
+
+TEST(FastMath, ExpStaysInsideDocumentedBoundOnDenseGrid) {
+  // 560k points across the full softmax-relevant range [-700, 700].
+  double max_rel = 0.0;
+  double worst_x = 0.0;
+  for (double x = -700.0; x <= 700.0; x += 0.0025) {
+    const double r = rel_error(fast_exp(x), std::exp(x));
+    if (r > max_rel) {
+      max_rel = r;
+      worst_x = x;
+    }
+  }
+  EXPECT_LE(max_rel, kFastExpMaxRelError) << "worst at x = " << worst_x;
+}
+
+TEST(FastMath, ExpRandomPointsAndExactAnchors) {
+  Rng rng(404);
+  double max_rel = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.uniform(-700.0, 700.0);
+    max_rel = std::max(max_rel, rel_error(fast_exp(x), std::exp(x)));
+  }
+  EXPECT_LE(max_rel, kFastExpMaxRelError);
+  EXPECT_EQ(fast_exp(0.0), 1.0);  // r = 0, scale = 2^0: exact
+  EXPECT_EQ(fast_exp(-800.0), 0.0);  // declared flush-to-zero below -708
+  EXPECT_EQ(fast_exp(-std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_TRUE(std::isinf(fast_exp(800.0)));  // monotone saturation
+  EXPECT_TRUE(std::isnan(fast_exp(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(FastMath, BatchExpMatchesScalarAndAllowsAliasing) {
+  Rng rng(405);
+  std::vector<double> x(1537);
+  for (auto& v : x) v = rng.uniform(-720.0, 710.0);
+  std::vector<double> out(x.size());
+  fast_exp(x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(out[i], fast_exp(x[i])) << "i = " << i;
+  }
+  std::vector<double> inplace = x;
+  fast_exp(inplace.data(), inplace.data(), inplace.size());
+  EXPECT_EQ(inplace, out);
+}
+
+TEST(FastMath, LogStaysInsideDocumentedBoundAcrossScales) {
+  double max_rel = 0.0;
+  double worst_x = 0.0;
+  // Log-spaced sweep over the full normal range...
+  for (double x = 1e-300; x < 1e300; x *= 1.000037) {
+    if (std::abs(std::log(x)) < 1e-8) continue;
+    const double r = rel_error(fast_log(x), std::log(x));
+    if (r > max_rel) {
+      max_rel = r;
+      worst_x = x;
+    }
+  }
+  // ...plus a dense linear sweep around 1 where cancellation lives.
+  for (double x = 0.25; x <= 4.0; x += 1e-5) {
+    const double want = std::log(x);
+    if (std::abs(want) < 1e-8) {
+      EXPECT_LE(std::abs(fast_log(x) - want), 1e-13) << "x = " << x;
+      continue;
+    }
+    const double r = rel_error(fast_log(x), want);
+    if (r > max_rel) {
+      max_rel = r;
+      worst_x = x;
+    }
+  }
+  EXPECT_LE(max_rel, kFastLogMaxRelError) << "worst at x = " << worst_x;
+  EXPECT_EQ(fast_log(1.0), 0.0);
+}
+
+TEST(FastMath, FastSoftmaxMatchesReferenceWithinDeclaredTolerance) {
+  Rng rng(406);
+  std::vector<double> ref_grad;
+  std::vector<double> fast_grad;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 9);
+    std::vector<double> logits(n);
+    const double span = (trial % 3 == 0) ? 1e4 : 10.0;  // extreme + typical
+    for (auto& z : logits) z = rng.uniform(-span, span);
+    const std::size_t label = static_cast<std::size_t>(trial) % n;
+
+    const double ref_loss = softmax_cross_entropy(logits, label, &ref_grad);
+    const double fast_loss = softmax_cross_entropy_fast(logits, label, &fast_grad);
+
+    ASSERT_NEAR(fast_loss, ref_loss, 1e-9 * (1.0 + std::abs(ref_loss)))
+        << "trial " << trial;
+    ASSERT_EQ(fast_grad.size(), ref_grad.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Gradient entries live in [-1, 1]; absolute tolerance is the
+      // meaningful one.
+      ASSERT_NEAR(fast_grad[i], ref_grad[i], 1e-10) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(FastMath, FastSoftmaxRejectsBadLabel) {
+  EXPECT_THROW((void)softmax_cross_entropy_fast({0.0, 1.0}, 2, nullptr),
+               std::invalid_argument);
+}
+
+TEST(FastMath, FineTuningParityLibmVsFast) {
+  // The front-quality form of the gate at trainer scale: the same
+  // fine-tuning run under libm and under fast math must land at the same
+  // quality (validation accuracy within the declared tolerance), even
+  // though the weight trajectories are not bit-identical.
+  Dataset data = make_named_dataset("seeds", 77);
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  data = scaler.transform(data);
+
+  TrainConfig config;
+  config.epochs = 25;
+  config.batch_size = 16;
+  config.lr = 5e-3;
+
+  const auto run = [&](bool fast) {
+    SoftmaxModeGuard guard(fast);
+    Rng init(1234);
+    Mlp model({data.n_features(), 8, data.n_classes}, init);
+    Trainer trainer(config);
+    Rng rng(99);
+    const TrainResult result = trainer.fit(model, data, rng);
+    return std::pair<double, double>(accuracy(model, data), result.final_loss());
+  };
+
+  const auto [acc_libm, loss_libm] = run(false);
+  const auto [acc_fast, loss_fast] = run(true);
+  EXPECT_GE(acc_libm, 0.8);
+  EXPECT_GE(acc_fast, 0.8);
+  EXPECT_NEAR(acc_fast, acc_libm, 0.05);
+  EXPECT_NEAR(loss_fast, loss_libm, 0.05 * (1.0 + std::abs(loss_libm)));
+}
+
+}  // namespace
+}  // namespace pnm
