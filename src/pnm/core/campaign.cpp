@@ -104,6 +104,9 @@ std::string eval_fingerprint(const FlowConfig& flow, const EvalConfig& eval,
   append_kv(canon, "backend", backend);
   append_kv(canon, "dataset", flow.dataset_name);
   append_kv(canon, "flow_seed", std::to_string(flow.seed));
+  // Tech node: the cost side of every stored DesignPoint is priced in this
+  // library, so results from different nodes must never share a store.
+  append_kv(canon, "tech", flow.tech_name);
   // Resolve defaulted hidden widths so "default" and "explicitly the
   // default" fingerprint identically.
   const std::vector<std::size_t> hidden =

@@ -10,10 +10,13 @@
 
 namespace pnm {
 
-MinimizationFlow::MinimizationFlow(FlowConfig config) : config_(std::move(config)) {}
+MinimizationFlow::MinimizationFlow(FlowConfig config)
+    : config_(std::move(config)), tech_(&hw::TechLibrary::by_name(config_.tech_name)) {}
 
 MinimizationFlow::MinimizationFlow(FlowConfig config, Dataset dataset)
-    : config_(std::move(config)), external_data_(std::move(dataset)) {}
+    : config_(std::move(config)),
+      external_data_(std::move(dataset)),
+      tech_(&hw::TechLibrary::by_name(config_.tech_name)) {}
 
 std::vector<std::size_t> MinimizationFlow::default_hidden(const std::string& dataset_name) {
   // One hidden layer at printed scale (cf. the topologies of Mubarik et

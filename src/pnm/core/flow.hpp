@@ -49,6 +49,11 @@ struct FlowConfig {
   int input_bits = 4;            ///< sensor word width (printed ADC scale)
   int baseline_weight_bits = 8;  ///< the unminimized baseline's precision
 
+  /// Printed standard-cell library the flow prices circuits in, by
+  /// hw::TechLibrary::by_name token ("egt", "egt_lowcost").  A scenario
+  /// axis: the figures' normalized ratios should survive a node change.
+  std::string tech_name = "egt";
+
   TrainConfig train{};              ///< baseline training
   std::size_t finetune_epochs = 8;  ///< per-technique fine-tuning budget
 
@@ -206,7 +211,7 @@ class MinimizationFlow {
  private:
   FlowConfig config_;
   std::optional<Dataset> external_data_;
-  const hw::TechLibrary* tech_ = &hw::TechLibrary::egt();
+  const hw::TechLibrary* tech_ = nullptr;  ///< resolved from config_.tech_name
 
   bool prepared_ = false;
   DataSplit split_;

@@ -1,0 +1,987 @@
+#include "pnm/core/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "pnm/core/eval_store.hpp"
+#include "pnm/core/quantize.hpp"
+#include "pnm/data/synth.hpp"
+#include "pnm/hw/mcm.hpp"
+#include "pnm/hw/tech.hpp"
+#include "pnm/util/fileio.hpp"
+#include "pnm/util/table.hpp"
+
+namespace pnm {
+namespace {
+
+constexpr char kScellMagic[] = "pnm-scenario-cell";
+constexpr int kScellVersion = 1;
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += ';';
+}
+
+/// parse_u64_strict narrowed to size_t (mirrors campaign.cpp).
+std::optional<std::size_t> parse_size_strict(std::string_view token) {
+  const std::optional<std::uint64_t> v = parse_u64_strict(token);
+  if (!v || *v > std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines = split_fields(text, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+/// "default" for the per-dataset topology, else '-'-joined hidden widths.
+std::string hidden_token(const std::vector<std::size_t>& hidden) {
+  if (hidden.empty()) return "default";
+  std::string out;
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    if (i > 0) out += '-';
+    out += std::to_string(hidden[i]);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::size_t>> parse_hidden_token(std::string_view token) {
+  if (token == "default") return std::vector<std::size_t>{};
+  std::vector<std::size_t> hidden;
+  for (std::string_view field : split_fields(token, '-')) {
+    const std::optional<std::size_t> w = parse_size_strict(field);
+    if (!w || *w == 0) return std::nullopt;
+    hidden.push_back(*w);
+  }
+  return hidden;
+}
+
+FlowConfig cell_flow_config(const ScenarioSpec& spec, const ScenarioCell& cell) {
+  FlowConfig config = spec.base;
+  config.dataset_name = cell.dataset;
+  config.seed = cell.seed;
+  config.hidden = cell.hidden;
+  config.input_bits = cell.input_bits;
+  config.tech_name = cell.tech;
+  return config;
+}
+
+/// The campaign spec a single scenario cell is equivalent to — the bridge
+/// that lets scenario fingerprints reuse the campaign canonicalization
+/// verbatim (same GA knob list, same backend eval fingerprints).
+CampaignSpec cell_campaign_spec(const ScenarioSpec& spec, const ScenarioCell& cell) {
+  CampaignSpec camp;
+  camp.base = cell_flow_config(spec, cell);
+  camp.datasets = {cell.dataset};
+  camp.seeds = {cell.seed};
+  camp.ga = spec.ga;
+  camp.ga_finetune_epochs = spec.ga_finetune_epochs;
+  return camp;
+}
+
+std::vector<std::size_t> resolved_hidden(const ScenarioCell& cell) {
+  return cell.hidden.empty() ? MinimizationFlow::default_hidden(cell.dataset)
+                             : cell.hidden;
+}
+
+bool cell_is_gated(const ScenarioCell& cell, std::size_t max_hidden) {
+  for (std::size_t w : resolved_hidden(cell)) {
+    if (w > max_hidden) return false;
+  }
+  return true;
+}
+
+std::string scell_path(const std::string& store_dir, const ScenarioCell& cell) {
+  return store_dir + "/scells/" + cell.id() + ".scell";
+}
+
+/// One JSON object per design point (same shape as campaign.cpp's so the
+/// two report families stay mergeable downstream).
+std::string point_json(const DesignPoint& p) {
+  std::string out = "{\"genome\": \"" + json_escape(p.config) + "\"";
+  out += ", \"technique\": \"" + json_escape(p.technique) + "\"";
+  out += ", \"accuracy\": " + format_double_roundtrip(p.accuracy);
+  out += ", \"area_mm2\": " + format_double_roundtrip(p.area_mm2);
+  out += ", \"power_uw\": " + format_double_roundtrip(p.power_uw);
+  out += ", \"delay_ms\": " + format_double_roundtrip(p.delay_ms);
+  out += "}";
+  return out;
+}
+
+std::string front_json(const std::vector<DesignPoint>& front,
+                       const std::string& indent) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + indent + "  " + point_json(front[i]);
+  }
+  out += front.empty() ? "]" : "\n" + indent + "]";
+  return out;
+}
+
+/// Deterministic perturbation of the (scaled) test split: every draw
+/// derives from the cell id and the drift, never from global state.
+Dataset perturbed_test(const Dataset& test, const DriftSpec& drift,
+                       const std::string& cell_id) {
+  Rng rng(fnv1a64(cell_id + "|" + drift.name) ^ drift.seed);
+  Dataset out = test;
+  if (drift.feature_noise > 0.0) {
+    // Features are min-max scaled to [0, 1] before quantization; the
+    // perturbation happens in that domain and clamps back, exactly like
+    // an out-of-range sensor reading would saturate the input word.
+    for (auto& row : out.x) {
+      for (double& v : row) {
+        v += drift.feature_noise * rng.normal();
+        v = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+      }
+    }
+  }
+  if (drift.class_prior_shift > 0.0) {
+    // Resample even-indexed classes down; the first sample of every class
+    // is always kept so no label disappears from the split.
+    std::vector<char> seen(out.n_classes, 0);
+    std::vector<std::size_t> keep;
+    keep.reserve(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t c = out.y[i];
+      const bool forced = seen[c] == 0;
+      seen[c] = 1;
+      const bool drop = (c % 2 == 0) && rng.bernoulli(drift.class_prior_shift);
+      if (forced || !drop) keep.push_back(i);
+    }
+    out = subset(out, keep);
+  }
+  return out;
+}
+
+template <typename T>
+void require_unique_nonempty(const std::vector<T>& values, const char* what) {
+  if (values.empty()) {
+    throw std::invalid_argument(std::string("ScenarioSpec: ") + what +
+                                " list must be non-empty");
+  }
+  std::unordered_set<T> seen;
+  for (const T& v : values) {
+    if (!seen.insert(v).second) {
+      throw std::invalid_argument(std::string("ScenarioSpec: duplicate ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Spec ---------------------------------------------------------------
+
+void DriftSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("DriftSpec: empty name");
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ':') {
+      throw std::invalid_argument(
+          "DriftSpec: name must be whitespace- and ':'-free, got '" + name + "'");
+    }
+  }
+  if (!std::isfinite(feature_noise) || feature_noise < 0.0) {
+    throw std::invalid_argument("DriftSpec: feature_noise must be finite and >= 0");
+  }
+  if (!std::isfinite(class_prior_shift) || class_prior_shift < 0.0 ||
+      class_prior_shift >= 1.0) {
+    throw std::invalid_argument("DriftSpec: class_prior_shift must be in [0, 1)");
+  }
+}
+
+std::string ScenarioCell::id() const {
+  return dataset + "__h" + (hidden.empty() ? "def" : hidden_token(hidden)) + "__b" +
+         std::to_string(input_bits) + "__" + tech + "__s" + std::to_string(seed);
+}
+
+void ScenarioSpec::validate() const {
+  require_unique_nonempty(datasets, "dataset");
+  for (const std::string& d : datasets) {
+    if (d.rfind("synth:", 0) == 0) {
+      parse_synth_dataset_name(d);  // throws with the offending field
+    } else {
+      const auto& known = paper_dataset_names();
+      if (std::find(known.begin(), known.end(), d) == known.end()) {
+        throw std::invalid_argument("ScenarioSpec: unknown dataset '" + d + "'");
+      }
+    }
+  }
+  if (topologies.empty()) {
+    throw std::invalid_argument("ScenarioSpec: topology list must be non-empty");
+  }
+  {
+    std::unordered_set<std::string> seen;
+    for (const auto& hidden : topologies) {
+      for (std::size_t w : hidden) {
+        if (w == 0) throw std::invalid_argument("ScenarioSpec: zero hidden width");
+      }
+      if (!seen.insert(hidden_token(hidden)).second) {
+        throw std::invalid_argument("ScenarioSpec: duplicate topology " +
+                                    hidden_token(hidden));
+      }
+    }
+  }
+  require_unique_nonempty(input_bits, "input_bits");
+  for (int bits : input_bits) {
+    if (bits < 1 || bits > 16) {
+      throw std::invalid_argument("ScenarioSpec: input_bits must be in [1, 16]");
+    }
+  }
+  require_unique_nonempty(tech_nodes, "tech node");
+  for (const std::string& t : tech_nodes) hw::TechLibrary::by_name(t);  // throws
+  require_unique_nonempty(seeds, "seed");
+  {
+    std::unordered_set<std::string> seen;
+    for (const DriftSpec& d : drifts) {
+      d.validate();
+      if (!seen.insert(d.name).second) {
+        throw std::invalid_argument("ScenarioSpec: duplicate drift name " + d.name);
+      }
+    }
+  }
+  if (!std::isfinite(fidelity_tolerance) || fidelity_tolerance <= 0.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: fidelity_tolerance must be finite and > 0");
+  }
+  ga.validate();
+}
+
+std::vector<ScenarioCell> ScenarioSpec::expand() const {
+  std::vector<ScenarioCell> cells;
+  cells.reserve(datasets.size() * topologies.size() * input_bits.size() *
+                tech_nodes.size() * seeds.size());
+  for (const std::string& dataset : datasets) {
+    for (const auto& hidden : topologies) {
+      for (int bits : input_bits) {
+        for (const std::string& tech : tech_nodes) {
+          for (std::uint64_t seed : seeds) {
+            cells.push_back(ScenarioCell{dataset, hidden, bits, tech, seed});
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::string scenario_cell_fingerprint(const ScenarioSpec& spec,
+                                      const ScenarioCell& cell) {
+  const FlowConfig config = cell_flow_config(spec, cell);
+  std::string canon;
+  canon.reserve(256);
+  append_kv(canon, "scell_version", std::to_string(kScellVersion));
+  // The campaign fingerprint covers both GA-side backend fingerprints
+  // (which in turn cover dataset, seed, topology, input bits, tech node,
+  // training recipe) plus every GA knob.
+  append_kv(canon, "campaign_fp",
+            cell_fingerprint(cell_campaign_spec(spec, cell), cell.dataset,
+                             cell.seed));
+  // The fidelity pass re-prices the front through a third stack: proxy
+  // backend at the front's fine-tune budget on the test split.
+  append_kv(canon, "fidelity_fp",
+            eval_fingerprint(config,
+                             MinimizationFlow::eval_config_for(
+                                 config, config.finetune_epochs, true),
+                             "proxy"));
+  // Gate membership is stored in the cell file; the tolerance is not (it
+  // is applied at report time), so changing only the tolerance re-gates
+  // published results instead of recomputing them.
+  append_kv(canon, "gate_max_hidden", std::to_string(spec.fidelity_gate_max_hidden));
+  for (const DriftSpec& d : spec.drifts) {
+    append_kv(canon, "drift",
+              d.name + "," + format_double_roundtrip(d.feature_noise) + "," +
+                  format_double_roundtrip(d.class_prior_shift) + "," +
+                  std::to_string(d.seed));
+  }
+  return fnv1a64_hex(canon);
+}
+
+// ---- Cell files ---------------------------------------------------------
+
+std::string format_scenario_cell(const ScenarioCellResult& result,
+                                 const std::string& cell_fp) {
+  std::string out = std::string(kScellMagic) + " v" + std::to_string(kScellVersion) +
+                    " " + cell_fp + "\n";
+  const ScenarioCell& c = result.cell;
+  out += "cell\t" + c.dataset + "\t" + hidden_token(c.hidden) + "\t" +
+         std::to_string(c.input_bits) + "\t" + c.tech + "\t" +
+         std::to_string(c.seed) + "\n";
+  out += "stats\t" + std::to_string(result.distinct_evaluations) + "\t" +
+         std::to_string(result.cache_hits) + "\t" +
+         std::to_string(result.cache_misses) + "\t" +
+         std::to_string(result.store_loaded) + "\t" +
+         std::to_string(result.mcm_hits) + "\t" + std::to_string(result.mcm_misses) +
+         "\t" + format_double_roundtrip(result.seconds) + "\n";
+  out += format_eval_record("baseline", result.baseline);
+  out += "front\t" + std::to_string(result.front.size()) + "\n";
+  for (const DesignPoint& p : result.front) out += format_eval_record("point", p);
+  out += "fidelity\t" + std::to_string(result.fidelity.size()) + "\t" +
+         (result.fidelity_gated ? "1" : "0") + "\t" +
+         format_double_roundtrip(result.fidelity_max_rel_delta) + "\n";
+  for (const FidelityRecord& f : result.fidelity) {
+    out += "fid\t" + f.genome + "\t" + format_double_roundtrip(f.proxy_area_mm2) +
+           "\t" + format_double_roundtrip(f.netlist_area_mm2) + "\t" +
+           format_double_roundtrip(f.rel_delta) + "\n";
+  }
+  out += "drift\t" + std::to_string(result.drift.size()) + "\n";
+  for (const DriftRecord& d : result.drift) {
+    out += "dr\t" + d.drift + "\t" + d.genome + "\t" +
+           format_double_roundtrip(d.base_accuracy) + "\t" +
+           format_double_roundtrip(d.drift_accuracy) + "\n";
+  }
+  // Terminator sentinel: without it, truncating the file mid-way through
+  // the final record's last double could still parse (a shortened decimal
+  // is itself a valid double).  Atomic publishing already prevents
+  // partial files; this makes the parser reject them independently.
+  out += "end\n";
+  return out;
+}
+
+std::optional<ScenarioCellResult> parse_scenario_cell(std::string_view text,
+                                                      const std::string& cell_fp) {
+  const std::vector<std::string_view> lines = split_lines(text);
+  // Header, cell, stats, baseline, and the front/fidelity/drift section
+  // heads plus the "end" sentinel — 8 lines even when every count is 0.
+  if (lines.size() < 8) return std::nullopt;
+  {
+    const std::vector<std::string_view> tokens = split_fields(lines[0], ' ');
+    if (tokens.size() != 3 || tokens[0] != kScellMagic ||
+        tokens[1] != "v" + std::to_string(kScellVersion) || tokens[2] != cell_fp) {
+      return std::nullopt;
+    }
+  }
+  ScenarioCellResult result;
+  {
+    const std::vector<std::string_view> fields = split_fields(lines[1], '\t');
+    if (fields.size() != 6 || fields[0] != "cell" || fields[1].empty()) {
+      return std::nullopt;
+    }
+    result.cell.dataset.assign(fields[1]);
+    const auto hidden = parse_hidden_token(fields[2]);
+    const auto bits = parse_size_strict(fields[3]);
+    const auto seed = parse_u64_strict(fields[5]);
+    if (!hidden || !bits || *bits == 0 || *bits > 16 || fields[4].empty() || !seed) {
+      return std::nullopt;
+    }
+    result.cell.hidden = *hidden;
+    result.cell.input_bits = static_cast<int>(*bits);
+    result.cell.tech.assign(fields[4]);
+    result.cell.seed = *seed;
+  }
+  {
+    constexpr std::string_view kStatsTag = "stats\t";
+    if (lines[2].substr(0, kStatsTag.size()) != kStatsTag) return std::nullopt;
+    const std::vector<std::string_view> fields =
+        split_fields(lines[2].substr(kStatsTag.size()), '\t');
+    if (fields.size() != 7) return std::nullopt;
+    const auto distinct = parse_size_strict(fields[0]);
+    const auto hits = parse_size_strict(fields[1]);
+    const auto misses = parse_size_strict(fields[2]);
+    const auto loaded = parse_size_strict(fields[3]);
+    const auto mcm_hits = parse_size_strict(fields[4]);
+    const auto mcm_misses = parse_size_strict(fields[5]);
+    const auto seconds = parse_double_strict(fields[6]);
+    if (!distinct || !hits || !misses || !loaded || !mcm_hits || !mcm_misses ||
+        !seconds) {
+      return std::nullopt;
+    }
+    result.distinct_evaluations = *distinct;
+    result.cache_hits = *hits;
+    result.cache_misses = *misses;
+    result.store_loaded = *loaded;
+    result.mcm_hits = *mcm_hits;
+    result.mcm_misses = *mcm_misses;
+    result.seconds = *seconds;
+  }
+  std::string tag;
+  if (!parse_eval_record(lines[3], tag, result.baseline) || tag != "baseline") {
+    return std::nullopt;
+  }
+  constexpr std::string_view kFrontTag = "front\t";
+  if (lines[4].substr(0, kFrontTag.size()) != kFrontTag) return std::nullopt;
+  const auto front_size = parse_size_strict(lines[4].substr(kFrontTag.size()));
+  if (!front_size) return std::nullopt;
+  std::size_t at = 5;
+  if (lines.size() < at + *front_size + 2) return std::nullopt;
+  result.front.reserve(*front_size);
+  for (std::size_t i = 0; i < *front_size; ++i) {
+    DesignPoint point;
+    if (!parse_eval_record(lines[at + i], tag, point) || tag != "point") {
+      return std::nullopt;
+    }
+    result.front.push_back(std::move(point));
+  }
+  at += *front_size;
+  {
+    const std::vector<std::string_view> fields = split_fields(lines[at], '\t');
+    if (fields.size() != 4 || fields[0] != "fidelity") return std::nullopt;
+    const auto count = parse_size_strict(fields[1]);
+    const auto max_delta = parse_double_strict(fields[3]);
+    if (!count || (fields[2] != "0" && fields[2] != "1") || !max_delta) {
+      return std::nullopt;
+    }
+    result.fidelity_gated = fields[2] == "1";
+    result.fidelity_max_rel_delta = *max_delta;
+    ++at;
+    if (lines.size() < at + *count + 1) return std::nullopt;
+    result.fidelity.reserve(*count);
+    for (std::size_t i = 0; i < *count; ++i, ++at) {
+      const std::vector<std::string_view> f = split_fields(lines[at], '\t');
+      if (f.size() != 5 || f[0] != "fid" || f[1].empty()) return std::nullopt;
+      const auto proxy = parse_double_strict(f[2]);
+      const auto netlist = parse_double_strict(f[3]);
+      const auto rel = parse_double_strict(f[4]);
+      if (!proxy || !netlist || !rel) return std::nullopt;
+      result.fidelity.push_back(
+          FidelityRecord{std::string(f[1]), *proxy, *netlist, *rel});
+    }
+  }
+  {
+    constexpr std::string_view kDriftTag = "drift\t";
+    if (lines[at].substr(0, kDriftTag.size()) != kDriftTag) return std::nullopt;
+    const auto count = parse_size_strict(lines[at].substr(kDriftTag.size()));
+    if (!count) return std::nullopt;
+    ++at;
+    if (lines.size() != at + *count + 1) return std::nullopt;
+    result.drift.reserve(*count);
+    for (std::size_t i = 0; i < *count; ++i, ++at) {
+      const std::vector<std::string_view> f = split_fields(lines[at], '\t');
+      if (f.size() != 5 || f[0] != "dr" || f[1].empty() || f[2].empty()) {
+        return std::nullopt;
+      }
+      const auto base = parse_double_strict(f[3]);
+      const auto drifted = parse_double_strict(f[4]);
+      if (!base || !drifted) return std::nullopt;
+      result.drift.push_back(
+          DriftRecord{std::string(f[1]), std::string(f[2]), *base, *drifted});
+    }
+  }
+  if (lines[at] != "end") return std::nullopt;
+  return result;
+}
+
+// ---- ScenarioResult -----------------------------------------------------
+
+std::size_t ScenarioResult::total_cache_hits() const {
+  std::size_t n = 0;
+  for (const ScenarioCellResult& c : cells) n += c.cache_hits;
+  return n;
+}
+
+std::size_t ScenarioResult::total_cache_misses() const {
+  std::size_t n = 0;
+  for (const ScenarioCellResult& c : cells) n += c.cache_misses;
+  return n;
+}
+
+std::size_t ScenarioResult::total_store_loaded() const {
+  std::size_t n = 0;
+  for (const ScenarioCellResult& c : cells) n += c.store_loaded;
+  return n;
+}
+
+double ScenarioResult::max_gated_rel_delta() const {
+  double max_delta = 0.0;
+  for (const ScenarioCellResult& c : cells) {
+    if (c.fidelity_gated && c.fidelity_max_rel_delta > max_delta) {
+      max_delta = c.fidelity_max_rel_delta;
+    }
+  }
+  return max_delta;
+}
+
+std::size_t ScenarioResult::fidelity_violations(double tolerance) const {
+  std::size_t n = 0;
+  for (const ScenarioCellResult& c : cells) {
+    if (c.fidelity_gated && c.fidelity_max_rel_delta > tolerance) ++n;
+  }
+  return n;
+}
+
+std::string ScenarioResult::grid_json() const {
+  std::string out = "{\n  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioCellResult& c = cells[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"id\": \"" + json_escape(c.cell.id()) + "\"";
+    out += ", \"dataset\": \"" + json_escape(c.cell.dataset) + "\"";
+    out += ", \"topology\": \"" + hidden_token(c.cell.hidden) + "\"";
+    out += ", \"input_bits\": " + std::to_string(c.cell.input_bits);
+    out += ", \"tech\": \"" + json_escape(c.cell.tech) + "\"";
+    out += ", \"seed\": " + std::to_string(c.cell.seed);
+    out += ",\n     \"baseline\": " + point_json(c.baseline);
+    out += ",\n     \"front\": " + front_json(c.front, "     ");
+    out += ",\n     \"fidelity\": {\"gated\": " +
+           std::string(c.fidelity_gated ? "true" : "false");
+    out += ", \"max_rel_delta\": " + format_double_roundtrip(c.fidelity_max_rel_delta);
+    out += ", \"records\": [";
+    for (std::size_t j = 0; j < c.fidelity.size(); ++j) {
+      const FidelityRecord& f = c.fidelity[j];
+      out += (j == 0 ? "\n" : ",\n");
+      out += "       {\"genome\": \"" + json_escape(f.genome) + "\"";
+      out += ", \"proxy_area_mm2\": " + format_double_roundtrip(f.proxy_area_mm2);
+      out += ", \"netlist_area_mm2\": " + format_double_roundtrip(f.netlist_area_mm2);
+      out += ", \"rel_delta\": " + format_double_roundtrip(f.rel_delta) + "}";
+    }
+    out += c.fidelity.empty() ? "]}" : "\n     ]}";
+    out += ",\n     \"drift\": [";
+    for (std::size_t j = 0; j < c.drift.size(); ++j) {
+      const DriftRecord& d = c.drift[j];
+      out += (j == 0 ? "\n" : ",\n");
+      out += "       {\"drift\": \"" + json_escape(d.drift) + "\"";
+      out += ", \"genome\": \"" + json_escape(d.genome) + "\"";
+      out += ", \"base_accuracy\": " + format_double_roundtrip(d.base_accuracy);
+      out += ", \"drift_accuracy\": " + format_double_roundtrip(d.drift_accuracy) + "}";
+    }
+    out += c.drift.empty() ? "]}" : "\n     ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string ScenarioResult::drift_report() const {
+  std::string out = "pnm-scenario-drift v1\n";
+  for (const ScenarioCellResult& c : cells) {
+    for (const DriftRecord& d : c.drift) {
+      out += c.cell.id() + "\t" + d.drift + "\t" + d.genome + "\t" +
+             format_double_roundtrip(d.base_accuracy) + "\t" +
+             format_double_roundtrip(d.drift_accuracy) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ScenarioResult::report_json() const {
+  std::string out = "{\n";
+  out += "  \"total_cache_hits\": " + std::to_string(total_cache_hits()) + ",\n";
+  out += "  \"total_cache_misses\": " + std::to_string(total_cache_misses()) + ",\n";
+  out += "  \"total_store_loaded\": " + std::to_string(total_store_loaded()) + ",\n";
+  out += "  \"max_gated_rel_delta\": " + format_double_roundtrip(max_gated_rel_delta()) +
+         ",\n";
+  out += "  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioCellResult& c = cells[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"id\": \"" + json_escape(c.cell.id()) + "\"";
+    out += ", \"distinct_evaluations\": " + std::to_string(c.distinct_evaluations);
+    out += ", \"cache_hits\": " + std::to_string(c.cache_hits);
+    out += ", \"cache_misses\": " + std::to_string(c.cache_misses);
+    out += ", \"store_loaded\": " + std::to_string(c.store_loaded);
+    out += ", \"mcm_plan_hits\": " + std::to_string(c.mcm_hits);
+    out += ", \"mcm_plan_misses\": " + std::to_string(c.mcm_misses);
+    out += ", \"seconds\": " + format_double_roundtrip(c.seconds) + "}";
+  }
+  out += "\n  ],\n  \"grid\": " + grid_json();
+  // grid_json ends with "}\n"; splice it in as a nested object.
+  out.erase(out.size() - 1);
+  out += "\n}\n";
+  return out;
+}
+
+std::string ScenarioResult::report_markdown() const {
+  std::string out = "# Scenario matrix report\n\n";
+  out += "| cell | front | best acc | min area mm^2 | fid gated | fid max delta |\n";
+  out += "| ---- | ----- | -------- | ------------- | --------- | ------------- |\n";
+  for (const ScenarioCellResult& c : cells) {
+    double best_acc = 0.0;
+    double min_area = 0.0;
+    for (const DesignPoint& p : c.front) {
+      if (p.accuracy > best_acc) best_acc = p.accuracy;
+      if (min_area == 0.0 || p.area_mm2 < min_area) min_area = p.area_mm2;
+    }
+    out += "| " + c.cell.id() + " | " + std::to_string(c.front.size()) + " | " +
+           format_fixed(best_acc, 3) + " | " + format_fixed(min_area, 2) + " | " +
+           (c.fidelity_gated ? "yes" : "no") + " | " +
+           format_fixed(c.fidelity_max_rel_delta, 3) + " |\n";
+  }
+  bool any_drift = false;
+  for (const ScenarioCellResult& c : cells) any_drift |= !c.drift.empty();
+  if (any_drift) {
+    out += "\n## Drift robustness (mean accuracy delta per cell x drift)\n\n";
+    out += "| cell | drift | mean base acc | mean drift acc | delta |\n";
+    out += "| ---- | ----- | ------------- | -------------- | ----- |\n";
+    for (const ScenarioCellResult& c : cells) {
+      // Records are drift-major, so a linear scan groups naturally.
+      std::size_t i = 0;
+      while (i < c.drift.size()) {
+        const std::string& name = c.drift[i].drift;
+        double base = 0.0;
+        double drifted = 0.0;
+        std::size_t n = 0;
+        for (; i < c.drift.size() && c.drift[i].drift == name; ++i, ++n) {
+          base += c.drift[i].base_accuracy;
+          drifted += c.drift[i].drift_accuracy;
+        }
+        base /= static_cast<double>(n);
+        drifted /= static_cast<double>(n);
+        out += "| " + c.cell.id() + " | " + name + " | " + format_fixed(base, 3) +
+               " | " + format_fixed(drifted, 3) + " | " +
+               format_fixed(drifted - base, 3) + " |\n";
+      }
+    }
+  }
+  out += "\nCache: " + std::to_string(total_cache_hits()) + " hits, " +
+         std::to_string(total_cache_misses()) + " misses, " +
+         std::to_string(total_store_loaded()) + " preloaded.\n";
+  return out;
+}
+
+// ---- ScenarioRunner -----------------------------------------------------
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+    : spec_((spec.validate(), std::move(spec))), pool_(spec_.threads) {}
+
+ScenarioResult ScenarioRunner::run() {
+  if (!spec_.store_dir.empty()) {
+    std::filesystem::create_directories(spec_.store_dir);
+  }
+  ScenarioResult result;
+  for (const ScenarioCell& cell : spec_.expand()) {
+    result.cells.push_back(run_cell(cell));
+  }
+  return result;
+}
+
+ScenarioCellResult ScenarioRunner::run_cell(const ScenarioCell& cell) {
+  const auto start = std::chrono::steady_clock::now();
+  const hw::McmCacheStats mcm_before = hw::mcm_plan_cache_stats();
+
+  const FlowConfig config = cell_flow_config(spec_, cell);
+  MinimizationFlow flow(config);
+  flow.prepare();
+
+  // The campaign stacks (proxy fitness on validation, netlist front on
+  // test) plus the fidelity stack: proxy backend at the *front's*
+  // fine-tune budget on the test split, so it realizes and prices the
+  // identical integer model the netlist front evaluation measures.
+  ProxyEvaluator proxy = flow.proxy_evaluator(spec_.ga_finetune_epochs);
+  NetlistEvaluator netlist =
+      flow.netlist_evaluator(config.finetune_epochs, /*use_test_set=*/true);
+  ProxyEvaluator fidelity_proxy =
+      flow.proxy_evaluator(config.finetune_epochs, /*use_test_set=*/true);
+  ParallelEvaluator proxy_parallel(proxy, pool_);
+  ParallelEvaluator netlist_parallel(netlist, pool_);
+  ParallelEvaluator fidelity_parallel(fidelity_proxy, pool_);
+
+  std::optional<EvalStore> proxy_store;
+  std::optional<EvalStore> netlist_store;
+  std::optional<EvalStore> fidelity_store;
+  std::optional<CachedEvaluator> fitness;
+  std::optional<CachedEvaluator> front_eval;
+  std::optional<CachedEvaluator> fidelity_eval;
+  if (!spec_.store_dir.empty()) {
+    const std::string proxy_fp = eval_fingerprint(
+        config, flow.eval_config(spec_.ga_finetune_epochs, false), "proxy");
+    const std::string netlist_fp = eval_fingerprint(
+        config, flow.eval_config(config.finetune_epochs, true), "netlist");
+    const std::string fidelity_fp = eval_fingerprint(
+        config, flow.eval_config(config.finetune_epochs, true), "proxy");
+    const std::string stem = spec_.store_dir + "/" + cell.id();
+    proxy_store.emplace(stem + "_proxy_" + proxy_fp + ".evalstore", proxy_fp,
+                        spec_.writer_id);
+    netlist_store.emplace(stem + "_netlist_" + netlist_fp + ".evalstore",
+                          netlist_fp, spec_.writer_id);
+    fidelity_store.emplace(stem + "_fidproxy_" + fidelity_fp + ".evalstore",
+                           fidelity_fp, spec_.writer_id);
+    fitness.emplace(proxy_parallel, *proxy_store);
+    front_eval.emplace(netlist_parallel, *netlist_store);
+    fidelity_eval.emplace(fidelity_parallel, *fidelity_store);
+  } else {
+    fitness.emplace(proxy_parallel);
+    front_eval.emplace(netlist_parallel);
+    fidelity_eval.emplace(fidelity_parallel);
+  }
+
+  const MinimizationFlow::GaOutcome outcome =
+      flow.run_ga(*fitness, *front_eval, spec_.ga);
+
+  ScenarioCellResult result;
+  result.cell = cell;
+  result.baseline = flow.baseline();
+  result.front = outcome.front;
+  result.fidelity_gated = cell_is_gated(cell, spec_.fidelity_gate_max_hidden);
+
+  // Distinct front genomes in deterministic (sorted-key) order: the
+  // record order every report and .scell file uses.
+  std::vector<std::pair<std::string, Genome>> front_genomes;
+  {
+    std::unordered_set<std::string> seen;
+    for (const EvaluatedGenome& eg : outcome.raw.front) {
+      std::string key = eg.genome.key();
+      if (seen.insert(key).second) {
+        front_genomes.emplace_back(std::move(key), eg.genome);
+      }
+    }
+    std::sort(front_genomes.begin(), front_genomes.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  std::vector<Genome> genomes;
+  genomes.reserve(front_genomes.size());
+  for (const auto& [key, genome] : front_genomes) genomes.push_back(genome);
+
+  // Proxy-fidelity pass: the netlist points come straight from the front
+  // cache (all hits); the proxy re-pricing is the fidelity stack's job.
+  const std::vector<DesignPoint> netlist_points = front_eval->evaluate_batch(genomes);
+  const std::vector<DesignPoint> proxy_points = fidelity_eval->evaluate_batch(genomes);
+  result.fidelity.reserve(genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    FidelityRecord record;
+    record.genome = front_genomes[i].first;
+    record.proxy_area_mm2 = proxy_points[i].area_mm2;
+    record.netlist_area_mm2 = netlist_points[i].area_mm2;
+    const double diff = std::fabs(record.proxy_area_mm2 - record.netlist_area_mm2);
+    record.rel_delta = record.netlist_area_mm2 > 0.0
+                           ? diff / record.netlist_area_mm2
+                           : (diff > 0.0 ? std::numeric_limits<double>::infinity()
+                                         : 0.0);
+    if (record.rel_delta > result.fidelity_max_rel_delta) {
+      result.fidelity_max_rel_delta = record.rel_delta;
+    }
+    result.fidelity.push_back(std::move(record));
+  }
+
+  // Drift-robustness pass: realize each frozen front genome once, then
+  // re-score it on every seeded perturbation of the test split.
+  if (!spec_.drifts.empty() && !genomes.empty()) {
+    std::vector<QuantizedMlp> models;
+    models.reserve(genomes.size());
+    for (const Genome& g : genomes) models.push_back(netlist.realize(g));
+    const std::string cell_id = cell.id();
+    for (const DriftSpec& drift : spec_.drifts) {
+      const Dataset drifted = perturbed_test(flow.data().test, drift, cell_id);
+      const QuantizedDataset qdrifted = quantize_dataset(drifted, config.input_bits);
+      for (std::size_t i = 0; i < genomes.size(); ++i) {
+        result.drift.push_back(DriftRecord{drift.name, front_genomes[i].first,
+                                           netlist_points[i].accuracy,
+                                           models[i].accuracy(qdrifted)});
+      }
+    }
+  }
+
+  result.distinct_evaluations = outcome.raw.evaluations;
+  result.cache_hits = fitness->hits() + front_eval->hits() + fidelity_eval->hits();
+  result.cache_misses =
+      fitness->misses() + front_eval->misses() + fidelity_eval->misses();
+  result.store_loaded =
+      fitness->loaded() + front_eval->loaded() + fidelity_eval->loaded();
+  const hw::McmCacheStats mcm_after = hw::mcm_plan_cache_stats();
+  result.mcm_hits = static_cast<std::size_t>(mcm_after.hits - mcm_before.hits);
+  result.mcm_misses = static_cast<std::size_t>(mcm_after.misses - mcm_before.misses);
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 start)
+                       .count();
+  return result;
+}
+
+CampaignWorkerResult ScenarioRunner::run_worker(std::size_t shard_id,
+                                                std::size_t num_shards) {
+  if (spec_.store_dir.empty()) {
+    throw std::invalid_argument(
+        "ScenarioRunner::run_worker: a store_dir is required — the claim "
+        "files, cell results, and eval stores all live there");
+  }
+  if (num_shards == 0 || shard_id >= num_shards) {
+    throw std::invalid_argument(
+        "ScenarioRunner::run_worker: need num_shards >= 1 and shard_id < "
+        "num_shards");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::string claims_dir = spec_.store_dir + "/sclaims";
+  if (!create_directories(claims_dir) ||
+      !create_directories(spec_.store_dir + "/scells")) {
+    throw std::runtime_error("ScenarioRunner::run_worker: cannot create " +
+                             spec_.store_dir + "/{sclaims,scells}");
+  }
+
+  CampaignWorkerResult out;
+  const std::vector<ScenarioCell> cells = spec_.expand();
+  for (std::size_t index = 0; index < cells.size(); ++index) {
+    const ScenarioCell& cell = cells[index];
+    if (index % num_shards != shard_id) {
+      ++out.cells_skipped_other_shard;
+      continue;
+    }
+    const std::string cell_path = scell_path(spec_.store_dir, cell);
+    const std::string fp = scenario_cell_fingerprint(spec_, cell);
+    const auto published = [&] {
+      const std::optional<std::string> text = read_text_file(cell_path);
+      return text && parse_scenario_cell(*text, fp).has_value();
+    };
+    if (published()) {
+      ++out.cells_skipped_done;
+      continue;
+    }
+    const std::optional<FileLock> claim =
+        FileLock::try_exclusive(claims_dir + "/" + cell.id() + ".claim");
+    if (!claim) {
+      // A *live* process holds the claim; it will publish the cell.
+      ++out.cells_skipped_claimed;
+      continue;
+    }
+    if (published()) {
+      // Raced: the previous owner published between our check and claim.
+      ++out.cells_skipped_done;
+      continue;
+    }
+    const ScenarioCellResult result = run_cell(cell);
+    if (!write_text_file_atomic(cell_path, format_scenario_cell(result, fp))) {
+      throw std::runtime_error(
+          "ScenarioRunner::run_worker: cannot publish cell result " + cell_path);
+    }
+    ++out.cells_run;
+  }
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  return out;
+}
+
+std::optional<ScenarioResult> collect_scenario(const ScenarioSpec& spec) {
+  spec.validate();
+  if (spec.store_dir.empty()) {
+    throw std::invalid_argument(
+        "collect_scenario: a store_dir is required — cell results live there");
+  }
+  ScenarioResult result;
+  for (const ScenarioCell& cell : spec.expand()) {
+    const std::optional<std::string> text =
+        read_text_file(scell_path(spec.store_dir, cell));
+    if (!text) return std::nullopt;
+    std::optional<ScenarioCellResult> parsed =
+        parse_scenario_cell(*text, scenario_cell_fingerprint(spec, cell));
+    if (!parsed) return std::nullopt;
+    result.cells.push_back(std::move(*parsed));
+  }
+  return result;
+}
+
+// ---- Spec file parser ---------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_spec_line(std::size_t line_no, const std::string& why) {
+  throw std::invalid_argument("parse_scenario_spec: line " +
+                              std::to_string(line_no) + ": " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> split_csv_tokens(std::string_view csv) {
+  std::vector<std::string> out;
+  for (std::string_view field : split_fields(csv, ',')) {
+    if (!field.empty()) out.emplace_back(field);
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario_spec(std::string_view text) {
+  ScenarioSpec spec;
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : split_fields(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      bad_spec_line(line_no, "expected 'key value'");
+    }
+    const std::string_view key = line.substr(0, space);
+    const std::string_view value = trim(line.substr(space + 1));
+    if (value.empty()) bad_spec_line(line_no, "empty value");
+
+    const auto parse_count = [&](const char* what) {
+      const std::optional<std::size_t> v = parse_size_strict(value);
+      if (!v) bad_spec_line(line_no, std::string("bad ") + what);
+      return *v;
+    };
+    if (key == "datasets") {
+      spec.datasets = split_csv_tokens(value);
+    } else if (key == "topologies") {
+      spec.topologies.clear();
+      for (const std::string& token : split_csv_tokens(value)) {
+        const std::optional<std::vector<std::size_t>> hidden =
+            parse_hidden_token(token);
+        if (!hidden) bad_spec_line(line_no, "bad topology '" + token + "'");
+        spec.topologies.push_back(*hidden);
+      }
+    } else if (key == "input_bits") {
+      spec.input_bits.clear();
+      for (const std::string& token : split_csv_tokens(value)) {
+        const std::optional<std::size_t> bits = parse_size_strict(token);
+        if (!bits || *bits == 0 || *bits > 16) {
+          bad_spec_line(line_no, "bad input_bits '" + token + "'");
+        }
+        spec.input_bits.push_back(static_cast<int>(*bits));
+      }
+    } else if (key == "techs") {
+      spec.tech_nodes = split_csv_tokens(value);
+    } else if (key == "seeds") {
+      spec.seeds.clear();
+      for (const std::string& token : split_csv_tokens(value)) {
+        const std::optional<std::uint64_t> seed = parse_u64_strict(token);
+        if (!seed) bad_spec_line(line_no, "bad seed '" + token + "'");
+        spec.seeds.push_back(*seed);
+      }
+    } else if (key == "drift") {
+      // drift NAME FEATURE_NOISE PRIOR_SHIFT SEED
+      std::vector<std::string_view> fields;
+      for (std::string_view f : split_fields(value, ' ')) {
+        if (!f.empty()) fields.push_back(f);
+      }
+      if (fields.size() != 4) {
+        bad_spec_line(line_no, "drift needs NAME FEATURE_NOISE PRIOR_SHIFT SEED");
+      }
+      DriftSpec drift;
+      drift.name.assign(fields[0]);
+      const std::optional<double> noise = parse_double_strict(fields[1]);
+      const std::optional<double> shift = parse_double_strict(fields[2]);
+      const std::optional<std::uint64_t> seed = parse_u64_strict(fields[3]);
+      if (!noise || !shift || !seed) bad_spec_line(line_no, "bad drift numbers");
+      drift.feature_noise = *noise;
+      drift.class_prior_shift = *shift;
+      drift.seed = *seed;
+      spec.drifts.push_back(std::move(drift));
+    } else if (key == "pop") {
+      spec.ga.population = parse_count("population");
+    } else if (key == "gens") {
+      spec.ga.generations = parse_count("generations");
+    } else if (key == "train_epochs") {
+      spec.base.train.epochs = parse_count("train_epochs");
+    } else if (key == "finetune") {
+      spec.base.finetune_epochs = parse_count("finetune");
+    } else if (key == "ga_finetune") {
+      spec.ga_finetune_epochs = parse_count("ga_finetune");
+    } else if (key == "fidelity_tolerance") {
+      const std::optional<double> v = parse_double_strict(value);
+      if (!v) bad_spec_line(line_no, "bad fidelity_tolerance");
+      spec.fidelity_tolerance = *v;
+    } else if (key == "fidelity_gate_max_hidden") {
+      spec.fidelity_gate_max_hidden = parse_count("fidelity_gate_max_hidden");
+    } else {
+      bad_spec_line(line_no, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pnm

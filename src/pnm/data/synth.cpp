@@ -1,7 +1,10 @@
 #include "pnm/data/synth.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "pnm/util/fileio.hpp"
 
 namespace pnm {
 namespace {
@@ -24,15 +27,55 @@ std::vector<double> random_direction(std::size_t dim, Rng& rng) {
 
 }  // namespace
 
+void SynthConfig::validate() const {
+  if (n_classes < 2) {
+    throw std::invalid_argument("SynthConfig: need >= 2 classes (a 1-class task has "
+                                "nothing to separate)");
+  }
+  if (n_features == 0) throw std::invalid_argument("SynthConfig: need features");
+  if (clusters_per_class == 0) {
+    throw std::invalid_argument("SynthConfig: clusters_per_class must be >= 1");
+  }
+  if (n_samples == 0) throw std::invalid_argument("SynthConfig: need samples");
+  if (n_samples < 2 * n_classes) {
+    // The generator floors every class at 2 samples (a stratified split
+    // needs at least that); fewer requested samples would silently
+    // overshoot the budget instead of honoring it.
+    throw std::invalid_argument(
+        "SynthConfig: n_samples (" + std::to_string(n_samples) +
+        ") must be >= 2 per class (" + std::to_string(2 * n_classes) + ")");
+  }
+  if (!std::isfinite(class_separation) || class_separation < 0.0) {
+    throw std::invalid_argument(
+        "SynthConfig: class_separation must be finite and >= 0");
+  }
+  if (!std::isfinite(label_noise) || label_noise < 0.0 || label_noise > 1.0) {
+    throw std::invalid_argument("SynthConfig: label_noise must be in [0, 1]");
+  }
+  if (!class_weights.empty() && class_weights.size() != n_classes) {
+    throw std::invalid_argument("SynthConfig: class_weights size mismatch");
+  }
+  double w_sum = 0.0;
+  for (double w : class_weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "SynthConfig: class weights must be finite and >= 0");
+    }
+    w_sum += w;
+  }
+  if (!class_weights.empty() && w_sum <= 0.0) {
+    throw std::invalid_argument("SynthConfig: class weights sum to zero");
+  }
+  if (!std::isfinite(w_sum)) {
+    // Weights are *relative* (they are normalized by their sum), so any
+    // finite imbalance is fine — but a sum past the representable range
+    // would turn every per-class budget into floor(n * w / inf) = 0.
+    throw std::invalid_argument("SynthConfig: class weights sum overflows");
+  }
+}
+
 Dataset make_synthetic(const SynthConfig& cfg, Rng& rng) {
-  if (cfg.n_classes < 2) throw std::invalid_argument("make_synthetic: need >= 2 classes");
-  if (cfg.n_features == 0) throw std::invalid_argument("make_synthetic: need features");
-  if (cfg.clusters_per_class == 0) {
-    throw std::invalid_argument("make_synthetic: clusters_per_class must be >= 1");
-  }
-  if (!cfg.class_weights.empty() && cfg.class_weights.size() != cfg.n_classes) {
-    throw std::invalid_argument("make_synthetic: class_weights size mismatch");
-  }
+  cfg.validate();
 
   // --- class means -------------------------------------------------------
   // Ordinal: means advance along a latent direction with per-class jitter,
@@ -66,11 +109,7 @@ Dataset make_synthetic(const SynthConfig& cfg, Rng& rng) {
   std::vector<double> w = cfg.class_weights;
   if (w.empty()) w.assign(cfg.n_classes, 1.0);
   double w_sum = 0.0;
-  for (double e : w) {
-    if (e < 0.0) throw std::invalid_argument("make_synthetic: negative class weight");
-    w_sum += e;
-  }
-  if (w_sum <= 0.0) throw std::invalid_argument("make_synthetic: zero class weights");
+  for (double e : w) w_sum += e;  // finite and > 0 per validate()
 
   std::vector<std::size_t> counts(cfg.n_classes, 0);
   std::size_t assigned = 0;
@@ -185,11 +224,102 @@ Dataset make_seeds(std::uint64_t seed) {
   return make_synthetic(cfg, rng);
 }
 
+std::string synth_dataset_name(const SynthConfig& cfg) {
+  std::string out = "synth";
+  out += ":f" + std::to_string(cfg.n_features);
+  out += ":c" + std::to_string(cfg.n_classes);
+  out += ":n" + std::to_string(cfg.n_samples);
+  out += ":sep" + format_double_roundtrip(cfg.class_separation);
+  out += cfg.ordinal ? ":ord1" : ":ord0";
+  out += ":k" + std::to_string(cfg.clusters_per_class);
+  out += ":ln" + format_double_roundtrip(cfg.label_noise);
+  if (!cfg.class_weights.empty()) {
+    out += ":w";
+    for (std::size_t i = 0; i < cfg.class_weights.size(); ++i) {
+      if (i > 0) out += '+';
+      out += format_double_roundtrip(cfg.class_weights[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_synth_token(const std::string& name, const char* why) {
+  throw std::invalid_argument("parse_synth_dataset_name: " + std::string(why) +
+                              " in '" + name + "'");
+}
+
+/// The field's numeric payload, or nullopt when the prefix does not match.
+std::optional<std::string_view> field_payload(std::string_view field,
+                                              std::string_view prefix) {
+  if (field.substr(0, prefix.size()) != prefix) return std::nullopt;
+  return field.substr(prefix.size());
+}
+
+}  // namespace
+
+SynthConfig parse_synth_dataset_name(const std::string& name) {
+  const std::vector<std::string_view> fields = split_fields(name, ':');
+  if (fields.empty() || fields[0] != "synth") {
+    bad_synth_token(name, "missing 'synth' prefix");
+  }
+  if (fields.size() < 8 || fields.size() > 9) {
+    bad_synth_token(name, "expected 7 or 8 ':'-separated fields after 'synth'");
+  }
+  SynthConfig cfg;
+  const auto take_size = [&](std::string_view field, std::string_view prefix,
+                             const char* what) {
+    const std::optional<std::string_view> payload = field_payload(field, prefix);
+    if (!payload) bad_synth_token(name, what);
+    const std::optional<std::uint64_t> v = parse_u64_strict(*payload);
+    if (!v || *v > std::numeric_limits<std::size_t>::max()) {
+      bad_synth_token(name, what);
+    }
+    return static_cast<std::size_t>(*v);
+  };
+  const auto take_double = [&](std::string_view field, std::string_view prefix,
+                               const char* what) {
+    const std::optional<std::string_view> payload = field_payload(field, prefix);
+    if (!payload) bad_synth_token(name, what);
+    const std::optional<double> v = parse_double_strict(*payload);
+    if (!v) bad_synth_token(name, what);
+    return *v;
+  };
+  cfg.n_features = take_size(fields[1], "f", "bad feature field (fN)");
+  cfg.n_classes = take_size(fields[2], "c", "bad class field (cN)");
+  cfg.n_samples = take_size(fields[3], "n", "bad sample field (nN)");
+  cfg.class_separation = take_double(fields[4], "sep", "bad separation field (sepX)");
+  const std::size_t ord = take_size(fields[5], "ord", "bad ordinal field (ord0|1)");
+  if (ord > 1) bad_synth_token(name, "bad ordinal field (ord0|1)");
+  cfg.ordinal = ord == 1;
+  cfg.clusters_per_class = take_size(fields[6], "k", "bad cluster field (kN)");
+  cfg.label_noise = take_double(fields[7], "ln", "bad label-noise field (lnX)");
+  if (fields.size() == 9) {
+    const std::optional<std::string_view> payload =
+        field_payload(fields[8], "w");
+    if (!payload) bad_synth_token(name, "bad weight field (wA+B+...)");
+    for (std::string_view token : split_fields(*payload, '+')) {
+      const std::optional<double> v = parse_double_strict(token);
+      if (!v) bad_synth_token(name, "bad weight field (wA+B+...)");
+      cfg.class_weights.push_back(*v);
+    }
+  }
+  cfg.name = name;
+  cfg.validate();
+  return cfg;
+}
+
 Dataset make_named_dataset(const std::string& name, std::uint64_t seed) {
   if (name == "whitewine") return make_whitewine(seed);
   if (name == "redwine") return make_redwine(seed);
   if (name == "pendigits") return make_pendigits(seed);
   if (name == "seeds") return make_seeds(seed);
+  if (name.rfind("synth:", 0) == 0) {
+    const SynthConfig cfg = parse_synth_dataset_name(name);
+    Rng rng(seed);
+    return make_synthetic(cfg, rng);
+  }
   throw std::invalid_argument("make_named_dataset: unknown dataset '" + name + "'");
 }
 

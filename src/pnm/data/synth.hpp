@@ -45,10 +45,38 @@ struct SynthConfig {
   std::vector<double> class_weights;
   /// Fraction of label noise (samples given a random neighbouring label).
   double label_noise = 0.0;
+
+  /// Rejects degenerate configurations with a precise error instead of
+  /// letting them reach the generator as UB or a silently-wrong dataset:
+  /// < 2 classes, 0 features, 0 clusters, fewer samples than the 2 per
+  /// class every stratified split needs, a class_weights arity mismatch,
+  /// negative / non-finite / overflowing weights, label_noise outside
+  /// [0, 1], and a negative or non-finite class_separation.
+  /// \throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 /// Draws a dataset from the mixture described by cfg.
+/// \throws std::invalid_argument via SynthConfig::validate().
 Dataset make_synthetic(const SynthConfig& cfg, Rng& rng);
+
+/// Canonical dataset-name token for a parameterized generator config —
+/// the spelling scenario specs and campaign fingerprints use for a
+/// synthetic-sweep axis point, e.g.
+///   "synth:f8:c3:n600:sep2:ord0:k1:ln0.05"
+///   "synth:f11:c6:n1599:sep1.25:ord1:k1:ln0.2:w10+53+681+638+199+18"
+/// Fields appear in that fixed order; `w` (relative class weights, '+'
+/// separated) is present iff cfg.class_weights is non-empty.  Doubles are
+/// formatted round-trip-exactly, so the token is filename-safe, collision
+/// -free per distinct config, and stable across platforms.  cfg.name is
+/// NOT encoded — parsing yields a config whose name is the token itself.
+std::string synth_dataset_name(const SynthConfig& cfg);
+
+/// Parses a token produced by synth_dataset_name() (strict: exact field
+/// order, round-trip-parsable numbers).  The returned config carries the
+/// token as its name and has been validate()d.
+/// \throws std::invalid_argument on malformed tokens or degenerate configs.
+SynthConfig parse_synth_dataset_name(const std::string& name);
 
 /// UCI "Wine Quality - White" analog: 11 features, 7 quality classes,
 /// 4898 samples, strong ordinal overlap and imbalance.
@@ -66,8 +94,10 @@ Dataset make_pendigits(std::uint64_t seed = 7003);
 /// (3x the original 210 so the test split is statistically usable).
 Dataset make_seeds(std::uint64_t seed = 7004);
 
-/// Builds one of the four by name ("whitewine", "redwine", "pendigits",
-/// "seeds"); throws std::invalid_argument otherwise.
+/// Builds a dataset by name: one of the four paper analogs ("whitewine",
+/// "redwine", "pendigits", "seeds") or any parameterized generator token
+/// beginning with "synth:" (see synth_dataset_name); throws
+/// std::invalid_argument otherwise.
 Dataset make_named_dataset(const std::string& name, std::uint64_t seed);
 
 /// The four paper dataset names in Figure 1 order (a)-(d).

@@ -69,4 +69,11 @@ const TechLibrary& TechLibrary::egt_lowcost() {
   return lib;
 }
 
+const TechLibrary& TechLibrary::by_name(const std::string& token) {
+  if (token == "egt") return egt();
+  if (token == "egt_lowcost") return egt_lowcost();
+  throw std::invalid_argument("TechLibrary::by_name: unknown tech node '" + token +
+                              "' (known: egt, egt_lowcost)");
+}
+
 }  // namespace pnm::hw

@@ -59,6 +59,12 @@ class TechLibrary {
   /// sensitivity experiments; relative figure shapes should survive it.
   static const TechLibrary& egt_lowcost();
 
+  /// Looks a built-in library up by its campaign-axis token: "egt" or
+  /// "egt_lowcost".  This is the stable spelling scenario specs and
+  /// FlowConfig::tech_name use (distinct from the display name()).
+  /// \throws std::invalid_argument on an unknown token.
+  static const TechLibrary& by_name(const std::string& token);
+
   [[nodiscard]] const CellInfo& cell(GateType type) const;
   [[nodiscard]] const std::string& name() const { return name_; }
 

@@ -72,6 +72,40 @@ TEST(InferGolden, RandomModelsOnAllFourDatasetsAreBitExact) {
   }
 }
 
+/// The scenario matrix's "wider/deeper" regime: a 64-128-64 stack is far
+/// past the printed-scale defaults (4-10 hidden units), so the blocked
+/// multi-sample kernels cross block boundaries many times per layer and
+/// the accumulators see much longer dot products.  Every inference path —
+/// per-sample forward, flat-buffer predict, Dataset accuracy, blocked
+/// QuantizedDataset accuracy, and the explicit accuracy_blocked(isa)
+/// entry point — must still match the seed commit's dense reference
+/// value-for-value.
+TEST(InferGolden, WideDeepTopologyIsBitExactOnAllPaths) {
+  Dataset data = make_named_dataset("seeds", 31);
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  data = scaler.transform(data);
+
+  std::uint64_t seed = 700;
+  for (int bits : {3, 6}) {
+    const Mlp model =
+        random_model({data.n_features(), 64, 128, 64, data.n_classes}, ++seed,
+                     /*bias_span=*/0.5);
+    const QuantizedMlp engine =
+        QuantizedMlp::from_float(model, QuantSpec::uniform(4, bits, 4));
+    expect_bit_identical(engine, data);
+    // The explicit blocked entry point at the runtime-dispatched ISA must
+    // agree with the reference too (expect_bit_identical already covers
+    // the implicit blocked ride inside accuracy(qdata)).
+    const DenseReferenceModel reference(engine);
+    const QuantizedDataset qdata = quantize_dataset(data, engine.input_bits());
+    ASSERT_TRUE(qdata.has_blocked());
+    ASSERT_EQ(engine.accuracy_blocked(qdata, simd::active_isa()),
+              reference.accuracy(data))
+        << "bits " << bits;
+  }
+}
+
 TEST(InferGolden, TruncationShiftsStayBitExact) {
   Dataset data = make_named_dataset("seeds", 21);
   MinMaxScaler scaler;
