@@ -9,25 +9,34 @@
 ///                [--train-epochs 30] [--seed 1]
 ///
 ///   Serve it (runs until SIGINT/SIGTERM; SIGHUP hot-swaps the file named
-///   by --swap-file, or re-loads --model when --swap-file is omitted):
-///     serve_main --model model_a.pnm --port 9000 [--batch-max 32]
+///   by --swap-file, or re-loads the default model when it is omitted).
+///   --model repeats: a plain path is the default model, NAME=FILE
+///   registers an additional named model (protocol-v2 clients route by
+///   name).  --reactors N runs N SO_REUSEPORT accept+IO loops on the port:
+///     serve_main --model model_a.pnm [--model beta=model_b.pnm]
+///                --port 9000 [--reactors 2] [--batch-max 32]
 ///                [--batch-deadline-us 200] [--threads 2]
-///                [--swap-file model_b.pnm]
+///                [--swap-file model_b.pnm | --swap-file beta=model_c.pnm]
 ///
 ///   Drive it open-loop (paced offered rate; with --verify every response
 ///   is checked bit-exactly against the offline prediction of the design
-///   version that served it — nonzero exit on any violation):
+///   version that served it — nonzero exit on any violation).
+///   --model-name NAME switches to protocol-v2 frames routed to that
+///   model (swaps then target it too):
 ///     serve_main --loadgen --port 9000 --model model_a.pnm
-///                [--rate 5000] [--requests 10000]
+///                [--model-name beta] [--rate 5000] [--requests 10000]
 ///                [--swap-at 2000=model_b.pnm] [--verify 2=model_b.pnm]
 ///
-///   Poke a running server:
+///   Poke a running server (--swap accepts NAME=FILE for named models):
 ///     serve_main --stats --port 9000
 ///     serve_main --swap model_b.pnm --port 9000
+///     serve_main --swap beta=model_c.pnm --port 9000
 ///
 /// The loadgen's --model names the design the *first* version serves: it
 /// sizes the random [0,1] feature vectors and seeds the verify map with
-/// version 1.  Later versions come from --verify entries.
+/// version 1.  Later versions come from --verify entries.  Versions are
+/// per model name, so a loadgen with --model-name verifies that model's
+/// own sequence.
 ///
 /// This binary links only the pnm_infer engine library — serving a design
 /// needs none of the minimization stack.
@@ -97,6 +106,7 @@ bool install_signal_handlers() {
 
 struct Args {
   std::map<std::string, std::string> values;
+  std::vector<std::string> models;                                  // serve: every --model
   std::vector<std::pair<std::size_t, std::string>> swap_at;         // loadgen
   std::map<std::uint32_t, std::string> verify;                      // loadgen
 
@@ -116,8 +126,9 @@ bool parse_args(int argc, char** argv, Args& args) {
   const std::vector<std::string> with_value = {
       "--train-model", "--out",   "--weight-bits", "--input-bits",
       "--hidden",      "--seed",  "--train-epochs", "--model",
-      "--port",        "--batch-max", "--batch-deadline-us", "--threads",
-      "--swap-file",   "--swap",  "--rate", "--requests"};
+      "--model-name",  "--port",  "--batch-max", "--batch-deadline-us",
+      "--threads",     "--reactors", "--swap-file", "--swap",
+      "--rate",        "--requests"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (std::find(flags.begin(), flags.end(), arg) != flags.end()) {
@@ -141,7 +152,10 @@ bool parse_args(int argc, char** argv, Args& args) {
           args.verify[static_cast<std::uint32_t>(n)] = value.substr(eq + 1);
         }
       } else {
-        args.values[arg] = value;
+        // --model repeats (serve mode registers every occurrence); the
+        // first one also lands in `values` for the single-model modes.
+        if (arg == "--model") args.models.push_back(value);
+        if (arg != "--model" || !args.has("--model")) args.values[arg] = value;
       }
       continue;
     }
@@ -200,26 +214,56 @@ int run_train(const Args& args) {
   return 0;
 }
 
+/// Splits a NAME=FILE CLI value; a plain path yields `fallback_name`.
+/// (Only a '=' before any '/' counts as a name separator, so paths with
+/// '=' in a directory component still work.)
+std::pair<std::string, std::string> split_model_arg(const std::string& value,
+                                                    const std::string& fallback_name) {
+  const auto eq = value.find('=');
+  if (eq != std::string::npos && eq > 0 && value.find('/') > eq) {
+    return {value.substr(0, eq), value.substr(eq + 1)};
+  }
+  return {fallback_name, value};
+}
+
 int run_serve(const Args& args) {
-  const std::string model_path = args.get("--model");
-  if (model_path.empty()) {
-    std::cerr << "error: serve mode needs --model PATH\n";
+  if (args.models.empty()) {
+    std::cerr << "error: serve mode needs --model PATH (or --model NAME=FILE)\n";
     return 1;
   }
   pnm::serve::ServeConfig config;
   config.port = static_cast<std::uint16_t>(args.num("--port", 0));
+  config.reactors = static_cast<std::size_t>(args.num("--reactors", 1));
   config.batch_max = static_cast<std::size_t>(args.num("--batch-max", 32));
   config.batch_deadline_us = args.num("--batch-deadline-us", 200);
   config.worker_threads = static_cast<std::size_t>(args.num("--threads", 2));
-  const std::string swap_file = args.get("--swap-file", model_path);
 
-  pnm::serve::Server server(config,
-                            {pnm::load_quantized_mlp(model_path), 0, model_path});
+  auto registry = std::make_shared<pnm::serve::ModelRegistry>();
+  for (const std::string& entry : args.models) {
+    const auto [name, file] = split_model_arg(entry, "default");
+    std::string error;
+    if (!registry->register_model(name, {pnm::load_quantized_mlp(file), 0, file, {}},
+                                  &error)) {
+      std::cerr << "error: cannot register model '" << name << "': " << error << '\n';
+      return 1;
+    }
+  }
+  // SIGHUP target: NAME=FILE swaps that model; a plain path (or the
+  // omitted default, the first --model's file) swaps the default model.
+  const auto [swap_name, swap_file] = split_model_arg(
+      args.get("--swap-file", split_model_arg(args.models.front(), "default").second),
+      std::string());
+
+  pnm::serve::Server server(config, registry);
   server.start();
-  std::cout << "serving " << model_path << " on port " << server.port() << " ("
-            << config.worker_threads << " workers, batch<=" << config.batch_max << ", "
-            << config.batch_deadline_us << "us deadline)\n"
-            << "SIGHUP swaps in " << swap_file << "; SIGINT/SIGTERM stops\n"
+  std::cout << "serving on port " << server.port() << " (" << config.reactors
+            << " reactors, " << config.worker_threads << " workers, batch<="
+            << config.batch_max << ", " << config.batch_deadline_us << "us deadline)\n";
+  for (const pnm::serve::ModelStats& m : registry->stats()) {
+    std::cout << "  model " << m.name << ": " << m.path << '\n';
+  }
+  std::cout << "SIGHUP swaps " << (swap_name.empty() ? "default" : swap_name) << " to "
+            << swap_file << "; SIGINT/SIGTERM stops\n"
             << std::flush;
 
   if (!install_signal_handlers()) {
@@ -237,9 +281,10 @@ int run_serve(const Args& args) {
     if (g_hup != 0) {
       g_hup = 0;
       std::string error;
-      if (server.swap_model(swap_file, &error)) {
-        std::cout << "swapped to " << swap_file << " (version "
-                  << server.current_model()->version << ")\n"
+      if (server.swap_model_named(swap_name, swap_file, &error)) {
+        const auto live = registry->get(swap_name);
+        std::cout << "swapped " << live->name << " to " << swap_file << " (version "
+                  << live->version << ")\n"
                   << std::flush;
       } else {
         std::cout << "swap rejected: " << error << "\n" << std::flush;
@@ -278,6 +323,7 @@ int run_loadgen(const Args& args) {
   load.port = static_cast<std::uint16_t>(args.num("--port", 0));
   load.rate = static_cast<double>(args.num("--rate", 2000));
   load.total_requests = static_cast<std::size_t>(args.num("--requests", 2000));
+  load.model_name = args.get("--model-name");
   load.samples = &samples;
   for (const auto& [after, path] : args.swap_at) load.swaps[after] = path;
   if (!args.verify.empty() || !args.swap_at.empty()) {
@@ -327,7 +373,9 @@ int run_admin(const Args& args) {
     return 0;
   }
   std::string message;
-  const bool ok = client.swap(args.get("--swap"), message);
+  const auto [name, file] = split_model_arg(args.get("--swap"), std::string());
+  const bool ok = name.empty() ? client.swap(file, message)
+                               : client.swap_named(name, file, message);
   std::cout << (ok ? "swapped: " : "rejected: ") << message << '\n';
   return ok ? 0 : 1;
 }

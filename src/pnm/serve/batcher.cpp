@@ -18,7 +18,11 @@ ServeRequest* RequestPool::acquire() {
 void RequestPool::release(ServeRequest* r) {
   r->conn.reset();
   r->id = 0;
-  r->features.clear();  // keeps capacity
+  r->model_name.clear();  // keeps capacity
+  r->features.clear();    // keeps capacity
+  r->xq.clear();          // keeps capacity
+  r->staged_bits = -1;
+  r->v2 = false;
   std::lock_guard<std::mutex> lock(mu_);
   free_.push_back(r);
 }

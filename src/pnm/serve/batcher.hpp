@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace pnm::serve {
@@ -35,7 +36,18 @@ class Connection;  // serve/server.cpp's per-socket state
 struct ServeRequest {
   std::shared_ptr<Connection> conn;  ///< response route; null in unit tests
   std::uint32_t id = 0;              ///< client-chosen echo tag
+  std::string model_name;            ///< registry route; "" = default model
   std::vector<double> features;      ///< [0,1]-scaled inputs (capacity reused)
+  // Pipelined handoff: the admitting reactor quantizes the features while
+  // the predict pass of the previous batch is still running, so the worker
+  // normally just gathers `xq` into its block buffer.  `staged_bits`
+  // records the input_bits the staging used; a worker whose pinned model
+  // disagrees (a swap landed in between) re-quantizes from `features` —
+  // quantization depends only on input_bits, so the result is bit-exact
+  // either way.  -1 = not staged.
+  std::vector<std::int64_t> xq;      ///< pre-quantized features (capacity reused)
+  int staged_bits = -1;
+  bool v2 = false;  ///< arrived as kPredictV2 (selects the error framing)
   std::chrono::steady_clock::time_point admitted{};
 };
 

@@ -55,6 +55,14 @@ bool ServeClient::send_predict(std::uint32_t id, std::span<const double> feature
   return send_all(fd_, tx_.data(), tx_.size());
 }
 
+bool ServeClient::send_predict_v2(std::uint32_t id, const std::string& model_name,
+                                  std::span<const double> features) {
+  if (fd_ < 0) return false;
+  tx_.clear();
+  encode_predict_v2(tx_, id, model_name, features);
+  return send_all(fd_, tx_.data(), tx_.size());
+}
+
 bool ServeClient::send_raw(const void* data, std::size_t n) {
   if (fd_ < 0) return false;
   return send_all(fd_, data, n);
@@ -97,6 +105,20 @@ bool ServeClient::swap(const std::string& model_path, std::string& message_out,
   if (fd_ < 0) return false;
   tx_.clear();
   encode_swap_req(tx_, model_path);
+  if (!send_all(fd_, tx_.data(), tx_.size())) return false;
+  ClientFrame frame;
+  if (!read_frame(frame, timeout_ms)) return false;
+  if (frame.type != FrameType::kSwapResp) return false;
+  bool ok = false;
+  if (!decode_swap_resp(frame.payload, ok, message_out)) return false;
+  return ok;
+}
+
+bool ServeClient::swap_named(const std::string& model_name, const std::string& model_path,
+                             std::string& message_out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  tx_.clear();
+  encode_swap_req_v2(tx_, model_name, model_path);
   if (!send_all(fd_, tx_.data(), tx_.size())) return false;
   ClientFrame frame;
   if (!read_frame(frame, timeout_ms)) return false;
@@ -166,7 +188,11 @@ LoadGenReport run_load(const LoadGenConfig& config) {
       }
       const std::vector<double>& sample = samples[k % samples.size()];
       send_ns[k].store(ns_since(origin), std::memory_order_release);
-      if (client.send_predict(static_cast<std::uint32_t>(k), sample)) {
+      const bool ok = config.model_name.empty()
+                          ? client.send_predict(static_cast<std::uint32_t>(k), sample)
+                          : client.send_predict_v2(static_cast<std::uint32_t>(k),
+                                                   config.model_name, sample);
+      if (ok) {
         sent_ok.fetch_add(1, std::memory_order_release);
       } else {
         send_failures.fetch_add(1, std::memory_order_release);
@@ -222,7 +248,11 @@ LoadGenReport run_load(const LoadGenConfig& config) {
 
     while (next_swap != config.swaps.end() && report.received >= next_swap->first) {
       std::string message;
-      if (!admin.swap(next_swap->second, message)) ++report.swap_failures;
+      const bool swapped =
+          config.model_name.empty()
+              ? admin.swap(next_swap->second, message)
+              : admin.swap_named(config.model_name, next_swap->second, message);
+      if (!swapped) ++report.swap_failures;
       ++next_swap;
     }
   }

@@ -56,6 +56,11 @@ class ServeClient {
   /// Sends one kPredict frame.  \return false on a send failure.
   bool send_predict(std::uint32_t id, std::span<const double> features);
 
+  /// Sends one kPredictV2 frame routed to `model_name` ("" = the default
+  /// model, still as a v2 frame).  \return false on a send failure.
+  bool send_predict_v2(std::uint32_t id, const std::string& model_name,
+                       std::span<const double> features);
+
   /// Sends raw bytes verbatim — tests use this to produce truncated,
   /// oversized, or garbage frames.
   bool send_raw(const void* data, std::size_t n);
@@ -78,6 +83,12 @@ class ServeClient {
   /// \return true when the server accepted the swap.
   bool swap(const std::string& model_path, std::string& message_out, int timeout_ms = 10000);
 
+  /// Round-trips a kSwapV2 request targeting a named model ("" = default).
+  /// \param message_out  the server's response text (new version or error).
+  /// \return true when the server accepted the swap.
+  bool swap_named(const std::string& model_name, const std::string& model_path,
+                  std::string& message_out, int timeout_ms = 10000);
+
  private:
   int fd_ = -1;
   std::vector<std::uint8_t> tx_;
@@ -89,6 +100,12 @@ struct LoadGenConfig {
   std::uint16_t port = 0;
   double rate = 1000.0;              ///< offered requests/second (<=0: max speed)
   std::size_t total_requests = 1000;
+  /// Registry route.  Empty: protocol-v1 kPredict frames (the default
+  /// model).  Non-empty: kPredictV2 frames naming this model, and any
+  /// `swaps` are routed to it with kSwapV2 — so several loadgens can
+  /// exercise different models (and swap them independently) on one
+  /// server, each verifying its own model's version sequence.
+  std::string model_name;
   /// Sample features, cycled by request index.  Must be non-empty and
   /// outlive run().
   const std::vector<std::vector<double>>* samples = nullptr;

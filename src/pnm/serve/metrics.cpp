@@ -70,8 +70,15 @@ std::string MetricsSnapshot::to_json() const {
   out << "  \"truncated_frames\": " << truncated_frames << ",\n";
   out << "  \"dropped_responses\": " << dropped_responses << ",\n";
   out << "  \"predict_errors\": " << predict_errors << ",\n";
+  out << "  \"unknown_model\": " << unknown_model << ",\n";
   out << "  \"swaps_ok\": " << swaps_ok << ",\n";
   out << "  \"swaps_failed\": " << swaps_failed << ",\n";
+  out << "  \"reactors\": " << requests_by_reactor.size() << ",\n";
+  out << "  \"requests_by_reactor\": [";
+  for (std::size_t r = 0; r < requests_by_reactor.size(); ++r) {
+    out << (r == 0 ? "" : ", ") << requests_by_reactor[r];
+  }
+  out << "],\n";
   out << "  \"mean_batch_size\": " << format_double_roundtrip(mean_batch_size()) << ",\n";
   out << "  \"latency_p50_us\": " << format_double_roundtrip(latency_percentile_us(50)) << ",\n";
   out << "  \"latency_p99_us\": " << format_double_roundtrip(latency_percentile_us(99)) << ",\n";
@@ -79,12 +86,26 @@ std::string MetricsSnapshot::to_json() const {
   for (std::size_t s = 0; s < batch_size_hist.size(); ++s) {
     out << (s == 0 ? "" : ", ") << batch_size_hist[s];
   }
-  out << "]\n}\n";
+  out << "],\n";
+  // One object per line: CI soak jobs grep a single model's line for its
+  // name + version, which a pretty-printed nesting would break.
+  out << "  \"models\": [";
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    out << (m == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escape(models[m].name) << "\", \"version\": "
+        << models[m].version << ", \"path\": \"" << json_escape(models[m].path)
+        << "\", \"responses\": " << models[m].responses << ", \"swaps_ok\": "
+        << models[m].swaps_ok << ", \"swaps_failed\": " << models[m].swaps_failed << "}";
+  }
+  out << (models.empty() ? "]\n}\n" : "\n  ]\n}\n");
   return out.str();
 }
 
-ServeMetrics::ServeMetrics(std::size_t batch_max) : batch_size_hist_(batch_max + 1) {
+ServeMetrics::ServeMetrics(std::size_t batch_max, std::size_t reactors)
+    : batch_size_hist_(batch_max + 1),
+      requests_by_reactor_(reactors == 0 ? 1 : reactors) {
   for (auto& b : batch_size_hist_) b.store(0, std::memory_order_relaxed);
+  for (auto& r : requests_by_reactor_) r.store(0, std::memory_order_relaxed);
 }
 
 void ServeMetrics::on_batch(std::size_t batch_size) {
@@ -111,6 +132,7 @@ MetricsSnapshot ServeMetrics::snapshot(std::uint64_t queue_depth, std::uint32_t 
   s.truncated_frames = truncated_frames_.load(std::memory_order_relaxed);
   s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
   s.predict_errors = predict_errors_.load(std::memory_order_relaxed);
+  s.unknown_model = unknown_model_.load(std::memory_order_relaxed);
   s.swaps_ok = swaps_ok_.load(std::memory_order_relaxed);
   s.swaps_failed = swaps_failed_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth;
@@ -123,6 +145,10 @@ MetricsSnapshot ServeMetrics::snapshot(std::uint64_t queue_depth, std::uint32_t 
   s.latency_hist.resize(latency_hist_.size());
   for (std::size_t i = 0; i < latency_hist_.size(); ++i) {
     s.latency_hist[i] = latency_hist_[i].load(std::memory_order_relaxed);
+  }
+  s.requests_by_reactor.resize(requests_by_reactor_.size());
+  for (std::size_t i = 0; i < requests_by_reactor_.size(); ++i) {
+    s.requests_by_reactor[i] = requests_by_reactor_[i].load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -24,6 +24,17 @@ namespace pnm::serve {
 /// Log-scale histogram: bucket index = 4*floor(log2 v) + next-2-bits.
 constexpr std::size_t kLatencyBuckets = 256;
 
+/// Per-model counters for one registry entry (see ModelRegistry::stats).
+/// Lives here so the snapshot/JSON layer does not depend on the registry.
+struct ModelStats {
+  std::string name;
+  std::uint32_t version = 0;
+  std::string path;
+  std::uint64_t responses = 0;
+  std::uint64_t swaps_ok = 0;
+  std::uint64_t swaps_failed = 0;
+};
+
 /// Plain-value snapshot of ServeMetrics (see ServeMetrics::snapshot).
 struct MetricsSnapshot {
   std::uint64_t connections_opened = 0;
@@ -36,13 +47,16 @@ struct MetricsSnapshot {
   std::uint64_t truncated_frames = 0;
   std::uint64_t dropped_responses = 0;  ///< write failed (client went away)
   std::uint64_t predict_errors = 0;     ///< e.g. feature-width mismatch
+  std::uint64_t unknown_model = 0;      ///< v2 requests naming no registered model
   std::uint64_t swaps_ok = 0;
   std::uint64_t swaps_failed = 0;
   std::uint64_t queue_depth = 0;        ///< admission queue, at snapshot time
-  std::uint32_t model_version = 0;
-  std::string model_path;
+  std::uint32_t model_version = 0;      ///< default model (back-compat key)
+  std::string model_path;               ///< default model (back-compat key)
   std::vector<std::uint64_t> batch_size_hist;  ///< index = batch size (0 unused)
   std::vector<std::uint64_t> latency_hist;     ///< log-scale buckets (us)
+  std::vector<std::uint64_t> requests_by_reactor;  ///< admissions per reactor
+  std::vector<ModelStats> models;  ///< registry entries (filled by the Server)
 
   /// Latency percentile in microseconds estimated from the histogram.
   /// \param p  percentile in [0, 100].
@@ -61,16 +75,29 @@ struct MetricsSnapshot {
 class ServeMetrics {
  public:
   /// \param batch_max  sizes the batch-size histogram (indices 0..batch_max).
-  explicit ServeMetrics(std::size_t batch_max);
+  /// \param reactors   sizes the per-reactor admission counters (>= 1).
+  explicit ServeMetrics(std::size_t batch_max, std::size_t reactors = 1);
 
   void on_connection_opened() { connections_opened_.fetch_add(1, std::memory_order_relaxed); }
   void on_connection_closed() { connections_closed_.fetch_add(1, std::memory_order_relaxed); }
-  void on_request() { requests_total_.fetch_add(1, std::memory_order_relaxed); }
+  /// Counts one admitted request, attributed to the admitting reactor —
+  /// sum(requests_by_reactor) == requests_total is a checked invariant.
+  void on_request(std::size_t reactor = 0) {
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    if (reactor < requests_by_reactor_.size()) {
+      requests_by_reactor_[reactor].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   void on_protocol_error() { protocol_errors_.fetch_add(1, std::memory_order_relaxed); }
   void on_oversized() { oversized_rejected_.fetch_add(1, std::memory_order_relaxed); }
   void on_truncated_frame() { truncated_frames_.fetch_add(1, std::memory_order_relaxed); }
   void on_dropped_response() { dropped_responses_.fetch_add(1, std::memory_order_relaxed); }
   void on_predict_error() { predict_errors_.fetch_add(1, std::memory_order_relaxed); }
+  /// Counts a v2 request rejected at admission for naming no registered
+  /// model.  Deliberately NOT part of requests_total: the request never
+  /// entered the queue, so the responses+errors == requests identity
+  /// stays exact.
+  void on_unknown_model() { unknown_model_.fetch_add(1, std::memory_order_relaxed); }
   void on_swap(bool ok) {
     (ok ? swaps_ok_ : swaps_failed_).fetch_add(1, std::memory_order_relaxed);
   }
@@ -84,12 +111,14 @@ class ServeMetrics {
   /// in microseconds.
   void on_response(std::uint64_t latency_us);
 
-  /// Point-in-time copy of every counter and histogram.
+  /// Point-in-time copy of every counter and histogram.  `models` is left
+  /// empty — the Server fills it from the registry, which owns those
+  /// counters.
   ///
   /// \param queue_depth    current admission-queue depth (sampled by the
   ///                       caller, which owns the queue).
-  /// \param model_version  live model version.
-  /// \param model_path     live model source path.
+  /// \param model_version  live default-model version.
+  /// \param model_path     live default-model source path.
   /// \return the snapshot.
   [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t queue_depth,
                                          std::uint32_t model_version,
@@ -106,9 +135,11 @@ class ServeMetrics {
   std::atomic<std::uint64_t> truncated_frames_{0};
   std::atomic<std::uint64_t> dropped_responses_{0};
   std::atomic<std::uint64_t> predict_errors_{0};
+  std::atomic<std::uint64_t> unknown_model_{0};
   std::atomic<std::uint64_t> swaps_ok_{0};
   std::atomic<std::uint64_t> swaps_failed_{0};
   std::vector<std::atomic<std::uint64_t>> batch_size_hist_;
+  std::vector<std::atomic<std::uint64_t>> requests_by_reactor_;
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
 };
 

@@ -1,6 +1,7 @@
 #include "pnm/serve/protocol.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace pnm::serve {
 
@@ -51,6 +52,19 @@ void encode_predict(std::vector<std::uint8_t>& out, std::uint32_t id,
   for (const double f : features) append_f64(out, f);
 }
 
+void encode_predict_v2(std::vector<std::uint8_t>& out, std::uint32_t id,
+                       const std::string& model_name, std::span<const double> features) {
+  if (model_name.size() > kMaxModelName) {
+    throw std::invalid_argument("encode_predict_v2: model name too long");
+  }
+  append_header(out, FrameType::kPredictV2, 4 + 1 + model_name.size() + 4 + features.size() * 8);
+  append_u32(out, id);
+  out.push_back(static_cast<std::uint8_t>(model_name.size()));
+  out.insert(out.end(), model_name.begin(), model_name.end());
+  append_u32(out, static_cast<std::uint32_t>(features.size()));
+  for (const double f : features) append_f64(out, f);
+}
+
 void encode_predict_resp(std::vector<std::uint8_t>& out, std::uint32_t id,
                          std::uint32_t model_version, std::uint32_t predicted_class) {
   append_header(out, FrameType::kPredictResp, 12);
@@ -65,6 +79,17 @@ void encode_stats_req(std::vector<std::uint8_t>& out) {
 
 void encode_swap_req(std::vector<std::uint8_t>& out, const std::string& model_path) {
   append_header(out, FrameType::kSwap, model_path.size());
+  out.insert(out.end(), model_path.begin(), model_path.end());
+}
+
+void encode_swap_req_v2(std::vector<std::uint8_t>& out, const std::string& model_name,
+                        const std::string& model_path) {
+  if (model_name.size() > kMaxModelName) {
+    throw std::invalid_argument("encode_swap_req_v2: model name too long");
+  }
+  append_header(out, FrameType::kSwapV2, 1 + model_name.size() + model_path.size());
+  out.push_back(static_cast<std::uint8_t>(model_name.size()));
+  out.insert(out.end(), model_name.begin(), model_name.end());
   out.insert(out.end(), model_path.begin(), model_path.end());
 }
 
@@ -85,6 +110,13 @@ void encode_error(std::vector<std::uint8_t>& out, const std::string& message) {
   out.insert(out.end(), message.begin(), message.end());
 }
 
+void encode_error_v2(std::vector<std::uint8_t>& out, ErrorCode code,
+                     const std::string& message) {
+  append_header(out, FrameType::kErrorV2, 1 + message.size());
+  out.push_back(static_cast<std::uint8_t>(code));
+  out.insert(out.end(), message.begin(), message.end());
+}
+
 bool decode_predict(std::span<const std::uint8_t> payload, std::uint32_t& id,
                     std::vector<double>& features) {
   if (payload.size() < 8) return false;
@@ -96,6 +128,43 @@ bool decode_predict(std::span<const std::uint8_t> payload, std::uint32_t& id,
   for (std::uint32_t i = 0; i < n; ++i) {
     features[i] = read_f64(payload.data() + 8 + static_cast<std::size_t>(i) * 8);
   }
+  return true;
+}
+
+bool decode_predict_v2(std::span<const std::uint8_t> payload, std::uint32_t& id,
+                       std::string& model_name, std::vector<double>& features) {
+  if (payload.size() < 5) return false;
+  id = read_u32(payload.data());
+  const std::size_t name_len = payload[4];
+  if (payload.size() < 5 + name_len + 4) return false;
+  model_name.assign(reinterpret_cast<const char*>(payload.data() + 5), name_len);
+  const std::uint32_t n = read_u32(payload.data() + 5 + name_len);
+  if (n > kMaxFeatures) return false;
+  if (payload.size() != 5 + name_len + 4 + static_cast<std::size_t>(n) * 8) return false;
+  features.resize(n);
+  const std::uint8_t* base = payload.data() + 5 + name_len + 4;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    features[i] = read_f64(base + static_cast<std::size_t>(i) * 8);
+  }
+  return true;
+}
+
+bool decode_swap_v2(std::span<const std::uint8_t> payload, std::string& model_name,
+                    std::string& model_path) {
+  if (payload.empty()) return false;
+  const std::size_t name_len = payload[0];
+  if (payload.size() < 1 + name_len) return false;
+  model_name.assign(reinterpret_cast<const char*>(payload.data() + 1), name_len);
+  model_path.assign(reinterpret_cast<const char*>(payload.data() + 1 + name_len),
+                    payload.size() - 1 - name_len);
+  return true;
+}
+
+bool decode_error_v2(std::span<const std::uint8_t> payload, ErrorCode& code,
+                     std::string& message) {
+  if (payload.empty()) return false;
+  code = static_cast<ErrorCode>(payload[0]);
+  message.assign(payload.begin() + 1, payload.end());
   return true;
 }
 

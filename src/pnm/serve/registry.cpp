@@ -1,0 +1,131 @@
+#include "pnm/serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pnm/core/model_io.hpp"
+#include "pnm/serve/protocol.hpp"
+
+namespace pnm::serve {
+
+ModelRegistry::Entry* ModelRegistry::find_locked(std::string_view name) {
+  if (name.empty()) return entries_.empty() ? nullptr : entries_.front().get();
+  for (const auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+const ModelRegistry::Entry* ModelRegistry::find_locked(std::string_view name) const {
+  return const_cast<ModelRegistry*>(this)->find_locked(name);
+}
+
+bool ModelRegistry::register_model(const std::string& name, ServedModel model,
+                                   std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (name.empty()) return fail("model name must be nonempty");
+  if (name.size() > kMaxModelName) return fail("model name too long");
+  if (name.find('=') != std::string::npos) {
+    return fail("model name must not contain '='");  // NAME=FILE CLI syntax
+  }
+  if (model.mlp.layers().empty()) return fail("model holds no layers");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) return fail("duplicate model name");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  model.name = name;
+  if (model.version == 0) model.version = 1;
+  entry->next_version = model.version + 1;
+  entry->model = std::make_shared<const ServedModel>(std::move(model));
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::get(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find_locked(name);
+  return e == nullptr ? nullptr : e->model;
+}
+
+bool ModelRegistry::swap(std::string_view name, const std::string& path,
+                         std::string* error) {
+  // Resolve the target first so a bad name is reported as such rather
+  // than as a file error, then load OUTSIDE the lock: disk IO and
+  // validation must not stall concurrent get() calls on the hot path.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (find_locked(name) == nullptr) {
+      if (error != nullptr) *error = "unknown model name";
+      return false;
+    }
+  }
+  ServedModel next;
+  try {
+    next.mlp = load_quantized_mlp(path);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Entry* entry = find_locked(name); entry != nullptr) ++entry->swaps_failed;
+    return false;
+  }
+  next.source_path = path;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = find_locked(name);
+  if (entry == nullptr) {  // unreachable today: entries are never removed
+    if (error != nullptr) *error = "unknown model name";
+    return false;
+  }
+  next.name = entry->name;
+  next.version = entry->next_version++;
+  entry->model = std::make_shared<const ServedModel>(std::move(next));
+  ++entry->swaps_ok;
+  return true;
+}
+
+void ModelRegistry::count_responses(std::string_view name, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name); e != nullptr) e->responses += n;
+}
+
+std::vector<ModelStats> ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelStats> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    ModelStats s;
+    s.name = e->name;
+    s.version = e->model->version;
+    s.path = e->model->source_path;
+    s.responses = e->responses;
+    s.swaps_ok = e->swaps_ok;
+    s.swaps_failed = e->swaps_failed;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e->name);
+  return out;
+}
+
+std::string ModelRegistry::default_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? std::string() : entries_.front()->name;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace pnm::serve

@@ -17,11 +17,11 @@
 
 namespace pnm::serve {
 
-/// Per-socket connection state.  The IO thread owns the read side
+/// Per-socket connection state.  The owning reactor holds the read side
 /// exclusively; the write side is shared between workers (responses) and
-/// the IO thread (admin/error replies) under `write_mu`.  The fd stays
+/// that reactor (admin/error replies) under `write_mu`.  The fd stays
 /// open until the last shared_ptr drops, so a worker finishing a batch
-/// after the IO thread saw the hangup writes into a dead-but-valid
+/// after the reactor saw the hangup writes into a dead-but-valid
 /// socket (EPIPE, counted as a dropped response) — never into a recycled
 /// descriptor.
 class Connection {
@@ -40,11 +40,14 @@ class Connection {
   void mark_closed() { closed_.store(true, std::memory_order_release); }
   [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
 
-  /// Serialized whole-frame write; false when the peer is gone.
+  /// Serialized whole-frame write; false when the peer is gone.  The
+  /// stall cap is tighter than send_all's default: with several reactors
+  /// feeding one worker pool, a single peer that stops reading must not
+  /// park a worker for multiple seconds.
   bool write_frame(const std::vector<std::uint8_t>& bytes) {
     std::lock_guard<std::mutex> lock(write_mu_);
     if (closed()) return false;
-    if (send_all(fd_, bytes.data(), bytes.size())) return true;
+    if (send_all(fd_, bytes.data(), bytes.size(), /*stall_ms=*/2000)) return true;
     mark_closed();
     return false;
   }
@@ -64,41 +67,86 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
                                         .count());
 }
 
+/// Wraps a lone model into a fresh one-entry registry (name "default").
+std::shared_ptr<ModelRegistry> make_single_registry(ServedModel model) {
+  auto registry = std::make_shared<ModelRegistry>();
+  std::string error;
+  if (!registry->register_model("default", std::move(model), &error)) {
+    throw std::invalid_argument("Server: " + error);
+  }
+  return registry;
+}
+
 }  // namespace
 
 Server::Server(ServeConfig config, ServedModel model)
+    : Server(config, make_single_registry(std::move(model))) {}
+
+Server::Server(ServeConfig config, std::shared_ptr<ModelRegistry> registry)
     : config_(config),
-      metrics_(config.batch_max),
+      registry_(std::move(registry)),
+      metrics_(config.batch_max, config.reactors),
       batcher_(config.batch_max, config.batch_deadline_us) {
+  if (config_.reactors == 0) {
+    throw std::invalid_argument("Server: reactors must be >= 1");
+  }
   if (config_.worker_threads == 0) {
     throw std::invalid_argument("Server: worker_threads must be >= 1");
   }
-  if (model.mlp.layer_count() == 0) {
-    throw std::invalid_argument("Server: empty model");
+  if (registry_ == nullptr || registry_->size() == 0) {
+    throw std::invalid_argument("Server: registry holds no models");
   }
-  if (model.version == 0) model.version = 1;
-  next_version_.store(model.version + 1);
-  model_ = std::make_shared<const ServedModel>(std::move(model));
 }
 
 Server::~Server() { stop(); }
 
+void Server::close_sockets() {
+  for (const int fd : listen_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  listen_fds_.clear();
+  for (const int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  wake_fds_.clear();
+}
+
 void Server::start() {
   if (running_.exchange(true)) return;
-  listen_fd_ = tcp_listen(config_.port, config_.loopback_only);
-  if (listen_fd_ < 0) {
+  // With one reactor the classic exclusive bind is kept; with several,
+  // every sibling sets SO_REUSEPORT and the kernel spreads incoming
+  // connections across their accept queues.
+  const bool reuse = config_.reactors > 1;
+  const int first = tcp_listen(config_.port, config_.loopback_only, 128, reuse);
+  if (first < 0) {
     running_.store(false);
     throw std::runtime_error(std::string("Server: cannot listen: ") + std::strerror(errno));
   }
-  port_ = tcp_local_port(listen_fd_);
-  wake_fd_ = eventfd(0, EFD_NONBLOCK);
-  if (wake_fd_ < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    running_.store(false);
-    throw std::runtime_error("Server: eventfd failed");
+  listen_fds_.push_back(first);
+  port_ = tcp_local_port(first);
+  for (std::size_t i = 1; i < config_.reactors; ++i) {
+    const int fd = tcp_listen(port_, config_.loopback_only, 128, true);
+    if (fd < 0) {
+      const std::string why = std::strerror(errno);
+      close_sockets();
+      running_.store(false);
+      throw std::runtime_error("Server: cannot bind reactor socket: " + why);
+    }
+    listen_fds_.push_back(fd);
   }
-  io_thread_ = std::thread([this] { io_loop(); });
+  for (std::size_t i = 0; i < config_.reactors; ++i) {
+    const int fd = eventfd(0, EFD_NONBLOCK);
+    if (fd < 0) {
+      close_sockets();
+      running_.store(false);
+      throw std::runtime_error("Server: eventfd failed");
+    }
+    wake_fds_.push_back(fd);
+  }
+  io_threads_.reserve(config_.reactors);
+  for (std::size_t i = 0; i < config_.reactors; ++i) {
+    io_threads_.emplace_back([this, i] { io_loop(i); });
+  }
   workers_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -107,47 +155,45 @@ void Server::start() {
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
-  // Wake the IO loop; it closes the listen socket and its connections.
+  // Wake every reactor; each closes its own connections on the way out.
   const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
-  if (io_thread_.joinable()) io_thread_.join();
+  for (const int fd : wake_fds_) {
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &one, sizeof(one));
+  }
+  for (std::thread& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
   // Drain what was admitted, then release the workers.
   batcher_.shutdown();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  ::close(wake_fd_);
-  wake_fd_ = -1;
+  close_sockets();
 }
 
 std::shared_ptr<const ServedModel> Server::current_model() const {
-  const std::lock_guard<std::mutex> lock(model_mu_);
-  return model_;
+  return registry_->get({});
 }
 
 MetricsSnapshot Server::stats() const {
   const std::shared_ptr<const ServedModel> m = current_model();
-  return metrics_.snapshot(batcher_.depth(), m->version, m->source_path);
+  MetricsSnapshot s = metrics_.snapshot(batcher_.depth(), m == nullptr ? 0 : m->version,
+                                        m == nullptr ? std::string() : m->source_path);
+  s.models = registry_->stats();
+  return s;
 }
 
 bool Server::swap_model(const std::string& path, std::string* error) {
-  ServedModel next;
-  try {
-    next.mlp = load_quantized_mlp(path);
-  } catch (const std::exception& e) {
-    if (error != nullptr) *error = e.what();
-    metrics_.on_swap(false);
-    return false;
-  }
-  next.version = next_version_.fetch_add(1);
-  next.source_path = path;
-  {
-    const std::lock_guard<std::mutex> lock(model_mu_);
-    model_ = std::make_shared<const ServedModel>(std::move(next));
-  }
-  metrics_.on_swap(true);
-  return true;
+  return swap_model_named({}, path, error);
+}
+
+bool Server::swap_model_named(std::string_view name, const std::string& path,
+                              std::string* error) {
+  const bool ok = registry_->swap(name, path, error);
+  metrics_.on_swap(ok);
+  return ok;
 }
 
 void Server::handle_admin_frame(const std::shared_ptr<Connection>& conn, FrameType type,
@@ -158,12 +204,25 @@ void Server::handle_admin_frame(const std::shared_ptr<Connection>& conn, FrameTy
     encode_payload_frame(out, FrameType::kStatsResp,
                          std::span<const std::uint8_t>(
                              reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
-  } else {  // kSwap
-    const std::string path(reinterpret_cast<const char*>(payload.data()), payload.size());
+  } else {
+    // kSwap routes to the default model; kSwapV2 names its target.
+    std::string name;
+    std::string path;
+    bool decoded = true;
+    if (type == FrameType::kSwap) {
+      path.assign(reinterpret_cast<const char*>(payload.data()), payload.size());
+    } else {
+      decoded = decode_swap_v2(payload, name, path);
+    }
     std::string error;
-    if (swap_model(path, &error)) {
+    if (!decoded) {
+      metrics_.on_protocol_error();
+      encode_swap_resp(out, false, "malformed swap frame");
+    } else if (swap_model_named(name, path, &error)) {
+      const std::shared_ptr<const ServedModel> m = registry_->get(name);
       encode_swap_resp(out, true,
-                       "version " + std::to_string(current_model()->version));
+                       "model " + (m == nullptr ? name : m->name) + " version " +
+                           std::to_string(m == nullptr ? 0 : m->version));
     } else {
       encode_swap_resp(out, false, error);
     }
@@ -171,19 +230,34 @@ void Server::handle_admin_frame(const std::shared_ptr<Connection>& conn, FrameTy
   if (!conn->write_frame(out)) metrics_.on_dropped_response();
 }
 
-void Server::io_loop() {
+void Server::io_loop(std::size_t reactor) {
   Epoll epoll;
   // Tags: 0 = listen socket, 1 = wake eventfd, otherwise a connection id.
   constexpr std::uint64_t kListenTag = 0;
   constexpr std::uint64_t kWakeTag = 1;
-  epoll.add(listen_fd_, EPOLLIN, kListenTag);
-  epoll.add(wake_fd_, EPOLLIN, kWakeTag);
+  const int listen_fd = listen_fds_[reactor];
+  epoll.add(listen_fd, EPOLLIN, kListenTag);
+  epoll.add(wake_fds_[reactor], EPOLLIN, kWakeTag);
 
   std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns;
   std::uint64_t next_tag = 2;
   std::vector<epoll_event> events;
   std::vector<std::uint8_t> rx(64 * 1024);
   std::vector<std::uint8_t> reply;
+
+  // Pipelined handoff: quantize at admission, against the model the
+  // request routes to *right now*.  The worker re-checks the staged bit
+  // width against the model it actually pins, so a swap landing between
+  // here and the predict pass costs one re-quantize, never correctness.
+  const auto stage_and_admit = [&](ServeRequest* r) {
+    const std::shared_ptr<const ServedModel> m = registry_->get(r->model_name);
+    if (m != nullptr && r->features.size() == m->mlp.input_size()) {
+      quantize_input_into(r->features, m->mlp.input_bits(), r->xq);
+      r->staged_bits = m->mlp.input_bits();
+    }
+    metrics_.on_request(reactor);
+    batcher_.push(r);
+  };
 
   const auto drop_connection = [&](std::uint64_t tag) {
     const auto it = conns.find(tag);
@@ -207,7 +281,7 @@ void Server::io_loop() {
       }
       if (tag == kListenTag) {
         for (;;) {
-          const int fd = tcp_accept(listen_fd_);
+          const int fd = tcp_accept(listen_fd);
           if (fd < 0) break;
           auto conn = std::make_shared<Connection>(fd, config_.max_frame_bytes);
           epoll.add(fd, EPOLLIN | EPOLLRDHUP, next_tag);
@@ -244,12 +318,41 @@ void Server::io_loop() {
                     }
                     r->id = id;
                     r->conn = conn;
-                    metrics_.on_request();
-                    batcher_.push(r);
+                    stage_and_admit(r);
+                    return;
+                  }
+                  case FrameType::kPredictV2: {
+                    ServeRequest* r = pool_.acquire();
+                    std::uint32_t id = 0;
+                    if (!decode_predict_v2(payload, id, r->model_name, r->features)) {
+                      pool_.release(r);
+                      metrics_.on_protocol_error();
+                      reply.clear();
+                      encode_error(reply, "malformed predict frame");
+                      conn->write_frame(reply);
+                      drop = true;
+                      return;
+                    }
+                    if (registry_->get(r->model_name) == nullptr) {
+                      // Request-level failure: typed error, the connection
+                      // (and its other in-flight requests) keeps serving.
+                      metrics_.on_unknown_model();
+                      reply.clear();
+                      encode_error_v2(reply, ErrorCode::kUnknownModel,
+                                      "unknown model: " + r->model_name);
+                      pool_.release(r);
+                      if (!conn->write_frame(reply)) metrics_.on_dropped_response();
+                      return;
+                    }
+                    r->id = id;
+                    r->conn = conn;
+                    r->v2 = true;
+                    stage_and_admit(r);
                     return;
                   }
                   case FrameType::kStats:
                   case FrameType::kSwap:
+                  case FrameType::kSwapV2:
                     handle_admin_frame(conn, type, payload);
                     return;
                   default:
@@ -288,8 +391,6 @@ void Server::io_loop() {
     metrics_.on_connection_closed();
   }
   conns.clear();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
 }
 
 void Server::worker_loop() {
@@ -302,73 +403,131 @@ void Server::worker_loop() {
   constexpr std::size_t kB = simd::kSampleBlock;
 
   std::vector<ServeRequest*> batch;
-  std::vector<ServeRequest*> ready;  // validated requests awaiting predict
+  std::vector<ServeRequest*> ready;  // one route's requests awaiting predict
   std::vector<std::uint8_t> frame;
+  std::string route;  // current route's model name (reused capacity)
   InferScratch scratch;
   BlockScratch block_scratch;
   std::size_t preds[kB];
   const simd::Isa isa = simd::active_isa();
 
   while (batcher_.pop_batch(batch)) {
-    // Pin one design for the whole batch: every member is served — and
-    // version-tagged — by the same snapshot, whatever swaps land
-    // concurrently.
-    const std::shared_ptr<const ServedModel> model = current_model();
-    const std::size_t want = model->mlp.input_size();
-    const int input_bits = model->mlp.input_bits();
-
-    const auto respond = [&](ServeRequest* r, std::size_t cls) {
-      frame.clear();
-      encode_predict_resp(frame, r->id, model->version, static_cast<std::uint32_t>(cls));
-      // Count before writing: once a client has seen every response, every
-      // response is in the counters, so a quiescent stats() snapshot always
-      // balances against the batch histogram (on_batch runs at batch start).
-      metrics_.on_response(elapsed_us(r->admitted));
-      if (r->conn == nullptr || !r->conn->write_frame(frame)) {
-        metrics_.on_dropped_response();
-      }
-      pool_.release(r);
-    };
-
     metrics_.on_batch(batch.size());
-    ready.clear();
-    for (ServeRequest* r : batch) {
-      if (r->features.size() != want) {
-        metrics_.on_predict_error();
+    // Route the batch: one pass per distinct model name.  Mixed batches
+    // are rare (one model dominates any given deployment) and the claim
+    // sweep is a pointer scan, so this costs nothing in the common
+    // single-route case while keeping the whole batch's admission order
+    // within each route.
+    std::size_t remaining = batch.size();
+    std::size_t first = 0;
+    while (remaining > 0) {
+      while (batch[first] == nullptr) ++first;
+      route.assign(batch[first]->model_name);
+      ready.clear();
+      for (std::size_t k = first; k < batch.size(); ++k) {
+        if (batch[k] != nullptr && batch[k]->model_name == route) {
+          ready.push_back(batch[k]);
+          batch[k] = nullptr;
+          --remaining;
+        }
+      }
+
+      // Pin one design for the whole route: every member is served — and
+      // version-tagged — by the same snapshot, whatever swaps land
+      // concurrently on this or any other model.
+      const std::shared_ptr<const ServedModel> model = registry_->get(route);
+      if (model == nullptr) {
+        // Unreachable today (admission validates the name and registry
+        // entries are never removed), but a typed reject keeps the
+        // accounting identities intact if that ever changes.
+        for (ServeRequest* r : ready) {
+          metrics_.on_predict_error();
+          frame.clear();
+          encode_error_v2(frame, ErrorCode::kUnknownModel, "unknown model: " + route);
+          metrics_.on_response(elapsed_us(r->admitted));
+          if (r->conn == nullptr || !r->conn->write_frame(frame)) {
+            metrics_.on_dropped_response();
+          }
+          pool_.release(r);
+        }
+        continue;
+      }
+      const std::size_t want = model->mlp.input_size();
+      const int input_bits = model->mlp.input_bits();
+
+      const auto respond = [&](ServeRequest* r, std::size_t cls) {
         frame.clear();
-        encode_error(frame, "feature count mismatch");
-        metrics_.on_response(elapsed_us(r->admitted));  // count-before-write, as in respond
+        encode_predict_resp(frame, r->id, model->version, static_cast<std::uint32_t>(cls));
+        // Count before writing: once a client has seen every response, every
+        // response is in the counters, so a quiescent stats() snapshot always
+        // balances against the batch histogram (on_batch runs at batch start).
+        metrics_.on_response(elapsed_us(r->admitted));
         if (r->conn == nullptr || !r->conn->write_frame(frame)) {
           metrics_.on_dropped_response();
         }
         pool_.release(r);
-        continue;
-      }
-      ready.push_back(r);
-    }
+      };
 
-    // Multi-sample path: quantize each lane into the blocked staging
-    // buffer (feature-major, lane-minor) and classify kB requests per CSR
-    // walk.
-    std::size_t i = 0;
-    while (ready.size() - i >= kMinBlockLanes) {
-      const std::size_t lanes = std::min(kB, ready.size() - i);
-      block_scratch.xb.assign(want * kB, 0);
-      for (std::size_t j = 0; j < lanes; ++j) {
-        quantize_input_into(ready[i + j]->features, input_bits, block_scratch.xq);
-        for (std::size_t f = 0; f < want; ++f) {
-          block_scratch.xb[f * kB + j] = block_scratch.xq[f];
+      std::size_t fill = 0;  // compact width-mismatch rejects out of `ready`
+      for (ServeRequest* r : ready) {
+        if (r->features.size() != want) {
+          metrics_.on_predict_error();
+          frame.clear();
+          if (r->v2) {
+            encode_error_v2(frame, ErrorCode::kWidthMismatch, "feature count mismatch");
+          } else {
+            encode_error(frame, "feature count mismatch");
+          }
+          metrics_.on_response(elapsed_us(r->admitted));  // count-before-write
+          if (r->conn == nullptr || !r->conn->write_frame(frame)) {
+            metrics_.on_dropped_response();
+          }
+          pool_.release(r);
+          continue;
+        }
+        ready[fill++] = r;
+      }
+      ready.resize(fill);
+      // Same count-before-write rule for the per-model ledger: every entry
+      // left in `ready` gets exactly one response from this snapshot, so
+      // bump the ledger before anything hits the wire.
+      if (!ready.empty()) registry_->count_responses(route, ready.size());
+
+      // Multi-sample path: gather each lane's staged integer features into
+      // the blocked buffer (feature-major, lane-minor) and classify kB
+      // requests per CSR walk.  Lanes staged against a different bit
+      // width (swap raced the admission) are re-quantized here.
+      std::size_t i = 0;
+      while (ready.size() - i >= kMinBlockLanes) {
+        const std::size_t lanes = std::min(kB, ready.size() - i);
+        block_scratch.xb.assign(want * kB, 0);
+        for (std::size_t j = 0; j < lanes; ++j) {
+          ServeRequest* r = ready[i + j];
+          const std::int64_t* lane;
+          if (r->staged_bits == input_bits) {
+            lane = r->xq.data();
+          } else {
+            quantize_input_into(r->features, input_bits, block_scratch.xq);
+            lane = block_scratch.xq.data();
+          }
+          for (std::size_t f = 0; f < want; ++f) {
+            block_scratch.xb[f * kB + j] = lane[f];
+          }
+        }
+        model->mlp.predict_block_into(block_scratch.xb.data(), lanes, block_scratch,
+                                      preds, isa);
+        for (std::size_t j = 0; j < lanes; ++j) respond(ready[i + j], preds[j]);
+        i += lanes;
+      }
+      for (; i < ready.size(); ++i) {
+        ServeRequest* r = ready[i];
+        if (r->staged_bits == input_bits) {
+          respond(r, model->mlp.predict_quantized_into(r->xq, scratch));
+        } else {
+          quantize_input_into(r->features, input_bits, scratch.xq);
+          respond(r, model->mlp.predict_quantized_into(scratch.xq, scratch));
         }
       }
-      model->mlp.predict_block_into(block_scratch.xb.data(), lanes, block_scratch,
-                                    preds, isa);
-      for (std::size_t j = 0; j < lanes; ++j) respond(ready[i + j], preds[j]);
-      i += lanes;
-    }
-    for (; i < ready.size(); ++i) {
-      ServeRequest* r = ready[i];
-      quantize_input_into(r->features, input_bits, scratch.xq);
-      respond(r, model->mlp.predict_quantized_into(scratch.xq, scratch));
     }
   }
 }

@@ -23,11 +23,17 @@ bool set_nodelay(int fd) {
 
 }  // namespace
 
-int tcp_listen(std::uint16_t port, bool loopback_only, int backlog) {
+int tcp_listen(std::uint16_t port, bool loopback_only, int backlog, bool reuse_port) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port && setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
+    return -1;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -61,10 +67,27 @@ int tcp_connect(const std::string& host, std::uint16_t port) {
     errno = EINVAL;
     return -1;
   }
-  int rc;
-  do {
-    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // POSIX: an interrupted connect keeps completing asynchronously.
+    // Retrying connect(2) here would return EALREADY (attempt still in
+    // flight) or EISCONN (it finished) — both spurious "failures".  The
+    // correct continuation is to wait for writability and read the
+    // handshake's verdict from SO_ERROR.
+    pollfd pfd{fd, POLLOUT, 0};
+    int pr;
+    do {
+      pr = poll(&pfd, 1, -1);
+    } while (pr < 0 && errno == EINTR);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (pr > 0 && getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0) {
+      rc = 0;
+    } else {
+      errno = err != 0 ? err : ECONNREFUSED;
+      rc = -1;
+    }
+  }
   if (rc != 0) {
     const int saved = errno;
     close(fd);
@@ -79,7 +102,10 @@ int tcp_accept(int listen_fd) {
   int fd;
   do {
     fd = accept(listen_fd, nullptr, nullptr);
-  } while (fd < 0 && errno == EINTR);
+    // ECONNABORTED: the peer connected and reset before we got here
+    // (slowloris clients being killed do this constantly).  That dead
+    // connection is not an accept failure — move on to the next one.
+  } while (fd < 0 && (errno == EINTR || errno == ECONNABORTED));
   if (fd < 0) return -1;
   if (!set_nonblocking(fd)) {
     close(fd);
@@ -95,26 +121,36 @@ bool set_nonblocking(int fd) {
   return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-bool send_all(int fd, const void* data, std::size_t n) {
+bool send_all(int fd, const void* data, std::size_t n, int stall_ms) {
   const char* p = static_cast<const char*>(data);
   std::size_t sent = 0;
+  if (stall_ms < 1) stall_ms = 1;
   // A peer that stops reading would otherwise park the sender forever on
-  // a full socket buffer; after ~5s of zero progress give up and let the
-  // caller treat the connection as dead.
-  int stalled_polls = 0;
+  // a full socket buffer; once `stall_ms` passes without the kernel
+  // accepting a single byte, give up and let the caller treat the
+  // connection as dead.  The clock restarts on every byte of progress,
+  // so slow-but-live peers are not cut off.  Short poll slices keep the
+  // cap accurate: one long poll could oversleep the budget, and an
+  // EINTR-interrupted poll must not count as stalled time it never
+  // actually waited.
+  const int slice_ms = stall_ms < 200 ? stall_ms : 200;
+  auto last_progress = std::chrono::steady_clock::now();
   while (sent < n) {
     const ssize_t rc = send(fd, p + sent, n - sent, MSG_NOSIGNAL);
     if (rc > 0) {
       sent += static_cast<std::size_t>(rc);
-      stalled_polls = 0;
+      last_progress = std::chrono::steady_clock::now();
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;
     if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       pollfd pfd{fd, POLLOUT, 0};
-      const int pr = poll(&pfd, 1, 1000);
+      const int pr = poll(&pfd, 1, slice_ms);
       if (pr < 0 && errno != EINTR) return false;
-      if (pr == 0 && ++stalled_polls >= 5) return false;
+      const auto stalled = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() - last_progress)
+                               .count();
+      if (stalled >= stall_ms) return false;
       continue;
     }
     return false;

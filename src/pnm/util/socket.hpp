@@ -28,8 +28,14 @@ namespace pnm {
 /// \param loopback_only  bind 127.0.0.1 (benches/tests/CI) instead of all
 ///                       interfaces.
 /// \param backlog        listen(2) backlog.
+/// \param reuse_port     set SO_REUSEPORT before binding: several sockets
+///                       may then share one port, the kernel spreading
+///                       incoming connections across them — this is what
+///                       gives each serve reactor its own accept queue.
+///                       Every socket on the port must set it.
 /// \return the listening fd, or -1 on failure (errno left set).
-int tcp_listen(std::uint16_t port, bool loopback_only = true, int backlog = 128);
+int tcp_listen(std::uint16_t port, bool loopback_only = true, int backlog = 128,
+               bool reuse_port = false);
 
 /// The port a bound socket actually listens on (resolves port 0).
 ///
@@ -37,7 +43,11 @@ int tcp_listen(std::uint16_t port, bool loopback_only = true, int backlog = 128)
 /// \return the local port, or 0 on failure.
 std::uint16_t tcp_local_port(int fd);
 
-/// Blocking TCP connect with TCP_NODELAY set.
+/// Blocking TCP connect with TCP_NODELAY set.  An EINTR during the
+/// three-way handshake does NOT abort the attempt: POSIX keeps the
+/// connection completing asynchronously (a naive retry loop would see
+/// EALREADY and report a spurious failure), so the interrupted path
+/// waits for writability and reads SO_ERROR for the real verdict.
 ///
 /// \param host  IPv4 dotted-quad or "localhost".
 /// \param port  target port.
@@ -45,7 +55,9 @@ std::uint16_t tcp_local_port(int fd);
 int tcp_connect(const std::string& host, std::uint16_t port);
 
 /// Accepts one pending connection (nonblocking listen socket) and sets
-/// the result nonblocking with TCP_NODELAY.
+/// the result nonblocking with TCP_NODELAY.  Retries through EINTR and
+/// ECONNABORTED (a peer that connected and reset before accept(2) ran —
+/// routine under fault injection — must not abort the accept sweep).
 ///
 /// \param listen_fd  the listening socket.
 /// \return the connection fd; -1 when nothing is pending or on error.
@@ -60,11 +72,24 @@ bool set_nonblocking(int fd);
 /// EAGAIN on nonblocking sockets.  MSG_NOSIGNAL: a peer that vanished
 /// yields false, never SIGPIPE.
 ///
-/// \param fd    connected socket.
-/// \param data  bytes to send.
-/// \param n     byte count.
+/// The stall cap bounds how long the call tolerates *zero progress*: a
+/// peer that stops draining its receive window would otherwise park the
+/// sending thread forever on a full socket buffer.  The cap is wall
+/// time since the last byte the kernel accepted, not total call time,
+/// so a large buffer draining slowly-but-steadily still completes.
+/// With N reactors sharing one worker pool a single stalled peer can
+/// idle 1/workers of the predict capacity for the whole cap, which is
+/// why it is now a parameter: serve response writes use a tighter cap
+/// than the 5 s default (see Server).  EINTR during the wait does not
+/// consume stall budget.
+///
+/// \param fd        connected socket.
+/// \param data      bytes to send.
+/// \param n         byte count.
+/// \param stall_ms  give up after this many ms without a single byte of
+///                  progress (>= 1; default 5000).
 /// \return true when every byte was accepted by the kernel.
-bool send_all(int fd, const void* data, std::size_t n);
+bool send_all(int fd, const void* data, std::size_t n, int stall_ms = 5000);
 
 /// One recv(2) with EINTR retry.
 ///

@@ -113,7 +113,7 @@ TEST(SanitizeStress, ServerHotSwapStopUnderLoad) {
     config.batch_max = 4;
     config.batch_deadline_us = 100;
     config.worker_threads = 2;
-    serve::Server server(config, {make_model(11), 0, path_a});
+    serve::Server server(config, {make_model(11), 0, path_a, ""});
     server.start();
 
     std::atomic<bool> stop_clients{false};

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace pnm::serve {
@@ -97,6 +99,87 @@ TEST(Protocol, DecodePredictRejectsMalformedPayloads) {
   EXPECT_FALSE(decode_predict(lying, id, features));
   // Payload shorter than the fixed header.
   EXPECT_FALSE(decode_predict({frame.data() + 5, std::size_t{7}}, id, features));
+}
+
+TEST(Protocol, PredictV2RoundTrip) {
+  std::vector<std::uint8_t> frame;
+  const std::vector<double> features = {0.5, 0.125, 1.0};
+  encode_predict_v2(frame, 41, "beta", features);
+
+  // Layout: u32 len | u8 type | u32 id | u8 name_len | name | u32 n | n x f64.
+  ASSERT_EQ(frame.size(), 4U + 1U + 4U + 1U + 4U + 4U + features.size() * 8U);
+  EXPECT_EQ(frame[4], static_cast<std::uint8_t>(FrameType::kPredictV2));
+
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<double> back;
+  ASSERT_TRUE(decode_predict_v2({frame.data() + 5, frame.size() - 5}, id, name, back));
+  EXPECT_EQ(id, 41U);
+  EXPECT_EQ(name, "beta");
+  ASSERT_EQ(back.size(), features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    EXPECT_EQ(back[i], features[i]);  // IEEE-754 bit pattern, exact
+  }
+
+  // An empty name is legal (routes to the default model)...
+  frame.clear();
+  encode_predict_v2(frame, 7, "", features);
+  ASSERT_TRUE(decode_predict_v2({frame.data() + 5, frame.size() - 5}, id, name, back));
+  EXPECT_TRUE(name.empty());
+  // ...and a name beyond the u8 length field is refused at encode time.
+  EXPECT_THROW(encode_predict_v2(frame, 7, std::string(kMaxModelName + 1, 'x'), features),
+               std::invalid_argument);
+}
+
+TEST(Protocol, DecodePredictV2RejectsMalformedPayloads) {
+  std::vector<std::uint8_t> frame;
+  encode_predict_v2(frame, 1, "m", std::vector<double>{0.5, 0.5});
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<double> features;
+
+  // Truncated payload (count disagrees with byte length).
+  EXPECT_FALSE(
+      decode_predict_v2({frame.data() + 5, frame.size() - 5 - 8}, id, name, features));
+  // Name length pointing past the payload end.
+  std::vector<std::uint8_t> lying(frame.begin() + 5, frame.end());
+  lying[4] = 255;  // name_len
+  EXPECT_FALSE(decode_predict_v2(lying, id, name, features));
+  // Declared feature count too large for the payload.
+  lying.assign(frame.begin() + 5, frame.end());
+  lying[6] = 200;  // n_features LE byte 0 (after id + name_len + 1-byte name)
+  EXPECT_FALSE(decode_predict_v2(lying, id, name, features));
+  // Payload shorter than the fixed header.
+  EXPECT_FALSE(decode_predict_v2({frame.data() + 5, std::size_t{4}}, id, name, features));
+}
+
+TEST(Protocol, SwapV2RoundTrip) {
+  std::vector<std::uint8_t> frame;
+  encode_swap_req_v2(frame, "beta", "/tmp/next.pnm");
+  EXPECT_EQ(frame[4], static_cast<std::uint8_t>(FrameType::kSwapV2));
+  std::string name;
+  std::string path;
+  ASSERT_TRUE(decode_swap_v2({frame.data() + 5, frame.size() - 5}, name, path));
+  EXPECT_EQ(name, "beta");
+  EXPECT_EQ(path, "/tmp/next.pnm");
+
+  // Name length overrunning the payload is refused.
+  std::vector<std::uint8_t> lying(frame.begin() + 5, frame.end());
+  lying[0] = 255;
+  EXPECT_FALSE(decode_swap_v2(lying, name, path));
+  EXPECT_FALSE(decode_swap_v2({}, name, path));
+}
+
+TEST(Protocol, ErrorV2RoundTrip) {
+  std::vector<std::uint8_t> frame;
+  encode_error_v2(frame, ErrorCode::kUnknownModel, "unknown model: gamma");
+  EXPECT_EQ(frame[4], static_cast<std::uint8_t>(FrameType::kErrorV2));
+  ErrorCode code = ErrorCode::kMalformedFrame;
+  std::string message;
+  ASSERT_TRUE(decode_error_v2({frame.data() + 5, frame.size() - 5}, code, message));
+  EXPECT_EQ(code, ErrorCode::kUnknownModel);
+  EXPECT_EQ(message, "unknown model: gamma");
+  EXPECT_FALSE(decode_error_v2({}, code, message));
 }
 
 TEST(FrameReader, ReassemblesAcrossArbitraryFragmentation) {

@@ -62,7 +62,7 @@ bool wait_for_stats(const Server& server, Pred pred) {
 }
 
 TEST(ServeServer, ServesBitExactPredictions) {
-  Server server({}, {make_model(1), 0, ""});
+  Server server({}, {make_model(1), 0, "", ""});
   server.start();
 
   const auto samples = make_samples(60, 6, 11);
@@ -94,7 +94,7 @@ TEST(ServeServer, ObservabilityCountersAreConsistent) {
   ServeConfig config;
   config.batch_max = 8;
   config.batch_deadline_us = 2000;
-  Server server(config, {make_model(2), 0, ""});
+  Server server(config, {make_model(2), 0, "", ""});
   server.start();
 
   const auto samples = make_samples(40, 6, 12);
@@ -152,7 +152,7 @@ TEST(ServeServer, HotSwapUnderLoadIsBitExactAndLossless) {
 
   ServeConfig config;
   config.worker_threads = 2;
-  Server server(config, {make_model(3), 0, path_a});
+  Server server(config, {make_model(3), 0, path_a, ""});
   server.start();
 
   const auto samples = make_samples(32, 6, 13);
@@ -189,7 +189,7 @@ TEST(ServeServer, SwapToCorruptFileIsRejectedAndKeepsServing) {
   const std::string bad_path = ::testing::TempDir() + "pnm_serve_swap_bad.pnm";
   ASSERT_TRUE(write_text_file_atomic(bad_path, "pnm-model v1\nname x\ngarbage\n"));
 
-  Server server({}, {make_model(5), 0, ""});
+  Server server({}, {make_model(5), 0, "", ""});
   server.start();
 
   ServeClient client;
@@ -220,7 +220,7 @@ TEST(ServeServer, SwapToCorruptFileIsRejectedAndKeepsServing) {
 }
 
 TEST(ServeServer, TruncatedFrameIsCountedOnDisconnect) {
-  Server server({}, {make_model(6), 0, ""});
+  Server server({}, {make_model(6), 0, "", ""});
   server.start();
 
   {
@@ -247,7 +247,7 @@ TEST(ServeServer, TruncatedFrameIsCountedOnDisconnect) {
 TEST(ServeServer, OversizedFrameGetsErrorAndDisconnect) {
   ServeConfig config;
   config.max_frame_bytes = 1 << 10;
-  Server server(config, {make_model(7), 0, ""});
+  Server server(config, {make_model(7), 0, "", ""});
   server.start();
 
   ServeClient client;
@@ -267,7 +267,7 @@ TEST(ServeServer, OversizedFrameGetsErrorAndDisconnect) {
 }
 
 TEST(ServeServer, UnknownFrameTypeGetsErrorAndDisconnect) {
-  Server server({}, {make_model(8), 0, ""});
+  Server server({}, {make_model(8), 0, "", ""});
   server.start();
 
   ServeClient client;
@@ -288,7 +288,7 @@ TEST(ServeServer, UnknownFrameTypeGetsErrorAndDisconnect) {
 }
 
 TEST(ServeServer, FeatureWidthMismatchIsAnErrorNotACrash) {
-  Server server({}, {make_model(9), 0, ""});  // expects 6 features
+  Server server({}, {make_model(9), 0, "", ""});  // expects 6 features
   server.start();
 
   ServeClient client;
@@ -312,7 +312,7 @@ TEST(ServeServer, FeatureWidthMismatchIsAnErrorNotACrash) {
 TEST(ServeServer, ClientDisconnectMidFlightLeavesServerHealthy) {
   ServeConfig config;
   config.batch_deadline_us = 20000;  // give the vanishing client time to vanish
-  Server server(config, {make_model(10), 0, ""});
+  Server server(config, {make_model(10), 0, "", ""});
   server.start();
 
   const auto samples = make_samples(8, 6, 17);
@@ -339,7 +339,7 @@ TEST(ServeServer, ClientDisconnectMidFlightLeavesServerHealthy) {
 }
 
 TEST(ServeServer, RequestPoolStopsGrowingAtSteadyState) {
-  Server server({}, {make_model(12), 0, ""});
+  Server server({}, {make_model(12), 0, "", ""});
   server.start();
 
   const auto samples = make_samples(4, 6, 18);
@@ -370,7 +370,7 @@ TEST(ServeServer, RequestPoolStopsGrowingAtSteadyState) {
 }
 
 TEST(ServeServer, StartStopIsIdempotent) {
-  Server server({}, {make_model(13), 0, ""});
+  Server server({}, {make_model(13), 0, "", ""});
   server.start();
   const std::uint16_t port = server.port();
   EXPECT_NE(port, 0);

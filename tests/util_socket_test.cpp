@@ -1,0 +1,267 @@
+/// Regression tests for the POSIX socket helpers that the serve layer
+/// leans on: EINTR storms across connect/accept/send/recv (signals
+/// delivered every few hundred microseconds while megabytes move),
+/// send_all's zero-progress stall cap against a peer that stops reading,
+/// and SO_REUSEPORT sibling semantics for the multi-reactor listeners.
+
+#include "pnm/util/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <numeric>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "pnm/util/build_info.hpp"
+
+namespace pnm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Empty handler: its only job is to interrupt blocking syscalls.  It is
+/// installed WITHOUT SA_RESTART, so every delivery surfaces as EINTR in
+/// whatever send/recv/poll was in flight — exactly the storm the helpers
+/// claim to survive.
+void on_sigusr1(int) {}
+
+struct ListenerPair {
+  int listen_fd = -1;
+  int client_fd = -1;  ///< blocking (tcp_connect side)
+  int server_fd = -1;  ///< nonblocking (tcp_accept side)
+
+  bool open() {
+    listen_fd = tcp_listen(0);
+    if (listen_fd < 0) return false;
+    const std::uint16_t port = tcp_local_port(listen_fd);
+    client_fd = tcp_connect("127.0.0.1", port);
+    if (client_fd < 0) return false;
+    for (int i = 0; i < 200 && server_fd < 0; ++i) {
+      server_fd = tcp_accept(listen_fd);
+      if (server_fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return server_fd >= 0;
+  }
+
+  ~ListenerPair() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (client_fd >= 0) ::close(client_fd);
+    if (server_fd >= 0) ::close(server_fd);
+  }
+};
+
+TEST(Socket, TransferSurvivesEintrStorm) {
+  struct sigaction sa = {};
+  sa.sa_handler = on_sigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_sa = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  ListenerPair pair;
+  ASSERT_TRUE(pair.open());
+
+  // A few MB with a recognizable pattern, sent blocking-side to the
+  // nonblocking accept-side (recv_exact must poll there).
+  const std::size_t kBytes = (2U << 20) * static_cast<std::size_t>(
+                                 std::min(2, pnm::build_info::timing_multiplier()));
+  std::vector<std::uint8_t> out(kBytes);
+  std::iota(out.begin(), out.end(), std::uint8_t{0});
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> send_ok{false};
+  std::thread sender([&] {
+    send_ok.store(send_all(pair.client_fd, out.data(), out.size()),
+                  std::memory_order_release);
+    done.store(true, std::memory_order_release);
+  });
+
+  // Storm thread: pelt the sender with signals every ~200us for the
+  // whole transfer.  Every syscall in send_all must either retry EINTR
+  // or resume its poll without losing bytes or stall budget.
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      pthread_kill(sender.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::uint8_t> in(kBytes, 0xFF);
+  const bool recv_ok =
+      recv_exact(pair.server_fd, in.data(), in.size(),
+                 /*timeout_ms=*/20000 * pnm::build_info::timing_multiplier());
+  sender.join();
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old_sa, nullptr), 0);
+
+  EXPECT_TRUE(send_ok.load());
+  ASSERT_TRUE(recv_ok);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), kBytes), 0);  // bytes intact & ordered
+}
+
+TEST(Socket, RecvExactSurvivesEintrStormOnNonblockingFd) {
+  struct sigaction sa = {};
+  sa.sa_handler = on_sigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old_sa = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  ListenerPair pair;
+  ASSERT_TRUE(pair.open());
+
+  const std::size_t kBytes = 1U << 20;
+  std::vector<std::uint8_t> payload(kBytes);
+  std::iota(payload.begin(), payload.end(), std::uint8_t{7});
+
+  // This time the *receiver* takes the storm while the sender drips the
+  // payload in chunks with pauses — recv_exact's poll+recv cycle eats
+  // EINTR mid-wait without miscounting.
+  std::atomic<bool> done{false};
+  std::vector<std::uint8_t> in(kBytes, 0);
+  std::atomic<bool> recv_ok{false};
+  std::thread receiver([&] {
+    recv_ok.store(recv_exact(pair.server_fd, in.data(), in.size(),
+                             20000 * pnm::build_info::timing_multiplier()),
+                  std::memory_order_release);
+    done.store(true, std::memory_order_release);
+  });
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      pthread_kill(receiver.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const std::size_t kChunk = 64U << 10;
+  for (std::size_t off = 0; off < kBytes; off += kChunk) {
+    ASSERT_TRUE(send_all(pair.client_fd, payload.data() + off,
+                         std::min(kChunk, kBytes - off)));
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  receiver.join();
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old_sa, nullptr), 0);
+
+  ASSERT_TRUE(recv_ok.load());
+  EXPECT_EQ(std::memcmp(in.data(), payload.data(), kBytes), 0);
+}
+
+TEST(Socket, SendAllStallCapGivesUpOnNonReadingPeer) {
+  ListenerPair pair;
+  ASSERT_TRUE(pair.open());
+
+  // Shrink both socket buffers so a non-reading peer backs the sender up
+  // quickly, and make the sender nonblocking so send_all's EAGAIN+poll
+  // path (where the stall cap lives) is what runs — a blocking fd would
+  // park inside send(2) itself, beyond the cap's reach.
+  const int kBuf = 4096;
+  ASSERT_EQ(setsockopt(pair.client_fd, SOL_SOCKET, SO_SNDBUF, &kBuf, sizeof(kBuf)), 0);
+  ASSERT_EQ(setsockopt(pair.server_fd, SOL_SOCKET, SO_RCVBUF, &kBuf, sizeof(kBuf)), 0);
+  ASSERT_TRUE(set_nonblocking(pair.client_fd));
+
+  std::vector<std::uint8_t> big(4U << 20, 0xAB);
+  const Clock::time_point t0 = Clock::now();
+  const bool sent = send_all(pair.client_fd, big.data(), big.size(), /*stall_ms=*/300);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0).count();
+
+  // The peer never reads: the call must fail, must have honoured most of
+  // the cap (not bailed instantly), and must not have hung far past it.
+  EXPECT_FALSE(sent);
+  EXPECT_GE(elapsed_ms, 200);
+  EXPECT_LE(elapsed_ms, 300LL * 20 * pnm::build_info::timing_multiplier());
+}
+
+TEST(Socket, SendAllCompletesWhenPeerDrainsSlowly) {
+  ListenerPair pair;
+  ASSERT_TRUE(pair.open());
+  // Shrink only the SEND buffer (which also pins it — SO_SNDBUF disables
+  // auto-tuning, so the kernel cannot quietly absorb the whole payload).
+  // The receive buffer stays at its default: shrinking it below the
+  // 64 KB loopback MSS wedges the TCP window shut (silly-window
+  // avoidance never reopens it) and the transfer deadlocks — the
+  // opposite of the slow-but-steady drain this test needs.
+  const int kBuf = 4096;
+  ASSERT_EQ(setsockopt(pair.client_fd, SOL_SOCKET, SO_SNDBUF, &kBuf, sizeof(kBuf)), 0);
+  ASSERT_TRUE(set_nonblocking(pair.client_fd));
+
+  // A peer that drains in bursts with long pauses keeps resetting the
+  // zero-progress clock: each pause is well under stall_ms, the total
+  // transfer takes several times stall_ms, and the send must still
+  // complete.
+  const std::size_t kBytes = 512U << 10;
+  const int stall_ms = 1000 * pnm::build_info::timing_multiplier();
+  std::vector<std::uint8_t> out(kBytes, 0x5C);
+  std::atomic<bool> send_ok{false};
+  std::thread sender([&] {
+    send_ok.store(send_all(pair.client_fd, out.data(), out.size(), stall_ms),
+                  std::memory_order_release);
+  });
+
+  std::vector<std::uint8_t> in(kBytes, 0);
+  std::size_t got = 0;
+  while (got < kBytes) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const std::size_t burst = std::min<std::size_t>(64U << 10, kBytes - got);
+    if (!recv_exact(pair.server_fd, in.data() + got, burst, 10000)) break;
+    got += burst;
+  }
+  sender.join();
+  EXPECT_TRUE(send_ok.load());
+  EXPECT_EQ(got, kBytes);
+  EXPECT_EQ(in[0], 0x5C);
+  EXPECT_EQ(in[kBytes - 1], 0x5C);
+}
+
+TEST(Socket, ReusePortSiblingsShareOnePort) {
+  // The multi-reactor listener setup: first socket picks the port with
+  // SO_REUSEPORT, siblings join it with the same flag.
+  const int first = tcp_listen(0, true, 128, /*reuse_port=*/true);
+  ASSERT_GE(first, 0);
+  const std::uint16_t port = tcp_local_port(first);
+  ASSERT_NE(port, 0);
+
+  const int sibling = tcp_listen(port, true, 128, /*reuse_port=*/true);
+  EXPECT_GE(sibling, 0);
+
+  // Without the flag the port is taken...
+  const int interloper = tcp_listen(port, true, 128, /*reuse_port=*/false);
+  EXPECT_LT(interloper, 0);
+
+  // ...and the flag cannot barge into a port bound without it.
+  const int exclusive = tcp_listen(0, true, 128, /*reuse_port=*/false);
+  ASSERT_GE(exclusive, 0);
+  const std::uint16_t excl_port = tcp_local_port(exclusive);
+  const int barger = tcp_listen(excl_port, true, 128, /*reuse_port=*/true);
+  EXPECT_LT(barger, 0);
+
+  // Connections land on some sibling and are acceptable.
+  const int conn = tcp_connect("127.0.0.1", port);
+  ASSERT_GE(conn, 0);
+  int accepted = -1;
+  for (int i = 0; i < 200 && accepted < 0; ++i) {
+    accepted = tcp_accept(first);
+    if (accepted < 0) accepted = tcp_accept(sibling);
+    if (accepted < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(accepted, 0);
+
+  ::close(first);
+  ::close(sibling);
+  if (interloper >= 0) ::close(interloper);
+  ::close(exclusive);
+  if (barger >= 0) ::close(barger);
+  ::close(conn);
+  if (accepted >= 0) ::close(accepted);
+}
+
+}  // namespace
+}  // namespace pnm
